@@ -1,0 +1,116 @@
+//! Kim's nesting-type classification (Section 2 of the paper).
+
+use crate::resolve::{outer_column_refs, SchemaSource};
+use crate::Result;
+use nsql_sql::QueryBlock;
+use std::fmt;
+
+/// The four nesting types relevant to the paper (Kim's fifth, type-D —
+/// division — is out of scope for both papers' algorithms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NestingType {
+    /// Inner block is uncorrelated and its SELECT is an aggregate: the
+    /// inner block evaluates to one constant, independent of the outer
+    /// block (Section 2.1).
+    TypeA,
+    /// Inner block is uncorrelated and its SELECT has no aggregate: the
+    /// inner block evaluates to a list of values (Section 2.2).
+    TypeN,
+    /// Inner block has a correlated join predicate and no aggregate in its
+    /// SELECT (Section 2.3).
+    TypeJ,
+    /// Inner block has a correlated join predicate and its SELECT is an
+    /// aggregate (Section 2.4) — the case Kim's NEST-JA mishandles and
+    /// NEST-JA2 fixes.
+    TypeJA,
+}
+
+impl fmt::Display for NestingType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NestingType::TypeA => "type-A",
+            NestingType::TypeN => "type-N",
+            NestingType::TypeJ => "type-J",
+            NestingType::TypeJA => "type-JA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classify an inner query block.
+///
+/// The classification needs only the inner block itself: correlation is "a
+/// join predicate which references a relation … not mentioned in the inner
+/// FROM clause", and aggregation is a property of the inner SELECT clause.
+pub fn classify_inner<S: SchemaSource>(catalog: &S, inner: &QueryBlock) -> Result<NestingType> {
+    let correlated = !outer_column_refs(catalog, inner)?.is_empty();
+    let aggregate = inner.has_aggregate_select();
+    Ok(match (correlated, aggregate) {
+        (false, false) => NestingType::TypeN,
+        (false, true) => NestingType::TypeA,
+        (true, false) => NestingType::TypeJ,
+        (true, true) => NestingType::TypeJA,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::test_catalog::PaperCatalog;
+    use nsql_sql::{parse_query, InRhs, Operand, Predicate};
+
+    fn inner_of(src: &str) -> QueryBlock {
+        let q = parse_query(src).unwrap();
+        match q.where_clause.unwrap() {
+            Predicate::In { rhs: InRhs::Subquery(b), .. } => *b,
+            Predicate::Compare { right: Operand::Subquery(b), .. } => *b,
+            other => panic!("no subquery in {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classifies_paper_examples() {
+        let cat = PaperCatalog::new();
+        // Query (2): type-A.
+        let a = inner_of("SELECT SNO FROM SP WHERE PNO = (SELECT MAX(PNO) FROM P)");
+        assert_eq!(classify_inner(&cat, &a).unwrap(), NestingType::TypeA);
+        // Query (3): type-N.
+        let n = inner_of(
+            "SELECT SNO FROM SP WHERE PNO IS IN (SELECT PNO FROM P WHERE WEIGHT > 50)",
+        );
+        assert_eq!(classify_inner(&cat, &n).unwrap(), NestingType::TypeN);
+        // Query (4): type-J.
+        let j = inner_of(
+            "SELECT SNAME FROM S WHERE SNO IS IN \
+             (SELECT SNO FROM SP WHERE QTY > 100 AND SP.ORIGIN = S.CITY)",
+        );
+        assert_eq!(classify_inner(&cat, &j).unwrap(), NestingType::TypeJ);
+        // Query (5): type-JA.
+        let ja = inner_of(
+            "SELECT PNAME FROM P WHERE PNO = \
+             (SELECT MAX(PNO) FROM SP WHERE SP.ORIGIN = P.CITY)",
+        );
+        assert_eq!(classify_inner(&cat, &ja).unwrap(), NestingType::TypeJA);
+    }
+
+    #[test]
+    fn kiessling_q2_is_type_ja() {
+        let cat = PaperCatalog::new();
+        let inner = inner_of(
+            "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY \
+             WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)",
+        );
+        assert_eq!(classify_inner(&cat, &inner).unwrap(), NestingType::TypeJA);
+    }
+
+    #[test]
+    fn unqualified_correlation_detected() {
+        // ORIGIN belongs to SP; inner FROM has only P, so the bare ORIGIN
+        // must be recognised as an outer reference.
+        let cat = PaperCatalog::new();
+        let inner = inner_of(
+            "SELECT SNO FROM SP WHERE PNO IN (SELECT PNO FROM P WHERE CITY = ORIGIN)",
+        );
+        assert_eq!(classify_inner(&cat, &inner).unwrap(), NestingType::TypeJ);
+    }
+}

@@ -1,0 +1,35 @@
+//! Analysis errors.
+
+use std::fmt;
+
+/// Semantic analysis failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// FROM references a table the catalog does not know.
+    UnknownTable(String),
+    /// A column reference resolved nowhere (neither locally nor in any
+    /// enclosing scope).
+    UnresolvedColumn(String),
+    /// A column reference is ambiguous within its scope.
+    AmbiguousColumn(String),
+    /// Two tables in one FROM clause share an effective name.
+    DuplicateTableName(String),
+    /// A query shape the dialect/algorithms do not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            AnalyzeError::UnresolvedColumn(c) => write!(f, "unresolved column: {c}"),
+            AnalyzeError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            AnalyzeError::DuplicateTableName(t) => {
+                write!(f, "duplicate table name/alias in FROM: {t}")
+            }
+            AnalyzeError::Unsupported(m) => write!(f, "unsupported query shape: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}

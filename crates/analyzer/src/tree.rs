@@ -1,0 +1,221 @@
+//! The query-block tree of Figure 2.
+//!
+//! A nested query is "a multi-way tree whose nodes are query blocks, where
+//! the outermost query block … is the root" (Section 9.1). This module
+//! builds that tree with each edge labelled by the nesting type of the child
+//! block, and renders it in the style of the paper's figure.
+
+use crate::classify::{classify_inner, NestingType};
+use crate::resolve::SchemaSource;
+use crate::Result;
+use nsql_sql::{InRhs, Operand, Predicate, QueryBlock};
+
+/// A node of the query tree: a block, a label (`A`, `B`, … in preorder like
+/// the figure), and its nested children with edge labels.
+#[derive(Debug, Clone)]
+pub struct QueryTree {
+    /// Preorder label, `A` for the root.
+    pub label: String,
+    /// The query block at this node (subqueries still embedded).
+    pub block: QueryBlock,
+    /// Children: (nesting type of the edge, subtree).
+    pub children: Vec<(NestingType, QueryTree)>,
+}
+
+impl QueryTree {
+    /// Total number of query blocks in the tree.
+    pub fn block_count(&self) -> usize {
+        1 + self.children.iter().map(|(_, c)| c.block_count()).sum::<usize>()
+    }
+
+    /// Maximum nesting depth (a flat query has depth 0).
+    pub fn depth(&self) -> usize {
+        self.children.iter().map(|(_, c)| c.depth() + 1).max().unwrap_or(0)
+    }
+
+    /// Whether any edge in the tree is of the given type.
+    pub fn contains(&self, ty: NestingType) -> bool {
+        self.children.iter().any(|(t, c)| *t == ty || c.contains(ty))
+    }
+
+    /// Render as an ASCII tree, one node per line, edges labelled like
+    /// Figure 2.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, "", None);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, prefix: &str, edge: Option<NestingType>) {
+        match edge {
+            None => out.push_str(&format!("{}{}\n", prefix, self.label)),
+            Some(t) => out.push_str(&format!("{}{} [{}]\n", prefix, self.label, t)),
+        }
+        for (i, (t, child)) in self.children.iter().enumerate() {
+            let last = i + 1 == self.children.len();
+            let connector = if last { "└── " } else { "├── " };
+            let child_prefix = format!("{}{}", prefix, connector);
+            let cont_prefix = format!("{}{}", prefix, if last { "    " } else { "│   " });
+            child.render_into_with(out, &child_prefix, &cont_prefix, Some(*t));
+        }
+    }
+
+    fn render_into_with(
+        &self,
+        out: &mut String,
+        head_prefix: &str,
+        cont_prefix: &str,
+        edge: Option<NestingType>,
+    ) {
+        match edge {
+            None => out.push_str(&format!("{}{}\n", head_prefix, self.label)),
+            Some(t) => out.push_str(&format!("{}{} [{}]\n", head_prefix, self.label, t)),
+        }
+        for (i, (t, child)) in self.children.iter().enumerate() {
+            let last = i + 1 == self.children.len();
+            let connector = if last { "└── " } else { "├── " };
+            let child_head = format!("{}{}", cont_prefix, connector);
+            let child_cont = format!("{}{}", cont_prefix, if last { "    " } else { "│   " });
+            child.render_into_with(out, &child_head, &child_cont, Some(*t));
+        }
+    }
+}
+
+/// Build the query tree for `root`, labelling blocks `A`, `B`, … in
+/// preorder and classifying every edge.
+pub fn query_tree<S: SchemaSource>(catalog: &S, root: &QueryBlock) -> Result<QueryTree> {
+    let mut counter = 0usize;
+    build(catalog, root, &mut counter)
+}
+
+fn label_for(i: usize) -> String {
+    // A, B, …, Z, AA, AB, … — enough for any sane query.
+    let mut s = String::new();
+    let mut n = i;
+    loop {
+        s.insert(0, (b'A' + (n % 26) as u8) as char);
+        if n < 26 {
+            break;
+        }
+        n = n / 26 - 1;
+    }
+    s
+}
+
+fn build<S: SchemaSource>(
+    catalog: &S,
+    block: &QueryBlock,
+    counter: &mut usize,
+) -> Result<QueryTree> {
+    let label = label_for(*counter);
+    *counter += 1;
+    let mut children = Vec::new();
+    if let Some(p) = &block.where_clause {
+        collect_children(catalog, p, counter, &mut children)?;
+    }
+    Ok(QueryTree { label, block: block.clone(), children })
+}
+
+fn collect_children<S: SchemaSource>(
+    catalog: &S,
+    p: &Predicate,
+    counter: &mut usize,
+    out: &mut Vec<(NestingType, QueryTree)>,
+) -> Result<()> {
+    let push = |q: &QueryBlock,
+                    counter: &mut usize,
+                    out: &mut Vec<(NestingType, QueryTree)>|
+     -> Result<()> {
+        let ty = classify_inner(catalog, q)?;
+        let sub = build(catalog, q, counter)?;
+        out.push((ty, sub));
+        Ok(())
+    };
+    match p {
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            for q in ps {
+                collect_children(catalog, q, counter, out)?;
+            }
+        }
+        Predicate::Not(q) => collect_children(catalog, q, counter, out)?,
+        Predicate::Compare { left, right, .. } => {
+            for o in [left, right] {
+                if let Operand::Subquery(q) = o {
+                    push(q, counter, out)?;
+                }
+            }
+        }
+        Predicate::In { rhs: InRhs::Subquery(q), .. } => push(q, counter, out)?,
+        Predicate::In { .. } => {}
+        Predicate::Exists { query, .. } => push(query, counter, out)?,
+        Predicate::Quantified { query, .. } => push(query, counter, out)?,
+        Predicate::IsNull { .. } => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::test_catalog::PaperCatalog;
+    use nsql_sql::parse_query;
+
+    #[test]
+    fn flat_query_is_single_node() {
+        let cat = PaperCatalog::new();
+        let q = parse_query("SELECT SNO FROM SP").unwrap();
+        let t = query_tree(&cat, &q).unwrap();
+        assert_eq!(t.block_count(), 1);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.label, "A");
+    }
+
+    #[test]
+    fn figure_2_shape() {
+        // A with children B and D; B with children C; C with child E is the
+        // figure's shape — build an analogous query: A(B(C(E)), D).
+        let cat = PaperCatalog::new();
+        let q = parse_query(
+            "SELECT SNAME FROM S WHERE \
+               SNO IN (SELECT SNO FROM SP WHERE \
+                         QTY = (SELECT MAX(WEIGHT) FROM P WHERE \
+                                  PNO IN (SELECT PNO FROM SP X WHERE X.ORIGIN = S.CITY))) \
+               AND CITY IN (SELECT CITY FROM P)",
+        )
+        .unwrap();
+        let t = query_tree(&cat, &q).unwrap();
+        assert_eq!(t.block_count(), 5);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.children.len(), 2);
+        let labels: Vec<&str> = t.children.iter().map(|(_, c)| c.label.as_str()).collect();
+        assert_eq!(labels, vec!["B", "E"]);
+        // B's child chain: C then D.
+        let b = &t.children[0].1;
+        assert_eq!(b.children[0].1.label, "C");
+        assert_eq!(b.children[0].1.children[0].1.label, "D");
+        let rendered = t.render();
+        assert!(rendered.contains("└── E"), "{rendered}");
+        assert!(rendered.contains("type-"), "{rendered}");
+    }
+
+    #[test]
+    fn edge_types_match_classification() {
+        let cat = PaperCatalog::new();
+        let q = parse_query(
+            "SELECT PNAME FROM P WHERE PNO = (SELECT MAX(PNO) FROM SP WHERE SP.ORIGIN = P.CITY)",
+        )
+        .unwrap();
+        let t = query_tree(&cat, &q).unwrap();
+        assert_eq!(t.children[0].0, NestingType::TypeJA);
+        assert!(t.contains(NestingType::TypeJA));
+        assert!(!t.contains(NestingType::TypeN));
+    }
+
+    #[test]
+    fn labels_go_past_z() {
+        assert_eq!(label_for(0), "A");
+        assert_eq!(label_for(25), "Z");
+        assert_eq!(label_for(26), "AA");
+        assert_eq!(label_for(27), "AB");
+    }
+}

@@ -1,0 +1,56 @@
+//! Wall-clock companion to experiment E11: the NEST-JA2 evaluation
+//! variants (join-method ablation) plus the transformation itself.
+//!
+//! ```sh
+//! cargo bench -p nsql-bench --bench ja2_variants
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsql_bench::workload::{ja_workload, queries, WorkloadSpec};
+use nsql_db::{JoinPolicy, QueryOptions, Strategy};
+use std::hint::black_box;
+
+fn variants(c: &mut Criterion) {
+    let w = ja_workload(WorkloadSpec::small());
+    let sql = queries::TYPE_JA_MAX;
+    let mut group = c.benchmark_group("ja2_join_policy");
+    group.sample_size(10);
+    for policy in [
+        JoinPolicy::ForceNestedLoop,
+        JoinPolicy::ForceMergeJoin,
+        JoinPolicy::CostBased,
+    ] {
+        group.bench_function(policy.name(), |b| {
+            let opts = QueryOptions {
+                strategy: Strategy::Transform,
+                join_policy: policy,
+                cold_start: true,
+                ..Default::default()
+            };
+            b.iter(|| {
+                let out = w.db.query_with(black_box(sql), &opts).expect("runs");
+                black_box(out.relation.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn transform_only(c: &mut Criterion) {
+    // How long does the *transformation* itself take (no execution)?
+    let w = ja_workload(WorkloadSpec::small());
+    let mut group = c.benchmark_group("transform_only");
+    for (name, sql) in [
+        ("type_ja", queries::TYPE_JA_COUNT),
+        ("type_j", queries::TYPE_J),
+        ("type_n", queries::TYPE_N),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(w.db.plan(black_box(sql)).expect("transformable")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e11_wall_clock, variants, transform_only);
+criterion_main!(e11_wall_clock);

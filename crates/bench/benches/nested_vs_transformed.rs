@@ -1,0 +1,74 @@
+//! Wall-clock companion to experiment E1: nested iteration vs transformed
+//! execution, one Criterion group per nesting type.
+//!
+//! The paper's metric is page I/Os (see `--bin figure1`); these benches
+//! confirm the same ordering holds for real elapsed time in our engine.
+//!
+//! ```sh
+//! cargo bench -p nsql-bench --bench nested_vs_transformed
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsql_bench::workload::{ja_workload, queries, Workload, WorkloadSpec};
+use nsql_core::UnnestOptions;
+use nsql_db::QueryOptions;
+use std::hint::black_box;
+
+fn small_workload() -> Workload {
+    ja_workload(WorkloadSpec::small())
+}
+
+fn bench_query(c: &mut Criterion, group_name: &str, sql: &'static str, set_semantics: bool) {
+    let w = small_workload();
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+
+    group.bench_function("nested_iteration", |b| {
+        b.iter(|| {
+            let out = w
+                .db
+                .query_with(black_box(sql), &QueryOptions::nested_iteration())
+                .expect("reference runs");
+            black_box(out.relation.len())
+        })
+    });
+    let opts = if set_semantics {
+        QueryOptions {
+            unnest: UnnestOptions { preserve_duplicates: true, ..Default::default() },
+            ..QueryOptions::transformed_merge()
+        }
+    } else {
+        QueryOptions::transformed_merge()
+    };
+    group.bench_function("transformed_merge", |b| {
+        b.iter(|| {
+            let out = w.db.query_with(black_box(sql), &opts).expect("transformed runs");
+            black_box(out.relation.len())
+        })
+    });
+    let cost_based = if set_semantics {
+        QueryOptions {
+            unnest: UnnestOptions { preserve_duplicates: true, ..Default::default() },
+            ..QueryOptions::transformed()
+        }
+    } else {
+        QueryOptions::transformed()
+    };
+    group.bench_function("transformed_cost_based", |b| {
+        b.iter(|| {
+            let out = w.db.query_with(black_box(sql), &cost_based).expect("transformed runs");
+            black_box(out.relation.len())
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_query(c, "type_n", queries::TYPE_N, true);
+    bench_query(c, "type_j", queries::TYPE_J, true);
+    bench_query(c, "type_ja_count", queries::TYPE_JA_COUNT, false);
+    bench_query(c, "type_ja_max", queries::TYPE_JA_MAX, false);
+}
+
+criterion_group!(e1_wall_clock, benches);
+criterion_main!(e1_wall_clock);

@@ -1,0 +1,33 @@
+//! Transformation errors.
+
+use nsql_analyzer::AnalyzeError;
+use std::fmt;
+
+/// Failures while transforming a nested query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// Semantic analysis failed (unknown table/column, ambiguity, …).
+    Analyze(AnalyzeError),
+    /// The query is outside the class the algorithms handle (with a reason).
+    Unsupported(String),
+    /// Internal invariant violation — always a transformation bug.
+    Internal(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::Analyze(e) => write!(f, "{e}"),
+            TransformError::Unsupported(m) => write!(f, "unsupported for transformation: {m}"),
+            TransformError::Internal(m) => write!(f, "internal transform error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<AnalyzeError> for TransformError {
+    fn from(e: AnalyzeError) -> Self {
+        TransformError::Analyze(e)
+    }
+}

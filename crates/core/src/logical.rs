@@ -1,0 +1,221 @@
+//! Logical plans for temporary-table definitions.
+//!
+//! The canonical query a transformation produces is a flat
+//! [`QueryBlock`](nsql_sql::QueryBlock), but the temporary tables NEST-JA2
+//! builds need two things SQL-82 query blocks cannot express: an **outer
+//! join** and a GROUP BY over a join result. This small IR covers exactly
+//! the plan shapes the paper's algorithms emit; `nsql-db`'s physical layer
+//! executes it with a configurable join method.
+
+use nsql_sql::{AggArg, AggFunc, ColumnRef, CompareOp, Predicate, SelectItem};
+use std::fmt;
+
+/// Inner or left-outer join at the logical level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogicalJoinKind {
+    /// Plain join.
+    Inner,
+    /// Left outer join (the paper's `=+` / COUNT-bug device).
+    LeftOuter,
+}
+
+/// One join predicate: `left-side-column op right-side-column`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPred {
+    /// Column from the left input.
+    pub left: ColumnRef,
+    /// Comparison operator (non-equality is allowed; see Section 5.3).
+    pub op: CompareOp,
+    /// Column from the right input.
+    pub right: ColumnRef,
+}
+
+impl fmt::Display for JoinPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op.symbol(), self.right)
+    }
+}
+
+/// One aggregate output of an [`LogicalPlan::Aggregate`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument (`Star` only for COUNT).
+    pub arg: AggArg,
+    /// Output column name.
+    pub alias: String,
+}
+
+/// A logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a base or temporary table under an effective name.
+    Scan {
+        /// Catalog table name.
+        table: String,
+        /// Effective (alias) name columns are qualified by; defaults to the
+        /// table name.
+        alias: Option<String>,
+    },
+    /// Restriction by a simple (subquery-free) predicate.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// The predicate.
+        pred: Predicate,
+    },
+    /// Projection; items must be columns or literals (no aggregates).
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output expressions with optional aliases.
+        items: Vec<SelectItem>,
+        /// Eliminate duplicates?
+        distinct: bool,
+    },
+    /// Join of two plans.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join kind.
+        kind: LogicalJoinKind,
+        /// Join predicates (conjunctive).
+        on: Vec<JoinPred>,
+    },
+    /// Grouped aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-by columns (become output columns, keeping their names).
+        group_by: Vec<ColumnRef>,
+        /// Aggregates to compute.
+        aggs: Vec<AggItem>,
+    },
+}
+
+impl LogicalPlan {
+    /// Scan shorthand.
+    pub fn scan(table: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::Scan { table: table.into().to_ascii_uppercase(), alias: None }
+    }
+
+    /// Filter shorthand (no-op when `pred` is `None`).
+    pub fn filtered(self, pred: Option<Predicate>) -> LogicalPlan {
+        match pred {
+            Some(p) => LogicalPlan::Filter { input: Box::new(self), pred: p },
+            None => self,
+        }
+    }
+
+    /// Render a one-line-per-node EXPLAIN-style description.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            LogicalPlan::Scan { table, alias } => {
+                out.push_str(&pad);
+                match alias {
+                    Some(a) => out.push_str(&format!("Scan {table} AS {a}\n")),
+                    None => out.push_str(&format!("Scan {table}\n")),
+                }
+            }
+            LogicalPlan::Filter { input, pred } => {
+                out.push_str(&format!("{pad}Filter {}\n", nsql_sql::print_predicate(pred)));
+                input.explain_into(out, indent + 1);
+            }
+            LogicalPlan::Project { input, items, distinct } => {
+                let cols: Vec<String> = items
+                    .iter()
+                    .map(|i| match (&i.expr, &i.alias) {
+                        (nsql_sql::ScalarExpr::Column(c), None) => c.to_string(),
+                        (nsql_sql::ScalarExpr::Column(c), Some(a)) => format!("{c} AS {a}"),
+                        (e, _) => format!("{e:?}"),
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}Project{} [{}]\n",
+                    if *distinct { " DISTINCT" } else { "" },
+                    cols.join(", ")
+                ));
+                input.explain_into(out, indent + 1);
+            }
+            LogicalPlan::Join { left, right, kind, on } => {
+                let preds: Vec<String> = on.iter().map(JoinPred::to_string).collect();
+                let kind = match kind {
+                    LogicalJoinKind::Inner => "Join",
+                    LogicalJoinKind::LeftOuter => "LeftOuterJoin",
+                };
+                out.push_str(&format!("{pad}{kind} ON {}\n", preds.join(" AND ")));
+                left.explain_into(out, indent + 1);
+                right.explain_into(out, indent + 1);
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let groups: Vec<String> = group_by.iter().map(ColumnRef::to_string).collect();
+                let aggs: Vec<String> = aggs
+                    .iter()
+                    .map(|a| match &a.arg {
+                        AggArg::Star => format!("{}(*) AS {}", a.func.name(), a.alias),
+                        AggArg::Column(c) => format!("{}({c}) AS {}", a.func.name(), a.alias),
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate GROUP BY [{}] COMPUTE [{}]\n",
+                    groups.join(", "),
+                    aggs.join(", ")
+                ));
+                input.explain_into(out, indent + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsql_sql::parse_query;
+
+    #[test]
+    fn explain_renders_tree() {
+        let inner = LogicalPlan::scan("SUPPLY").filtered(
+            parse_query("SELECT PNUM FROM SUPPLY WHERE SHIPDATE < 1-1-80")
+                .unwrap()
+                .where_clause,
+        );
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(LogicalPlan::scan("TEMP1")),
+                right: Box::new(inner),
+                kind: LogicalJoinKind::LeftOuter,
+                on: vec![JoinPred {
+                    left: ColumnRef::qualified("TEMP1", "PNUM"),
+                    op: CompareOp::Eq,
+                    right: ColumnRef::qualified("SUPPLY", "PNUM"),
+                }],
+            }),
+            group_by: vec![ColumnRef::qualified("TEMP1", "PNUM")],
+            aggs: vec![AggItem {
+                func: AggFunc::Count,
+                arg: AggArg::Column(ColumnRef::qualified("SUPPLY", "SHIPDATE")),
+                alias: "CT".into(),
+            }],
+        };
+        let s = plan.explain();
+        assert!(s.contains("LeftOuterJoin ON TEMP1.PNUM = SUPPLY.PNUM"), "{s}");
+        assert!(s.contains("COUNT(SUPPLY.SHIPDATE) AS CT"), "{s}");
+        assert!(s.contains("Scan TEMP1"), "{s}");
+    }
+
+    #[test]
+    fn filtered_none_is_identity() {
+        let p = LogicalPlan::scan("T").filtered(None);
+        assert_eq!(p, LogicalPlan::scan("T"));
+    }
+}

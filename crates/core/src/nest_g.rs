@@ -1,0 +1,612 @@
+//! The recursive general transformation — procedure `nest_g` (Section 9).
+//!
+//! A direct postorder recursive algorithm: for each nested predicate, first
+//! transform the inner block (which flattens everything below it), then
+//! classify the now-flat inner block against its parent and dispatch:
+//!
+//! * type-A → the inner block becomes a one-row temporary (global
+//!   aggregate), cross-joined into the parent;
+//! * type-N / type-J → algorithm NEST-N-J merges the blocks;
+//! * type-JA → algorithm NEST-JA2 (or, on request, Kim's buggy NEST-JA)
+//!   reduces the block to type-J, and NEST-N-J finishes the job.
+//!
+//! As the paper highlights, the information needed at each step "is
+//! confined to two levels of the query": deeper correlations are carried
+//! upward by the merges ("the trans-aggregate join predicate \[is\]
+//! inherited by the recursive transformation of inner query blocks").
+
+use crate::error::TransformError;
+use crate::logical::{AggItem, LogicalPlan};
+use crate::nest_ja2::{apply_ja2, inner_from_plan, Ja2Config, OuterScope};
+use crate::nest_ja_kim::apply_ja_kim;
+use crate::nest_n_j::{merge_inner, Connecting};
+use crate::pipeline::{TempNamer, TempTable, TransformPlan};
+use crate::qualify::qualify_query;
+use crate::rewrites::rewrite_extended;
+use crate::Result;
+use nsql_analyzer::resolve::{predicate_column_refs, SchemaSource};
+use nsql_sql::{
+    ColumnRef, CompareOp, InRhs, Operand, Predicate, QueryBlock, ScalarExpr, SelectItem,
+    TableRef,
+};
+
+/// Which type-JA algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JaVariant {
+    /// The paper's corrected NEST-JA2 (default).
+    #[default]
+    Ja2,
+    /// NEST-JA2 *without* step 1's DISTINCT projection of the outer join
+    /// column — the intermediate (still wrong) algorithm of Section 5.4,
+    /// kept for the duplicates-problem demonstration.
+    Ja2NoProjection,
+    /// NEST-JA2 with the inner restriction applied *after* the outer join
+    /// — the ordering Section 5.2 warns about ("the join would not
+    /// contain the last row, and the result would be incorrect").
+    Ja2LateRestriction,
+    /// Kim's original NEST-JA — exhibits the COUNT and non-equality bugs.
+    KimOriginal,
+}
+
+/// Options controlling the transformation.
+#[derive(Debug, Clone, Default)]
+pub struct UnnestOptions {
+    /// Type-JA algorithm choice.
+    pub ja_variant: JaVariant,
+    /// When set, the executor is asked to deduplicate the final result of
+    /// IN-merges (modern semijoin semantics; see the NEST-N-J duplicate
+    /// caveat in DESIGN.md). The faithful default is off.
+    pub preserve_duplicates: bool,
+}
+
+/// Transform a nested query into a [`TransformPlan`]: temporary-table
+/// definitions plus a flat canonical query.
+pub fn transform_query<S: SchemaSource>(
+    catalog: &S,
+    query: &QueryBlock,
+    options: &UnnestOptions,
+) -> Result<TransformPlan> {
+    let mut q = query.clone();
+    qualify_query(catalog, &mut q)?;
+    let mut reserved = Vec::new();
+    collect_table_names(&q, &mut reserved);
+    let mut ctx = Ctx {
+        options: options.clone(),
+        namer: TempNamer::new(reserved),
+        temps: Vec::new(),
+        trace: Vec::new(),
+        merged_in_membership: false,
+    };
+    ctx.nest_g(&mut q, &[])?;
+    Ok(TransformPlan {
+        temps: ctx.temps,
+        canonical: q,
+        trace: ctx.trace,
+        needs_distinct_for_semantics: options.preserve_duplicates && ctx.merged_in_membership,
+    })
+}
+
+fn collect_table_names(q: &QueryBlock, out: &mut Vec<String>) {
+    for t in &q.from {
+        out.push(t.table.clone());
+        if let Some(a) = &t.alias {
+            out.push(a.clone());
+        }
+    }
+    if let Some(p) = &q.where_clause {
+        collect_pred_tables(p, out);
+    }
+}
+
+fn collect_pred_tables(p: &Predicate, out: &mut Vec<String>) {
+    match p {
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            for q in ps {
+                collect_pred_tables(q, out);
+            }
+        }
+        Predicate::Not(q) => collect_pred_tables(q, out),
+        Predicate::Compare { left, right, .. } => {
+            for o in [left, right] {
+                if let Operand::Subquery(q) = o {
+                    collect_table_names(q, out);
+                }
+            }
+        }
+        Predicate::In { rhs: InRhs::Subquery(q), .. } => collect_table_names(q, out),
+        Predicate::Exists { query, .. } | Predicate::Quantified { query, .. } => {
+            collect_table_names(query, out)
+        }
+        _ => {}
+    }
+}
+
+/// Snapshot of one enclosing block for scope lookups during JA handling.
+struct ScopeFrame {
+    from: Vec<TableRef>,
+    simple_conjuncts: Vec<Predicate>,
+}
+
+impl ScopeFrame {
+    fn of(block: &QueryBlock) -> ScopeFrame {
+        let simple_conjuncts = block
+            .where_clause
+            .as_ref()
+            .map(|p| {
+                p.conjuncts()
+                    .into_iter()
+                    .filter(|c| c.is_simple())
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        ScopeFrame { from: block.from.clone(), simple_conjuncts }
+    }
+}
+
+impl OuterScope for [ScopeFrame] {
+    fn base_table(&self, effective: &str) -> Option<String> {
+        for frame in self {
+            for t in &frame.from {
+                if t.effective_name().eq_ignore_ascii_case(effective) {
+                    return Some(t.table.clone());
+                }
+            }
+        }
+        None
+    }
+
+    fn simple_predicates(&self, effective: &str) -> Vec<Predicate> {
+        for frame in self {
+            if !frame
+                .from
+                .iter()
+                .any(|t| t.effective_name().eq_ignore_ascii_case(effective))
+            {
+                continue;
+            }
+            return frame
+                .simple_conjuncts
+                .iter()
+                .filter(|c| {
+                    let refs = predicate_column_refs(c);
+                    !refs.is_empty()
+                        && refs
+                            .iter()
+                            .all(|r| r.table.as_deref() == Some(effective))
+                })
+                .cloned()
+                .collect();
+        }
+        Vec::new()
+    }
+}
+
+struct Ctx {
+    options: UnnestOptions,
+    namer: TempNamer,
+    temps: Vec<TempTable>,
+    trace: Vec<String>,
+    merged_in_membership: bool,
+}
+
+impl Ctx {
+    /// The recursive procedure. `ancestors` runs nearest-first.
+    fn nest_g(&mut self, block: &mut QueryBlock, ancestors: &[ScopeFrame]) -> Result<()> {
+        // Section 8 rewrites at this level first.
+        if let Some(w) = block.where_clause.take() {
+            block.where_clause = Some(rewrite_extended(w, &mut self.trace));
+        }
+
+        // Scope chain for descendants: this block, then the ancestors.
+        let mut chain: Vec<ScopeFrame> = Vec::with_capacity(ancestors.len() + 1);
+        chain.push(ScopeFrame::of(block));
+        chain.extend(ancestors.iter().map(|f| ScopeFrame {
+            from: f.from.clone(),
+            simple_conjuncts: f.simple_conjuncts.clone(),
+        }));
+
+        let conjuncts = match block.where_clause.take() {
+            Some(p) => p.into_conjuncts(),
+            None => Vec::new(),
+        };
+        let mut kept: Vec<Predicate> = Vec::new();
+        for conjunct in conjuncts {
+            if conjunct.is_simple() {
+                kept.push(conjunct);
+                continue;
+            }
+            let (operand, op, inner, via_membership) = match conjunct {
+                Predicate::Compare {
+                    left,
+                    op,
+                    right: Operand::Subquery(inner),
+                } => (left, op, *inner, false),
+                Predicate::Compare {
+                    left: Operand::Subquery(inner),
+                    op,
+                    right,
+                } => (right, op.flip(), *inner, false),
+                Predicate::In { operand, negated: false, rhs: InRhs::Subquery(inner) } => {
+                    (operand, CompareOp::Eq, *inner, true)
+                }
+                other => {
+                    return Err(TransformError::Unsupported(format!(
+                        "nested predicate shape not handled by the transformation algorithms: {}",
+                        nsql_sql::print_predicate(&other)
+                    )))
+                }
+            };
+            let merged =
+                self.transform_nested(block, operand, op, inner, via_membership, &chain)?;
+            kept.push(merged);
+        }
+        if !kept.is_empty() {
+            block.where_clause = Some(Predicate::and(kept));
+        }
+        Ok(())
+    }
+
+    /// Transform one nested predicate; returns the replacement predicate.
+    fn transform_nested(
+        &mut self,
+        block: &mut QueryBlock,
+        operand: Operand,
+        op: CompareOp,
+        mut inner: QueryBlock,
+        via_membership: bool,
+        chain: &[ScopeFrame],
+    ) -> Result<Predicate> {
+        // Postorder: flatten the inner block first.
+        self.nest_g(&mut inner, chain)?;
+
+        let correlated = block_is_correlated(&inner);
+        let aggregate = inner.has_aggregate_select();
+        let inner_to_merge = match (correlated, aggregate) {
+            (false, false) => {
+                // Type-N.
+                self.trace.push(format!(
+                    "type-N nesting: NEST-N-J merges [{}] into the outer block",
+                    inner.from_names().join(", ")
+                ));
+                if via_membership {
+                    self.merged_in_membership = true;
+                }
+                inner
+            }
+            (false, true) => {
+                // Type-A: one-row temporary, cross-joined.
+                self.trace.push("type-A nesting: inner block evaluates to a constant; \
+                     materialized as a one-row temporary".to_string());
+                self.type_a_temp(inner)?
+            }
+            (true, false) => {
+                // Type-J.
+                self.trace.push(format!(
+                    "type-J nesting: NEST-N-J merges [{}] into the outer block",
+                    inner.from_names().join(", ")
+                ));
+                if via_membership {
+                    self.merged_in_membership = true;
+                }
+                inner
+            }
+            (true, true) => {
+                // Type-JA: reduce to type-J first.
+                match self.options.ja_variant {
+                    JaVariant::Ja2 => {
+                        self.trace.push("type-JA nesting: applying NEST-JA2".to_string());
+                        apply_ja2(
+                            &inner,
+                            chain,
+                            &mut self.namer,
+                            &mut self.temps,
+                            &mut self.trace,
+                            Ja2Config::default(),
+                        )?
+                    }
+                    JaVariant::Ja2NoProjection => {
+                        self.trace.push(
+                            "type-JA nesting: applying NEST-JA2 WITHOUT the outer projection \
+                             (Section 5.4 demonstration variant)"
+                                .to_string(),
+                        );
+                        apply_ja2(
+                            &inner,
+                            chain,
+                            &mut self.namer,
+                            &mut self.temps,
+                            &mut self.trace,
+                            Ja2Config { project_outer: false, ..Ja2Config::default() },
+                        )?
+                    }
+                    JaVariant::Ja2LateRestriction => {
+                        self.trace.push(
+                            "type-JA nesting: applying NEST-JA2 with the restriction AFTER \
+                             the join (Section 5.2 demonstration variant)"
+                                .to_string(),
+                        );
+                        apply_ja2(
+                            &inner,
+                            chain,
+                            &mut self.namer,
+                            &mut self.temps,
+                            &mut self.trace,
+                            Ja2Config { restrict_before_join: false, ..Ja2Config::default() },
+                        )?
+                    }
+                    JaVariant::KimOriginal => {
+                        self.trace
+                            .push("type-JA nesting: applying Kim's NEST-JA (buggy baseline)".to_string());
+                        apply_ja_kim(&inner, &mut self.namer, &mut self.temps, &mut self.trace)?
+                    }
+                }
+            }
+        };
+        let outcome = merge_inner(
+            block,
+            Connecting { operand, op },
+            inner_to_merge,
+            &mut self.namer,
+        )?;
+        for (old, new) in &outcome.renames {
+            self.trace.push(format!("renamed inner table {old} to {new} to avoid collision"));
+        }
+        Ok(outcome.combined_predicate())
+    }
+
+    /// Type-A: materialize the (uncorrelated, flat) aggregate block as a
+    /// one-row temporary and return a block selecting its value.
+    fn type_a_temp(&mut self, inner: QueryBlock) -> Result<QueryBlock> {
+        if inner.select.len() != 1 {
+            return Err(TransformError::Unsupported(
+                "type-A inner block must select exactly one aggregate".into(),
+            ));
+        }
+        let ScalarExpr::Aggregate(func, arg) = inner.select[0].expr.clone() else {
+            return Err(TransformError::Internal("type-A without aggregate".into()));
+        };
+        let local_pred = inner.where_clause.clone();
+        let name = self.namer.fresh("TEMP");
+        let alias = "AGG".to_string();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(inner_from_plan(&inner)?.filtered(local_pred)),
+            group_by: vec![],
+            aggs: vec![AggItem { func, arg, alias: alias.clone() }],
+        };
+        self.trace.push(format!("type-A: {name} := global aggregate over [{}]",
+            inner.from_names().join(", ")));
+        self.temps.push(TempTable { name: name.clone(), plan });
+        Ok(QueryBlock {
+            distinct: false,
+            select: vec![SelectItem::column(ColumnRef::qualified(&name, &alias))],
+            from: vec![TableRef::new(&name)],
+            where_clause: None,
+            group_by: vec![],
+            order_by: vec![],
+        })
+    }
+}
+
+/// Syntactic correlation test on a fully-qualified, flat block: any level
+/// reference whose qualifier is not an effective FROM name is an outer
+/// reference.
+fn block_is_correlated(q: &QueryBlock) -> bool {
+    let names = q.from_names();
+    let is_outer = |c: &ColumnRef| !c.table.as_deref().is_some_and(|t| names.contains(&t));
+    if let Some(p) = &q.where_clause {
+        if predicate_column_refs(p).into_iter().any(&is_outer) {
+            return true;
+        }
+    }
+    q.select.iter().any(|item| match &item.expr {
+        ScalarExpr::Column(c) => is_outer(c),
+        ScalarExpr::Aggregate(_, nsql_sql::AggArg::Column(c)) => is_outer(c),
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsql_analyzer::resolve::SchemaSource;
+    use nsql_sql::{parse_query, print_query};
+    use nsql_types::{ColumnType, Schema};
+
+    struct Cat;
+    impl SchemaSource for Cat {
+        fn table_schema(&self, t: &str) -> Option<Schema> {
+            use ColumnType::*;
+            match t.to_ascii_uppercase().as_str() {
+                "PARTS" => Some(Schema::of_table("PARTS", &[("PNUM", Int), ("QOH", Int)])),
+                "SUPPLY" => Some(Schema::of_table(
+                    "SUPPLY",
+                    &[("PNUM", Int), ("QUAN", Int), ("SHIPDATE", Date)],
+                )),
+                "S" => Some(Schema::of_table(
+                    "S",
+                    &[("SNO", Str), ("SNAME", Str), ("STATUS", Int), ("CITY", Str)],
+                )),
+                "P" => Some(Schema::of_table(
+                    "P",
+                    &[("PNO", Str), ("PNAME", Str), ("COLOR", Str), ("WEIGHT", Int), ("CITY", Str)],
+                )),
+                "SP" => Some(Schema::of_table(
+                    "SP",
+                    &[("SNO", Str), ("PNO", Str), ("QTY", Int), ("ORIGIN", Str)],
+                )),
+                _ => None,
+            }
+        }
+    }
+
+    fn transform(src: &str) -> TransformPlan {
+        transform_query(&Cat, &parse_query(src).unwrap(), &UnnestOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn type_n_becomes_canonical_join() {
+        let plan = transform(
+            "SELECT SNO FROM SP WHERE PNO IS IN (SELECT PNO FROM P WHERE WEIGHT > 50)",
+        );
+        assert!(plan.temps.is_empty());
+        assert_eq!(
+            print_query(&plan.canonical),
+            "SELECT SP.SNO FROM SP, P WHERE P.WEIGHT > 50 AND SP.PNO = P.PNO"
+        );
+    }
+
+    #[test]
+    fn type_j_becomes_canonical_join() {
+        let plan = transform(
+            "SELECT SNAME FROM S WHERE SNO IS IN \
+             (SELECT SNO FROM SP WHERE QTY > 100 AND SP.ORIGIN = S.CITY)",
+        );
+        assert!(plan.temps.is_empty());
+        assert_eq!(
+            print_query(&plan.canonical),
+            "SELECT S.SNAME FROM S, SP WHERE SP.QTY > 100 AND SP.ORIGIN = S.CITY AND S.SNO = SP.SNO"
+        );
+    }
+
+    #[test]
+    fn type_a_becomes_one_row_temp() {
+        let plan = transform("SELECT SNO FROM SP WHERE PNO = (SELECT MAX(PNO) FROM P)");
+        assert_eq!(plan.temps.len(), 1);
+        let LogicalPlan::Aggregate { group_by, .. } = &plan.temps[0].plan else { panic!() };
+        assert!(group_by.is_empty(), "type-A temp is a global aggregate");
+        assert_eq!(
+            print_query(&plan.canonical),
+            "SELECT SP.SNO FROM SP, TEMP1 WHERE SP.PNO = TEMP1.AGG"
+        );
+    }
+
+    #[test]
+    fn type_ja_produces_temps_and_flat_query() {
+        let plan = transform(
+            "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY \
+             WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)",
+        );
+        assert_eq!(plan.temps.len(), 3);
+        let canonical = print_query(&plan.canonical);
+        assert_eq!(
+            canonical,
+            "SELECT PARTS.PNUM FROM PARTS, TEMP3 \
+             WHERE TEMP3.PNUM = PARTS.PNUM AND PARTS.QOH = TEMP3.AGG"
+        );
+    }
+
+    #[test]
+    fn kim_variant_produces_single_temp() {
+        let plan = transform_query(
+            &Cat,
+            &parse_query(
+                "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY \
+                 WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)",
+            )
+            .unwrap(),
+            &UnnestOptions { ja_variant: JaVariant::KimOriginal, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(plan.temps.len(), 1);
+    }
+
+    #[test]
+    fn exists_rewrite_flows_into_ja2() {
+        // Correlated EXISTS → 0 < COUNT(*) → type-JA via the outer join.
+        let plan = transform(
+            "SELECT SNAME FROM S WHERE EXISTS (SELECT SNO FROM SP WHERE SP.SNO = S.SNO)",
+        );
+        assert_eq!(plan.temps.len(), 3, "{plan}");
+        let canonical = print_query(&plan.canonical);
+        assert!(canonical.contains("0 < TEMP3.AGG"), "{canonical}");
+    }
+
+    #[test]
+    fn deep_n_chain_flattens_completely() {
+        let plan = transform(
+            "SELECT SNAME FROM S WHERE SNO IN (SELECT SNO FROM SP WHERE PNO IN \
+             (SELECT PNO FROM P WHERE WEIGHT > 15))",
+        );
+        assert!(plan.temps.is_empty());
+        let canonical = print_query(&plan.canonical);
+        assert!(canonical.contains("FROM S, SP, P"), "{canonical}");
+        assert!(!canonical.contains("IN ("), "{canonical}");
+    }
+
+    #[test]
+    fn figure_2_multi_level_ja_detection() {
+        // The Section-9 walkthrough: the aggregate block (B) has a child (C)
+        // whose join predicate references the root's table; after C merges
+        // into B, B is type-JA and NEST-JA2 fires.
+        let plan = transform(
+            "SELECT SNAME FROM S WHERE STATUS = \
+               (SELECT MAX(QTY) FROM SP WHERE PNO IN \
+                  (SELECT PNO FROM P WHERE P.CITY = S.CITY))",
+        );
+        // C (the P block) merges into B (the SP block); B inherits the
+        // reference to S.CITY → type-JA → three temporaries.
+        assert_eq!(plan.temps.len(), 3, "{plan}");
+        let canonical = print_query(&plan.canonical);
+        assert!(canonical.contains("FROM S, TEMP3"), "{canonical}");
+        assert!(canonical.contains("S.STATUS = TEMP3.AGG"), "{canonical}");
+        // The trace shows the recursion story.
+        let trace = plan.trace.join("\n");
+        assert!(trace.contains("type-J nesting"), "{trace}");
+        assert!(trace.contains("NEST-JA2"), "{trace}");
+    }
+
+    #[test]
+    fn negated_membership_is_unsupported() {
+        let e = transform_query(
+            &Cat,
+            &parse_query("SELECT SNO FROM S WHERE SNO NOT IN (SELECT SNO FROM SP)").unwrap(),
+            &UnnestOptions::default(),
+        );
+        assert!(matches!(e, Err(TransformError::Unsupported(_))));
+    }
+
+    #[test]
+    fn subquery_under_or_is_unsupported() {
+        let e = transform_query(
+            &Cat,
+            &parse_query(
+                "SELECT SNO FROM S WHERE STATUS = 1 OR SNO IN (SELECT SNO FROM SP)",
+            )
+            .unwrap(),
+            &UnnestOptions::default(),
+        );
+        assert!(matches!(e, Err(TransformError::Unsupported(_))));
+    }
+
+    #[test]
+    fn flat_query_passes_through() {
+        let plan = transform("SELECT SNO FROM SP WHERE QTY > 100");
+        assert!(plan.temps.is_empty());
+        assert_eq!(print_query(&plan.canonical), "SELECT SP.SNO FROM SP WHERE SP.QTY > 100");
+    }
+
+    #[test]
+    fn in_merge_sets_distinct_flag_only_with_option() {
+        let q = parse_query("SELECT SNO FROM SP WHERE PNO IN (SELECT PNO FROM P)").unwrap();
+        let faithful = transform_query(&Cat, &q, &UnnestOptions::default()).unwrap();
+        assert!(!faithful.needs_distinct_for_semantics);
+        let preserving = transform_query(
+            &Cat,
+            &q,
+            &UnnestOptions { preserve_duplicates: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(preserving.needs_distinct_for_semantics);
+    }
+
+    #[test]
+    fn self_join_membership_renames() {
+        let plan = transform(
+            "SELECT SP.SNO FROM SP WHERE QTY = ANY (SELECT QTY FROM SP X WHERE X.PNO = 'P1')",
+        );
+        let canonical = print_query(&plan.canonical);
+        assert!(canonical.contains("FROM SP, SP X"), "{canonical}");
+        assert!(canonical.contains("SP.QTY = X.QTY"), "{canonical}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Transformation output: temporary tables plus the canonical query.
+
+use crate::logical::LogicalPlan;
+use nsql_sql::{print_query, QueryBlock};
+use std::fmt;
+
+/// One temporary table to materialize before the canonical query runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TempTable {
+    /// Generated name (`TEMP1`, `TEMP2`, …).
+    pub name: String,
+    /// Defining plan.
+    pub plan: LogicalPlan,
+}
+
+/// The result of transforming a nested query: an ordered list of temporary
+/// tables (earlier temps may be referenced by later ones) and a flat
+/// canonical [`QueryBlock`] over base tables plus those temps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformPlan {
+    /// Temporaries in creation order.
+    pub temps: Vec<TempTable>,
+    /// The canonical (single-level) query.
+    pub canonical: QueryBlock,
+    /// Human-readable log of the transformation steps taken, in the style
+    /// of the paper's walkthroughs.
+    pub trace: Vec<String>,
+    /// Set when a faithful NEST-N-J IN-merge may duplicate outer tuples and
+    /// the caller asked for duplicate-preserving semantics; `nsql-db`
+    /// applies a final DISTINCT in that mode (see DESIGN.md).
+    pub needs_distinct_for_semantics: bool,
+}
+
+impl TransformPlan {
+    /// A plan with no temporaries (the query was already flat, or only
+    /// NEST-N-J merges were needed).
+    pub fn flat(canonical: QueryBlock) -> TransformPlan {
+        TransformPlan {
+            temps: Vec::new(),
+            canonical,
+            trace: Vec::new(),
+            needs_distinct_for_semantics: false,
+        }
+    }
+
+    /// Number of temporary tables.
+    pub fn temp_count(&self) -> usize {
+        self.temps.len()
+    }
+}
+
+impl fmt::Display for TransformPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.temps {
+            writeln!(f, "-- {} :=", t.name)?;
+            write!(f, "{}", t.plan.explain())?;
+        }
+        write!(f, "-- canonical:\n{}", print_query(&self.canonical))
+    }
+}
+
+/// Generator of fresh temporary-table names that avoids a caller-supplied
+/// set of reserved names (base tables and names already used).
+pub struct TempNamer {
+    next: usize,
+    reserved: Vec<String>,
+}
+
+impl TempNamer {
+    /// Namer that will avoid `reserved` names.
+    pub fn new(reserved: Vec<String>) -> TempNamer {
+        TempNamer { next: 1, reserved }
+    }
+
+    /// Reserve and return a fresh name.
+    pub fn fresh(&mut self, prefix: &str) -> String {
+        loop {
+            let candidate = format!("{prefix}{}", self.next);
+            self.next += 1;
+            if !self.reserved.iter().any(|r| r.eq_ignore_ascii_case(&candidate)) {
+                self.reserved.push(candidate.clone());
+                return candidate;
+            }
+        }
+    }
+
+    /// Mark a name as taken.
+    pub fn reserve(&mut self, name: impl Into<String>) {
+        self.reserved.push(name.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namer_skips_reserved() {
+        let mut n = TempNamer::new(vec!["TEMP1".into(), "temp2".into()]);
+        assert_eq!(n.fresh("TEMP"), "TEMP3");
+        assert_eq!(n.fresh("TEMP"), "TEMP4");
+        n.reserve("TEMP5");
+        assert_eq!(n.fresh("TEMP"), "TEMP6");
+    }
+
+    #[test]
+    fn display_shows_temps_and_canonical() {
+        let plan = TransformPlan {
+            temps: vec![TempTable { name: "TEMP1".into(), plan: LogicalPlan::scan("PARTS") }],
+            canonical: nsql_sql::parse_query("SELECT PNUM FROM PARTS").unwrap(),
+            trace: vec![],
+            needs_distinct_for_semantics: false,
+        };
+        let s = plan.to_string();
+        assert!(s.contains("-- TEMP1 :="), "{s}");
+        assert!(s.contains("-- canonical:"), "{s}");
+    }
+}

@@ -1,0 +1,276 @@
+//! Full qualification of column references.
+//!
+//! Before transformation, every column reference is rewritten to carry the
+//! effective name of the FROM entry it binds to (nearest enclosing scope
+//! wins, per SQL). After this pass the transformation algorithms can detect
+//! correlation, move predicates between blocks, and rename tables purely
+//! syntactically — no further schema lookups needed.
+
+use crate::error::TransformError;
+use crate::Result;
+use nsql_analyzer::resolve::{block_schema, SchemaSource};
+use nsql_analyzer::AnalyzeError;
+use nsql_sql::{AggArg, ColumnRef, InRhs, Operand, Predicate, QueryBlock, ScalarExpr};
+use nsql_types::Schema;
+
+/// Qualify every column reference in `q` (including nested blocks) with the
+/// effective name of its binding FROM entry.
+pub fn qualify_query<S: SchemaSource>(catalog: &S, q: &mut QueryBlock) -> Result<()> {
+    qualify_block(catalog, q, &[])
+}
+
+fn qualify_block<S: SchemaSource>(
+    catalog: &S,
+    q: &mut QueryBlock,
+    outer_scopes: &[Schema],
+) -> Result<()> {
+    let local = block_schema(catalog, q)?;
+    let mut scopes: Vec<Schema> = Vec::with_capacity(outer_scopes.len() + 1);
+    scopes.push(local);
+    scopes.extend_from_slice(outer_scopes);
+
+    // Qualify level refs.
+    for item in &mut q.select {
+        match &mut item.expr {
+            ScalarExpr::Column(c) => qualify_ref(&scopes, c)?,
+            ScalarExpr::Aggregate(_, AggArg::Column(c)) => qualify_ref(&scopes, c)?,
+            _ => {}
+        }
+    }
+    for c in &mut q.group_by {
+        qualify_ref(&scopes, c)?;
+    }
+    for k in &mut q.order_by {
+        // ORDER BY may reference select aliases; only qualify when it
+        // resolves as a scope column.
+        let _ = qualify_ref(&scopes, &mut k.column);
+    }
+    if let Some(p) = &mut q.where_clause {
+        qualify_pred(catalog, p, &scopes)?;
+    }
+    Ok(())
+}
+
+fn qualify_pred<S: SchemaSource>(
+    catalog: &S,
+    p: &mut Predicate,
+    scopes: &[Schema],
+) -> Result<()> {
+    match p {
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            for q in ps {
+                qualify_pred(catalog, q, scopes)?;
+            }
+        }
+        Predicate::Not(q) => qualify_pred(catalog, q, scopes)?,
+        Predicate::Compare { left, op: _, right } => {
+            qualify_operand(catalog, left, scopes)?;
+            qualify_operand(catalog, right, scopes)?;
+        }
+        Predicate::In { operand, rhs, .. } => {
+            qualify_operand(catalog, operand, scopes)?;
+            if let InRhs::Subquery(q) = rhs {
+                qualify_block(catalog, q, scopes)?;
+            }
+        }
+        Predicate::Exists { query, .. } => qualify_block(catalog, query, scopes)?,
+        Predicate::Quantified { left, query, .. } => {
+            qualify_operand(catalog, left, scopes)?;
+            qualify_block(catalog, query, scopes)?;
+        }
+        Predicate::IsNull { operand, .. } => qualify_operand(catalog, operand, scopes)?,
+    }
+    Ok(())
+}
+
+fn qualify_operand<S: SchemaSource>(
+    catalog: &S,
+    o: &mut Operand,
+    scopes: &[Schema],
+) -> Result<()> {
+    match o {
+        Operand::Column(c) => qualify_ref(scopes, c),
+        Operand::Literal(_) => Ok(()),
+        Operand::Subquery(q) => qualify_block(catalog, q, scopes),
+    }
+}
+
+fn qualify_ref(scopes: &[Schema], c: &mut ColumnRef) -> Result<()> {
+    for scope in scopes {
+        match scope.resolve(c.table.as_deref(), &c.column) {
+            Ok(idx) => {
+                let col = &scope.columns()[idx];
+                c.table = col.table.clone();
+                return Ok(());
+            }
+            Err(nsql_types::TypeError::AmbiguousColumn(n)) => {
+                return Err(TransformError::Analyze(AnalyzeError::AmbiguousColumn(n)))
+            }
+            Err(_) => continue,
+        }
+    }
+    Err(TransformError::Analyze(AnalyzeError::UnresolvedColumn(c.to_string())))
+}
+
+/// Rename every reference to table `old` into `new` within `q`'s level and
+/// descend into subqueries, stopping at any block whose FROM re-introduces
+/// the name `old` (that block's references bind to its own table).
+pub fn rename_table_refs(q: &mut QueryBlock, old: &str, new: &str) {
+    for t in &mut q.from {
+        if t.effective_name() == old {
+            // The caller renames the FROM entry itself; references here
+            // would bind to the local entry, so do not descend.
+            return;
+        }
+    }
+    for item in &mut q.select {
+        match &mut item.expr {
+            ScalarExpr::Column(c) => rename_ref(c, old, new),
+            ScalarExpr::Aggregate(_, AggArg::Column(c)) => rename_ref(c, old, new),
+            _ => {}
+        }
+    }
+    for c in &mut q.group_by {
+        rename_ref(c, old, new);
+    }
+    for k in &mut q.order_by {
+        rename_ref(&mut k.column, old, new);
+    }
+    if let Some(p) = &mut q.where_clause {
+        rename_pred(p, old, new);
+    }
+}
+
+fn rename_pred(p: &mut Predicate, old: &str, new: &str) {
+    match p {
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            for q in ps {
+                rename_pred(q, old, new);
+            }
+        }
+        Predicate::Not(q) => rename_pred(q, old, new),
+        Predicate::Compare { left, right, .. } => {
+            rename_operand(left, old, new);
+            rename_operand(right, old, new);
+        }
+        Predicate::In { operand, rhs, .. } => {
+            rename_operand(operand, old, new);
+            if let InRhs::Subquery(q) = rhs {
+                rename_table_refs(q, old, new);
+            }
+        }
+        Predicate::Exists { query, .. } => rename_table_refs(query, old, new),
+        Predicate::Quantified { left, query, .. } => {
+            rename_operand(left, old, new);
+            rename_table_refs(query, old, new);
+        }
+        Predicate::IsNull { operand, .. } => rename_operand(operand, old, new),
+    }
+}
+
+fn rename_operand(o: &mut Operand, old: &str, new: &str) {
+    match o {
+        Operand::Column(c) => rename_ref(c, old, new),
+        Operand::Literal(_) => {}
+        Operand::Subquery(q) => rename_table_refs(q, old, new),
+    }
+}
+
+fn rename_ref(c: &mut ColumnRef, old: &str, new: &str) {
+    if c.table.as_deref() == Some(old) {
+        c.table = Some(new.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsql_sql::{parse_query, print_query};
+    use nsql_types::ColumnType;
+    use std::collections::HashMap;
+
+    struct Cat(HashMap<String, Schema>);
+
+    impl SchemaSource for Cat {
+        fn table_schema(&self, t: &str) -> Option<Schema> {
+            self.0.get(&t.to_ascii_uppercase()).cloned()
+        }
+    }
+
+    fn catalog() -> Cat {
+        use ColumnType::*;
+        let mut m = HashMap::new();
+        m.insert(
+            "PARTS".into(),
+            Schema::of_table("PARTS", &[("PNUM", Int), ("QOH", Int)]),
+        );
+        m.insert(
+            "SUPPLY".into(),
+            Schema::of_table(
+                "SUPPLY",
+                &[("PNUM", Int), ("QUAN", Int), ("SHIPDATE", ColumnType::Date)],
+            ),
+        );
+        Cat(m)
+    }
+
+    #[test]
+    fn qualifies_bare_refs_to_binding_table() {
+        let cat = catalog();
+        let mut q = parse_query(
+            "SELECT PNUM FROM PARTS WHERE QOH = \
+             (SELECT COUNT(SHIPDATE) FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)",
+        )
+        .unwrap();
+        qualify_query(&cat, &mut q).unwrap();
+        let printed = print_query(&q);
+        assert!(printed.starts_with("SELECT PARTS.PNUM FROM PARTS WHERE PARTS.QOH ="), "{printed}");
+        assert!(printed.contains("COUNT(SUPPLY.SHIPDATE)"), "{printed}");
+        assert!(printed.contains("SUPPLY.SHIPDATE < DATE '1980-01-01'"), "{printed}");
+    }
+
+    #[test]
+    fn inner_scope_shadows_outer() {
+        let cat = catalog();
+        // Bare PNUM in the inner block binds to SUPPLY (local), not PARTS.
+        let mut q = parse_query(
+            "SELECT PNUM FROM PARTS WHERE QOH IN (SELECT QUAN FROM SUPPLY WHERE PNUM = 3)",
+        )
+        .unwrap();
+        qualify_query(&cat, &mut q).unwrap();
+        let printed = print_query(&q);
+        assert!(printed.contains("SUPPLY.PNUM = 3"), "{printed}");
+    }
+
+    #[test]
+    fn alias_becomes_qualifier() {
+        let cat = catalog();
+        let mut q = parse_query("SELECT X.PNUM FROM PARTS X WHERE QOH > 1").unwrap();
+        qualify_query(&cat, &mut q).unwrap();
+        assert_eq!(print_query(&q), "SELECT X.PNUM FROM PARTS X WHERE X.QOH > 1");
+    }
+
+    #[test]
+    fn unresolved_ref_errors() {
+        let cat = catalog();
+        let mut q = parse_query("SELECT NOPE FROM PARTS").unwrap();
+        assert!(qualify_query(&cat, &mut q).is_err());
+    }
+
+    #[test]
+    fn rename_stops_at_shadowing_block() {
+        let cat = catalog();
+        let mut q = parse_query(
+            "SELECT PNUM FROM PARTS WHERE QOH IN \
+             (SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM AND QUAN IN \
+                (SELECT QUAN FROM SUPPLY X WHERE X.PNUM = SUPPLY.PNUM))",
+        )
+        .unwrap();
+        qualify_query(&cat, &mut q).unwrap();
+        // Rename SUPPLY→SUPPLY_1 from the *outer* level: the middle block
+        // owns SUPPLY, so nothing below it may change.
+        rename_table_refs(&mut q, "SUPPLY", "S_1");
+        let printed = print_query(&q);
+        assert!(printed.contains("SUPPLY.PNUM = PARTS.PNUM"), "{printed}");
+    }
+}

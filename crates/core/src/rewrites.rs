@@ -1,0 +1,226 @@
+//! Section-8 predicate extensions: EXISTS, NOT EXISTS, ANY, ALL.
+//!
+//! Each rewrite turns an extended predicate into a scalar or set-containment
+//! form the main transformation algorithms handle:
+//!
+//! * `EXISTS (SELECT …)`      → `0 < (SELECT COUNT(…) …)`
+//! * `NOT EXISTS (SELECT …)`  → `0 = (SELECT COUNT(…) …)`
+//! * `x < ANY (SELECT c …)`   → `x < (SELECT MAX(c) …)` (also `<=`)
+//! * `x < ALL (SELECT c …)`   → `x < (SELECT MIN(c) …)` (also `<=`)
+//! * `x > ANY (SELECT c …)`   → `x > (SELECT MIN(c) …)` (also `>=`)
+//! * `x > ALL (SELECT c …)`   → `x > (SELECT MAX(c) …)` (also `>=`)
+//! * `x = ANY (SELECT …)`     → `x IN (SELECT …)`
+//! * `x != ALL (SELECT …)`    → `x NOT IN (SELECT …)`
+//!
+//! Two fidelity notes, both recorded in DESIGN.md:
+//!
+//! * The paper writes `COUNT(selitems)` in the EXISTS rewrite; we emit
+//!   `COUNT(*)` so that NULL-valued select items cannot under-count rows —
+//!   NEST-JA2's own Section-5.2.1 rule then converts `COUNT(*)` to a count
+//!   over the join column.
+//! * The paper says "`!=ANY` is transformed to `NOT IN`"; the semantically
+//!   matching pair is `!=ALL` ⇔ `NOT IN` (`!=ANY` means *some* element
+//!   differs). We implement the correct pairing; `=ALL` and `!=ANY` have no
+//!   scalar rewrite and are left for the nested-iteration evaluator.
+//!
+//! As the paper itself notes, the ANY/ALL rewrites are "logically (but not
+//! necessarily semantically) equivalent": over an empty inner result,
+//! `x < ALL (∅)` is TRUE while `x < MIN(∅) = NULL` is UNKNOWN. The rewrites
+//! are faithful; `tests/any_all_divergence.rs` demonstrates the divergence.
+
+use nsql_sql::{
+    AggArg, AggFunc, CompareOp, InRhs, Operand, Predicate, Quantifier, QueryBlock, ScalarExpr,
+    SelectItem,
+};
+
+/// Rewrite all extended predicates in a predicate tree (this level only —
+/// the recursive driver handles nested blocks when it descends into them).
+/// Returns the rewritten predicate and appends a line per rewrite to
+/// `trace`. Unrewritable predicates (`=ALL`, `!=ANY`) are left unchanged.
+pub fn rewrite_extended(p: Predicate, trace: &mut Vec<String>) -> Predicate {
+    match p {
+        Predicate::And(ps) => {
+            Predicate::And(ps.into_iter().map(|q| rewrite_extended(q, trace)).collect())
+        }
+        Predicate::Or(ps) => {
+            Predicate::Or(ps.into_iter().map(|q| rewrite_extended(q, trace)).collect())
+        }
+        Predicate::Not(q) => Predicate::Not(Box::new(rewrite_extended(*q, trace))),
+        Predicate::Exists { negated, query } => {
+            let (op, name) = if negated {
+                (CompareOp::Eq, "NOT EXISTS")
+            } else {
+                (CompareOp::Lt, "EXISTS")
+            };
+            trace.push(format!(
+                "Section 8.1: {name} rewritten to 0 {} (SELECT COUNT(*) …)",
+                op.symbol()
+            ));
+            let mut counting = *query;
+            counting.select =
+                vec![SelectItem::new(ScalarExpr::Aggregate(AggFunc::Count, AggArg::Star))];
+            counting.distinct = false;
+            Predicate::Compare {
+                left: Operand::Literal(nsql_types::Value::Int(0)),
+                op,
+                right: Operand::Subquery(Box::new(counting)),
+            }
+        }
+        Predicate::Quantified { left, op, quantifier, query } => {
+            rewrite_quantified(left, op, quantifier, *query, trace)
+        }
+        other => other,
+    }
+}
+
+fn rewrite_quantified(
+    left: Operand,
+    op: CompareOp,
+    quantifier: Quantifier,
+    query: QueryBlock,
+    trace: &mut Vec<String>,
+) -> Predicate {
+    use CompareOp::*;
+    use Quantifier::*;
+    // If the inner SELECT is already an aggregate the subquery is scalar and
+    // the quantifier is vacuous (at most one row): compare directly.
+    if query.has_aggregate_select() {
+        trace.push("Section 8.2: quantifier over a scalar (aggregate) subquery dropped".into());
+        return Predicate::Compare { left, op, right: Operand::Subquery(Box::new(query)) };
+    }
+    let agg = match (op, quantifier) {
+        (Eq, Any) => {
+            trace.push("Section 8.2: =ANY rewritten to IN".into());
+            return Predicate::In {
+                operand: left,
+                negated: false,
+                rhs: InRhs::Subquery(Box::new(query)),
+            };
+        }
+        (Ne, All) => {
+            // The paper (with a typo — it writes "!=ANY") means this pair.
+            trace.push("Section 8.2: !=ALL rewritten to NOT IN".into());
+            return Predicate::In {
+                operand: left,
+                negated: true,
+                rhs: InRhs::Subquery(Box::new(query)),
+            };
+        }
+        (Lt | Le, Any) => AggFunc::Max,
+        (Lt | Le, All) => AggFunc::Min,
+        (Gt | Ge, Any) => AggFunc::Min,
+        (Gt | Ge, All) => AggFunc::Max,
+        (Eq, All) | (Ne, Any) => {
+            trace.push(format!(
+                "Section 8.2: {}{} has no scalar rewrite; left for nested iteration",
+                op.symbol(),
+                if quantifier == Any { "ANY" } else { "ALL" }
+            ));
+            return Predicate::Quantified { left, op, quantifier, query: Box::new(query) };
+        }
+    };
+    let mut inner = query;
+    let item = inner.select.first().cloned();
+    let Some(SelectItem { expr: ScalarExpr::Column(col), .. }) = item else {
+        trace.push("Section 8.2: quantified subquery does not select a plain column; left as is".into());
+        return Predicate::Quantified { left, op, quantifier, query: Box::new(inner) };
+    };
+    trace.push(format!(
+        "Section 8.2: {} {} rewritten to {} (SELECT {}({col}) …)",
+        op.symbol(),
+        if quantifier == Any { "ANY" } else { "ALL" },
+        op.symbol(),
+        agg.name(),
+    ));
+    inner.select = vec![SelectItem::new(ScalarExpr::Aggregate(agg, AggArg::Column(col)))];
+    inner.distinct = false;
+    Predicate::Compare { left, op, right: Operand::Subquery(Box::new(inner)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsql_sql::{parse_query, print_predicate};
+
+    fn rewrite_where(src: &str) -> String {
+        let q = parse_query(src).unwrap();
+        let mut trace = Vec::new();
+        print_predicate(&rewrite_extended(q.where_clause.unwrap(), &mut trace))
+    }
+
+    #[test]
+    fn exists_becomes_count() {
+        assert_eq!(
+            rewrite_where("SELECT A FROM T WHERE EXISTS (SELECT B FROM U WHERE U.B = T.A)"),
+            "0 < (SELECT COUNT(*) FROM U WHERE U.B = T.A)"
+        );
+    }
+
+    #[test]
+    fn not_exists_becomes_zero_count() {
+        assert_eq!(
+            rewrite_where("SELECT A FROM T WHERE NOT EXISTS (SELECT B FROM U WHERE U.B = T.A)"),
+            "0 = (SELECT COUNT(*) FROM U WHERE U.B = T.A)"
+        );
+    }
+
+    #[test]
+    fn any_all_table_of_rewrites() {
+        for (src, expect) in [
+            ("A < ANY (SELECT B FROM U)", "A < (SELECT MAX(B) FROM U)"),
+            ("A <= ANY (SELECT B FROM U)", "A <= (SELECT MAX(B) FROM U)"),
+            ("A < ALL (SELECT B FROM U)", "A < (SELECT MIN(B) FROM U)"),
+            ("A <= ALL (SELECT B FROM U)", "A <= (SELECT MIN(B) FROM U)"),
+            ("A > ANY (SELECT B FROM U)", "A > (SELECT MIN(B) FROM U)"),
+            ("A >= ANY (SELECT B FROM U)", "A >= (SELECT MIN(B) FROM U)"),
+            ("A > ALL (SELECT B FROM U)", "A > (SELECT MAX(B) FROM U)"),
+            ("A >= ALL (SELECT B FROM U)", "A >= (SELECT MAX(B) FROM U)"),
+            ("A = ANY (SELECT B FROM U)", "A IN (SELECT B FROM U)"),
+            ("A != ALL (SELECT B FROM U)", "A NOT IN (SELECT B FROM U)"),
+        ] {
+            assert_eq!(
+                rewrite_where(&format!("SELECT A FROM T WHERE {src}")),
+                expect,
+                "for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn unrewritable_quantifiers_left_alone() {
+        assert_eq!(
+            rewrite_where("SELECT A FROM T WHERE A = ALL (SELECT B FROM U)"),
+            "A = ALL (SELECT B FROM U)"
+        );
+        assert_eq!(
+            rewrite_where("SELECT A FROM T WHERE A != ANY (SELECT B FROM U)"),
+            "A != ANY (SELECT B FROM U)"
+        );
+    }
+
+    #[test]
+    fn quantifier_over_aggregate_subquery_drops_quantifier() {
+        assert_eq!(
+            rewrite_where("SELECT A FROM T WHERE A < ANY (SELECT MAX(B) FROM U)"),
+            "A < (SELECT MAX(B) FROM U)"
+        );
+    }
+
+    #[test]
+    fn rewrites_inside_and_or_not() {
+        assert_eq!(
+            rewrite_where(
+                "SELECT A FROM T WHERE A = 1 AND (EXISTS (SELECT B FROM U) OR A = 2)"
+            ),
+            "A = 1 AND (0 < (SELECT COUNT(*) FROM U) OR A = 2)"
+        );
+    }
+
+    #[test]
+    fn exists_with_double_negation() {
+        assert_eq!(
+            rewrite_where("SELECT A FROM T WHERE NOT (EXISTS (SELECT B FROM U))"),
+            "NOT (0 < (SELECT COUNT(*) FROM U))"
+        );
+    }
+}

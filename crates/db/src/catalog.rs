@@ -1,0 +1,167 @@
+//! The table catalog: names → stored heap files.
+
+use crate::error::DbError;
+use crate::Result;
+use nsql_analyzer::resolve::SchemaSource;
+use nsql_engine::TableProvider;
+use nsql_storage::{HeapFile, Storage};
+use nsql_types::{Relation, Schema};
+use std::collections::BTreeMap;
+
+/// Catalog of base tables bound to one [`Storage`].
+pub struct Catalog {
+    storage: Storage,
+    tables: BTreeMap<String, HeapFile>,
+}
+
+impl Catalog {
+    /// Empty catalog over `storage`.
+    pub fn new(storage: Storage) -> Catalog {
+        Catalog { storage, tables: BTreeMap::new() }
+    }
+
+    /// The storage handle.
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Create a table with `schema` (columns are requalified by the table
+    /// name) and no rows.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        let key = name.to_ascii_uppercase();
+        if self.tables.contains_key(&key) {
+            return Err(DbError::Catalog(format!("table {key} already exists")));
+        }
+        let schema = schema.requalify(&key);
+        let file = HeapFile::from_tuples(&self.storage, schema, Vec::new());
+        self.tables.insert(key, file);
+        Ok(())
+    }
+
+    /// Register a relation as a table (stores it; one write per page).
+    pub fn load_table(&mut self, name: &str, rel: &Relation) -> Result<()> {
+        let key = name.to_ascii_uppercase();
+        let requalified =
+            Relation::new(rel.schema().requalify(&key), rel.tuples().to_vec())?;
+        let file = self.storage.store_relation(&requalified);
+        self.tables.insert(key, file);
+        Ok(())
+    }
+
+    /// Append rows to a table (rewrites the heap file — the engine is
+    /// read-mostly and INSERT exists for building test databases).
+    pub fn insert(&mut self, name: &str, rows: Vec<nsql_types::Tuple>) -> Result<usize> {
+        let key = name.to_ascii_uppercase();
+        let file = self
+            .tables
+            .get(&key)
+            .ok_or_else(|| DbError::Catalog(format!("unknown table {key}")))?
+            .clone();
+        let schema = file.schema().clone();
+        for r in &rows {
+            if r.arity() != schema.arity() {
+                return Err(DbError::Type(nsql_types::TypeError::ArityMismatch {
+                    schema: schema.arity(),
+                    tuple: r.arity(),
+                }));
+            }
+        }
+        let n = rows.len();
+        let all: Vec<nsql_types::Tuple> =
+            file.scan(&self.storage).chain(rows).collect();
+        let new_file = HeapFile::from_tuples(&self.storage, schema, all);
+        file.drop_pages(&self.storage);
+        self.tables.insert(key, new_file);
+        Ok(n)
+    }
+
+    /// Drop a table, freeing its pages.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        let key = name.to_ascii_uppercase();
+        match self.tables.remove(&key) {
+            Some(f) => {
+                f.drop_pages(&self.storage);
+                Ok(())
+            }
+            None => Err(DbError::Catalog(format!("unknown table {key}"))),
+        }
+    }
+
+    /// Table names in sorted order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// The heap file of a table.
+    pub fn table(&self, name: &str) -> Option<&HeapFile> {
+        self.tables.get(&name.to_ascii_uppercase())
+    }
+}
+
+impl SchemaSource for Catalog {
+    fn table_schema(&self, table: &str) -> Option<Schema> {
+        self.tables.get(&table.to_ascii_uppercase()).map(|f| f.schema().clone())
+    }
+}
+
+impl TableProvider for Catalog {
+    fn get_table(&self, table: &str) -> Option<HeapFile> {
+        self.tables.get(&table.to_ascii_uppercase()).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsql_types::{Column, ColumnType, Tuple, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("A", ColumnType::Int),
+            Column::new("B", ColumnType::Int),
+        ])
+    }
+
+    #[test]
+    fn create_insert_and_read_back() {
+        let mut cat = Catalog::new(Storage::with_defaults());
+        cat.create_table("T", schema()).unwrap();
+        let n = cat
+            .insert(
+                "t",
+                vec![
+                    Tuple::new(vec![Value::Int(1), Value::Int(2)]),
+                    Tuple::new(vec![Value::Int(3), Value::Int(4)]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        let file = cat.get_table("T").unwrap();
+        assert_eq!(file.tuple_count(), 2);
+        // Columns got requalified by the table name.
+        assert!(file.schema().resolve(Some("T"), "A").is_ok());
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut cat = Catalog::new(Storage::with_defaults());
+        cat.create_table("T", schema()).unwrap();
+        assert!(cat.create_table("t", schema()).is_err());
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut cat = Catalog::new(Storage::with_defaults());
+        cat.create_table("T", schema()).unwrap();
+        assert!(cat.insert("T", vec![Tuple::new(vec![Value::Int(1)])]).is_err());
+    }
+
+    #[test]
+    fn drop_table_removes() {
+        let mut cat = Catalog::new(Storage::with_defaults());
+        cat.create_table("T", schema()).unwrap();
+        cat.drop_table("T").unwrap();
+        assert!(cat.get_table("T").is_none());
+        assert!(cat.drop_table("T").is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! The `Database` facade.
+
+use crate::catalog::Catalog;
+
+use crate::options::{QueryOptions, Strategy};
+use crate::plan_exec::PlanExecutor;
+use crate::Result;
+use nsql_analyzer::{query_tree, validate_query, QueryTree};
+use nsql_core::{transform_query, TransformPlan};
+use nsql_engine::{Exec, NestedIter};
+use nsql_sql::{parse_statements, QueryBlock, Statement};
+use nsql_storage::{IoStats, Storage};
+use nsql_types::{Column, ColumnType, Relation, Schema, Tuple};
+
+/// Result of a query plus its observability data.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The rows.
+    pub relation: Relation,
+    /// Page I/Os consumed by this query (reads + writes).
+    pub io: IoStats,
+    /// EXPLAIN-style description: transformation trace, temp-table sizes,
+    /// and physical join decisions.
+    pub explain: Vec<String>,
+}
+
+/// An embedded single-session database over the simulated storage engine.
+pub struct Database {
+    catalog: Catalog,
+}
+
+impl Database {
+    /// Database over a default-sized storage (`B = 6` buffer pages,
+    /// 512-byte pages).
+    pub fn new() -> Database {
+        Database { catalog: Catalog::new(Storage::with_defaults()) }
+    }
+
+    /// Database with an explicit buffer size and page size.
+    pub fn with_storage(buffer_pages: usize, page_size: usize) -> Database {
+        Database { catalog: Catalog::new(Storage::new(buffer_pages, page_size)) }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (bulk-loading fixtures and workloads).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The storage handle (I/O counters, buffer control).
+    pub fn storage(&self) -> &Storage {
+        self.catalog.storage()
+    }
+
+    /// Run a `;`-separated SQL script: `CREATE TABLE` / `INSERT` /
+    /// `SELECT`. Returns the result of the last SELECT, if any; SELECTs use
+    /// the default (transform, cost-based) options.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Option<Relation>> {
+        let mut last = None;
+        for stmt in parse_statements(sql)? {
+            match stmt {
+                Statement::CreateTable { name, columns } => {
+                    let schema = Schema::new(
+                        columns.iter().map(|(n, t)| Column::new(n, *t)).collect(),
+                    );
+                    self.catalog.create_table(&name, schema)?;
+                }
+                Statement::Insert { table, rows } => {
+                    let tuples: Vec<Tuple> =
+                        rows.into_iter().map(Tuple::new).collect();
+                    self.catalog.insert(&table, tuples)?;
+                }
+                Statement::Select(q) => {
+                    last = Some(self.run_query(&q, &QueryOptions::default())?.relation);
+                }
+            }
+        }
+        Ok(last)
+    }
+
+    /// Run one SELECT with default options.
+    pub fn query(&self, sql: &str) -> Result<Relation> {
+        Ok(self.query_with(sql, &QueryOptions::default())?.relation)
+    }
+
+    /// Run one SELECT under explicit options, reporting I/O and EXPLAIN.
+    pub fn query_with(&self, sql: &str, opts: &QueryOptions) -> Result<QueryOutcome> {
+        let q = parse_one_select(sql)?;
+        self.run_query(&q, opts)
+    }
+
+    /// Run a parsed query block under explicit options.
+    pub fn run_query(&self, q: &QueryBlock, opts: &QueryOptions) -> Result<QueryOutcome> {
+        validate_query(&self.catalog, q)?;
+        let storage = self.catalog.storage();
+        if opts.cold_start {
+            storage.clear_buffer();
+        }
+        let before = storage.io_stats();
+        let mut explain = Vec::new();
+        let relation = match opts.strategy {
+            Strategy::NestedIteration => {
+                explain.push("strategy: nested iteration (System R)".to_string());
+                let evaluator = NestedIter::new(&self.catalog, storage.clone());
+                evaluator.eval_query(q)?
+            }
+            Strategy::Transform => {
+                let plan = transform_query(&self.catalog, q, &opts.unnest)?;
+                explain.push(format!(
+                    "strategy: transform ({} temp table{}), join policy: {}",
+                    plan.temp_count(),
+                    if plan.temp_count() == 1 { "" } else { "s" },
+                    opts.join_policy.name()
+                ));
+                explain.extend(plan.trace.iter().cloned());
+                explain.push(format!("canonical: {}", nsql_sql::print_query(&plan.canonical)));
+                let exec = Exec::new(storage.clone());
+                let mut pe = PlanExecutor::new(exec, &self.catalog, opts.join_policy);
+                let rel = pe
+                    .execute_transform_plan(&plan, plan.needs_distinct_for_semantics)?;
+                explain.extend(pe.log.iter().cloned());
+                if !opts.keep_temps {
+                    pe.drop_temps();
+                }
+                rel
+            }
+        };
+        let io = storage.io_stats().since(&before);
+        Ok(QueryOutcome { relation, io, explain })
+    }
+
+    /// Transform a query without executing it (EXPLAIN-only).
+    pub fn plan(&self, sql: &str) -> Result<TransformPlan> {
+        let q = parse_one_select(sql)?;
+        validate_query(&self.catalog, &q)?;
+        Ok(transform_query(&self.catalog, &q, &Default::default())?)
+    }
+
+    /// The Figure-2 query tree of a SQL query.
+    pub fn query_tree(&self, sql: &str) -> Result<QueryTree> {
+        let q = parse_one_select(sql)?;
+        Ok(query_tree(&self.catalog, &q)?)
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+fn parse_one_select(sql: &str) -> Result<QueryBlock> {
+    Ok(nsql_sql::parse_query(sql)?)
+}
+
+/// Convenience constructor for building schemas in examples and tests.
+pub fn col(name: &str, ty: ColumnType) -> Column {
+    Column::new(name, ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DbError;
+    use crate::options::JoinPolicy;
+
+    fn kiessling_db() -> Database {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE PARTS (PNUM INT, QOH INT);
+             CREATE TABLE SUPPLY (PNUM INT, QUAN INT, SHIPDATE DATE);
+             INSERT INTO PARTS VALUES (3, 6), (10, 1), (8, 0);
+             INSERT INTO SUPPLY VALUES
+               (3, 4, 7-3-79), (3, 2, 10-1-78), (10, 1, 6-8-78),
+               (10, 2, 8-10-81), (8, 5, 5-7-83);",
+        )
+        .unwrap();
+        db
+    }
+
+    const Q2: &str = "SELECT PNUM FROM PARTS WHERE QOH = \
+        (SELECT COUNT(SHIPDATE) FROM SUPPLY \
+         WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)";
+
+    #[test]
+    fn script_roundtrip() {
+        let db = kiessling_db();
+        let r = db.query("SELECT PNUM FROM PARTS WHERE QOH > 0").unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn nested_iteration_matches_paper() {
+        let db = kiessling_db();
+        let out = db.query_with(Q2, &QueryOptions::nested_iteration()).unwrap();
+        let mut vals: Vec<String> =
+            out.relation.tuples().iter().map(|t| t.get(0).to_string()).collect();
+        vals.sort();
+        assert_eq!(vals, vec!["10", "8"]);
+        assert!(out.io.total() > 0, "I/O must be accounted");
+    }
+
+    #[test]
+    fn ja2_transform_matches_nested_iteration_on_q2() {
+        let db = kiessling_db();
+        let ni = db.query_with(Q2, &QueryOptions::nested_iteration()).unwrap();
+        for policy in [
+            JoinPolicy::ForceNestedLoop,
+            JoinPolicy::ForceMergeJoin,
+            JoinPolicy::CostBased,
+        ] {
+            let opts = QueryOptions {
+                strategy: Strategy::Transform,
+                join_policy: policy,
+                cold_start: true,
+                ..Default::default()
+            };
+            let tr = db.query_with(Q2, &opts).unwrap();
+            assert!(
+                tr.relation.same_bag(&ni.relation),
+                "policy {policy:?}:\nNI:\n{}\nTR:\n{}\nexplain: {:#?}",
+                ni.relation,
+                tr.relation,
+                tr.explain
+            );
+        }
+    }
+
+    #[test]
+    fn buggy_kim_variant_loses_part_8_on_q2() {
+        // The COUNT bug: COUNT can never be zero in Kim's temporary, so
+        // part 8 (QOH = 0, no qualifying shipments) is lost; part 10
+        // (QOH = 1 = its count) survives.
+        let db = kiessling_db();
+        let opts = QueryOptions {
+            strategy: Strategy::Transform,
+            unnest: nsql_core::UnnestOptions {
+                ja_variant: nsql_core::JaVariant::KimOriginal,
+                ..Default::default()
+            },
+            cold_start: true,
+            ..Default::default()
+        };
+        let out = db.query_with(Q2, &opts).unwrap();
+        let vals: Vec<String> =
+            out.relation.tuples().iter().map(|t| t.get(0).to_string()).collect();
+        assert_eq!(vals, vec!["10"], "{}", out.relation);
+    }
+
+    #[test]
+    fn explain_shows_pipeline() {
+        let db = kiessling_db();
+        let out = db.query_with(Q2, &QueryOptions::transformed_merge()).unwrap();
+        let text = out.explain.join("\n");
+        assert!(text.contains("NEST-JA2"), "{text}");
+        assert!(text.contains("canonical:"), "{text}");
+        assert!(text.contains("merge join"), "{text}");
+    }
+
+    #[test]
+    fn query_tree_renders() {
+        let db = kiessling_db();
+        let t = db.query_tree(Q2).unwrap();
+        assert_eq!(t.block_count(), 2);
+        assert!(t.render().contains("type-JA"));
+    }
+
+    #[test]
+    fn unknown_table_is_caught_before_execution() {
+        let db = Database::new();
+        assert!(matches!(
+            db.query("SELECT X FROM NOPE"),
+            Err(DbError::Analyze(_))
+        ));
+    }
+}

@@ -1,0 +1,92 @@
+//! Query-evaluation options.
+
+use nsql_core::UnnestOptions;
+
+/// Physical join-method policy for transformed queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinPolicy {
+    /// Always nested loops.
+    ForceNestedLoop,
+    /// Merge join wherever an equi-key exists, nested loops otherwise.
+    ForceMergeJoin,
+    /// Hash join wherever an equi-key exists, nested loops otherwise.
+    /// A **modern extension** — System R and the paper had no hash join;
+    /// kept for the E13 ablation.
+    ForceHashJoin,
+    /// Pick the cheaper method per join from actual page counts and the
+    /// Section-7 cost formulas.
+    #[default]
+    CostBased,
+}
+
+impl JoinPolicy {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinPolicy::ForceNestedLoop => "nested-loop",
+            JoinPolicy::ForceMergeJoin => "merge-join",
+            JoinPolicy::ForceHashJoin => "hash-join",
+            JoinPolicy::CostBased => "cost-based",
+        }
+    }
+}
+
+/// How to evaluate a query.
+#[derive(Debug, Clone, Default)]
+pub enum Strategy {
+    /// System R semantics: direct nested iteration (the paper's baseline
+    /// and the semantic ground truth).
+    NestedIteration,
+    /// Transform to canonical form first (NEST-G driving NEST-N-J and
+    /// NEST-JA2 / Kim's NEST-JA), then execute the flat query.
+    #[default]
+    Transform,
+}
+
+/// Full option set for [`crate::Database::query_with`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+    /// Transformation options (JA variant, duplicate preservation).
+    pub unnest: UnnestOptions,
+    /// Join-method policy for the transformed path.
+    pub join_policy: JoinPolicy,
+    /// Start from a cold buffer and zeroed I/O counters so the reported
+    /// cost is comparable across runs (default true).
+    pub cold_start: bool,
+    /// Keep the temporary tables after the query (for inspection in the
+    /// experiment binaries); they are dropped otherwise.
+    pub keep_temps: bool,
+}
+
+impl QueryOptions {
+    /// The paper's baseline: nested iteration, cold buffer.
+    pub fn nested_iteration() -> QueryOptions {
+        QueryOptions {
+            strategy: Strategy::NestedIteration,
+            cold_start: true,
+            ..QueryOptions::default()
+        }
+    }
+
+    /// The paper's headline configuration: NEST-JA2 + merge joins.
+    pub fn transformed_merge() -> QueryOptions {
+        QueryOptions {
+            strategy: Strategy::Transform,
+            join_policy: JoinPolicy::ForceMergeJoin,
+            cold_start: true,
+            ..QueryOptions::default()
+        }
+    }
+
+    /// Transformation with the cost-based method choice.
+    pub fn transformed() -> QueryOptions {
+        QueryOptions {
+            strategy: Strategy::Transform,
+            join_policy: JoinPolicy::CostBased,
+            cold_start: true,
+            ..QueryOptions::default()
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Aggregate accumulators with System R SQL semantics.
+//!
+//! * `NULL` inputs are ignored by every function.
+//! * `COUNT(col)` counts non-null values; `COUNT(*)` counts rows.
+//! * Over the empty set, `COUNT` yields `0` and everything else yields
+//!   `NULL` — the asymmetry at the heart of the paper's COUNT bug.
+//! * `SUM`/`AVG` stay integral over integer inputs (`AVG` divides as float).
+
+use crate::error::EngineError;
+use crate::Result;
+use nsql_sql::AggFunc;
+use nsql_types::Value;
+
+/// Accumulator for one aggregate.
+#[derive(Debug, Clone)]
+pub struct AggState {
+    func: AggFunc,
+    /// Count of accumulated (non-null, unless `COUNT(*)`) inputs.
+    count: i64,
+    /// Running integer sum (valid while `float_sum` is `None`).
+    int_sum: i64,
+    /// Running float sum once any float has been seen.
+    float_sum: Option<f64>,
+    /// Current extremum for MIN/MAX.
+    extremum: Value,
+}
+
+impl AggState {
+    /// Fresh accumulator for `func`.
+    pub fn new(func: AggFunc) -> AggState {
+        AggState {
+            func,
+            count: 0,
+            int_sum: 0,
+            float_sum: None,
+            extremum: Value::Null,
+        }
+    }
+
+    /// Feed one input value. For `COUNT(*)` callers pass a non-null marker
+    /// (use [`AggState::accumulate_row`]).
+    pub fn accumulate(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => match (v, self.float_sum) {
+                (Value::Int(i), None) => self.int_sum += i,
+                (Value::Int(i), Some(f)) => self.float_sum = Some(f + *i as f64),
+                (Value::Float(x), None) => self.float_sum = Some(self.int_sum as f64 + x),
+                (Value::Float(x), Some(f)) => self.float_sum = Some(f + x),
+                _ => {
+                    return Err(EngineError::Type(nsql_types::TypeError::BadOperand(
+                        format!("{}({})", self.func.name(), v),
+                    )))
+                }
+            },
+            AggFunc::Max => {
+                if self.extremum.is_null()
+                    || v.sql_cmp(&self.extremum)? == Some(std::cmp::Ordering::Greater)
+                {
+                    self.extremum = v.clone();
+                }
+            }
+            AggFunc::Min => {
+                if self.extremum.is_null()
+                    || v.sql_cmp(&self.extremum)? == Some(std::cmp::Ordering::Less)
+                {
+                    self.extremum = v.clone();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Feed one *row* for `COUNT(*)`.
+    pub fn accumulate_row(&mut self) {
+        self.count += 1;
+    }
+
+    /// Final value of the aggregate.
+    pub fn finish(&self) -> Value {
+        if self.count == 0 {
+            return self.func.empty_value();
+        }
+        match self.func {
+            AggFunc::Count => Value::Int(self.count),
+            AggFunc::Sum => match self.float_sum {
+                Some(f) => Value::Float(f),
+                None => Value::Int(self.int_sum),
+            },
+            AggFunc::Avg => {
+                let total = self.float_sum.unwrap_or(self.int_sum as f64);
+                Value::Float(total / self.count as f64)
+            }
+            AggFunc::Max | AggFunc::Min => self.extremum.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, vals: &[Value]) -> Value {
+        let mut s = AggState::new(func);
+        for v in vals {
+            s.accumulate(v).unwrap();
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn count_of_empty_is_zero_others_null() {
+        assert_eq!(run(AggFunc::Count, &[]), Value::Int(0));
+        assert_eq!(run(AggFunc::Max, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Min, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Sum, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Avg, &[]), Value::Null);
+    }
+
+    #[test]
+    fn nulls_are_ignored() {
+        let vals = [Value::Int(3), Value::Null, Value::Int(5)];
+        assert_eq!(run(AggFunc::Count, &vals), Value::Int(2));
+        assert_eq!(run(AggFunc::Sum, &vals), Value::Int(8));
+        assert_eq!(run(AggFunc::Max, &vals), Value::Int(5));
+        assert_eq!(run(AggFunc::Min, &vals), Value::Int(3));
+    }
+
+    #[test]
+    fn all_null_input_behaves_like_empty() {
+        let vals = [Value::Null, Value::Null];
+        assert_eq!(run(AggFunc::Count, &vals), Value::Int(0));
+        assert_eq!(run(AggFunc::Max, &vals), Value::Null);
+        assert_eq!(run(AggFunc::Sum, &vals), Value::Null);
+    }
+
+    #[test]
+    fn count_star_counts_rows() {
+        let mut s = AggState::new(AggFunc::Count);
+        s.accumulate_row();
+        s.accumulate_row();
+        assert_eq!(s.finish(), Value::Int(2));
+    }
+
+    #[test]
+    fn avg_divides_as_float() {
+        let vals = [Value::Int(1), Value::Int(2)];
+        assert_eq!(run(AggFunc::Avg, &vals), Value::Float(1.5));
+    }
+
+    #[test]
+    fn sum_promotes_to_float_on_mixed_input() {
+        let vals = [Value::Int(1), Value::Float(0.5)];
+        assert_eq!(run(AggFunc::Sum, &vals), Value::Float(1.5));
+        let vals = [Value::Float(0.5), Value::Int(1)];
+        assert_eq!(run(AggFunc::Sum, &vals), Value::Float(1.5));
+    }
+
+    #[test]
+    fn max_min_work_on_dates_and_strings() {
+        let d1 = Value::date("7-3-79").unwrap();
+        let d2 = Value::date("1-1-80").unwrap();
+        assert_eq!(run(AggFunc::Max, &[d1.clone(), d2.clone()]), d2);
+        assert_eq!(run(AggFunc::Min, &[Value::str("b"), Value::str("a")]), Value::str("a"));
+    }
+
+    #[test]
+    fn sum_of_string_errors() {
+        let mut s = AggState::new(AggFunc::Sum);
+        assert!(s.accumulate(&Value::str("x")).is_err());
+    }
+}

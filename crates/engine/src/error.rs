@@ -1,0 +1,41 @@
+//! Execution errors.
+
+use nsql_types::TypeError;
+use std::fmt;
+
+/// Failures during compilation or evaluation of queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Value-level failure (type mismatch, unknown column, …).
+    Type(TypeError),
+    /// FROM references a table that does not exist.
+    UnknownTable(String),
+    /// A scalar subquery produced more than one row.
+    ScalarSubqueryCardinality(usize),
+    /// A query shape the executor does not support.
+    Unsupported(String),
+    /// Internal invariant violation — always an engine bug.
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Type(e) => write!(f, "{e}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            EngineError::ScalarSubqueryCardinality(n) => {
+                write!(f, "scalar subquery returned {n} rows (expected at most 1)")
+            }
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<TypeError> for EngineError {
+    fn from(e: TypeError) -> Self {
+        EngineError::Type(e)
+    }
+}

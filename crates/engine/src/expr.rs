@@ -1,0 +1,95 @@
+//! Compiled scalar expressions: column references resolved to tuple field
+//! indices against a fixed schema.
+
+use crate::error::EngineError;
+use crate::Result;
+use nsql_sql::{ColumnRef, Operand, ScalarExpr};
+use nsql_types::{Schema, Tuple, Value};
+
+/// A compiled scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// Tuple field by index.
+    Col(usize),
+    /// Constant.
+    Lit(Value),
+}
+
+impl CExpr {
+    /// Evaluate against a tuple.
+    pub fn eval<'t>(&'t self, tuple: &'t Tuple) -> &'t Value {
+        match self {
+            CExpr::Col(i) => tuple.get(*i),
+            CExpr::Lit(v) => v,
+        }
+    }
+
+    /// Compile a column reference against `schema`.
+    pub fn compile_column(schema: &Schema, c: &ColumnRef) -> Result<CExpr> {
+        let idx = schema.resolve(c.table.as_deref(), &c.column)?;
+        Ok(CExpr::Col(idx))
+    }
+
+    /// Compile an AST operand. Subquery operands are rejected — they must
+    /// have been evaluated (nested iteration) or transformed away before
+    /// physical compilation.
+    pub fn compile_operand(schema: &Schema, o: &Operand) -> Result<CExpr> {
+        match o {
+            Operand::Column(c) => CExpr::compile_column(schema, c),
+            Operand::Literal(v) => Ok(CExpr::Lit(v.clone())),
+            Operand::Subquery(_) => Err(EngineError::Unsupported(
+                "subquery operand in physical expression (transform it away first)".into(),
+            )),
+        }
+    }
+
+    /// Compile a SELECT-list scalar (no aggregates at this layer).
+    pub fn compile_scalar(schema: &Schema, e: &ScalarExpr) -> Result<CExpr> {
+        match e {
+            ScalarExpr::Column(c) => CExpr::compile_column(schema, c),
+            ScalarExpr::Literal(v) => Ok(CExpr::Lit(v.clone())),
+            ScalarExpr::Aggregate(..) => Err(EngineError::Unsupported(
+                "aggregate in scalar position (use the aggregate operator)".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsql_types::{Column, ColumnType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::qualified("T", "A", ColumnType::Int),
+            Column::qualified("T", "B", ColumnType::Str),
+        ])
+    }
+
+    #[test]
+    fn compiles_and_evaluates_columns() {
+        let s = schema();
+        let e = CExpr::compile_column(&s, &ColumnRef::qualified("T", "B")).unwrap();
+        let t = Tuple::new(vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(e.eval(&t), &Value::str("x"));
+    }
+
+    #[test]
+    fn rejects_subquery_operand() {
+        let s = schema();
+        let q = nsql_sql::parse_query("SELECT A FROM T").unwrap();
+        let o = Operand::Subquery(Box::new(q));
+        assert!(matches!(
+            CExpr::compile_operand(&s, &o),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn literal_evaluates_to_itself() {
+        let e = CExpr::Lit(Value::Int(9));
+        let t = Tuple::new(vec![]);
+        assert_eq!(e.eval(&t), &Value::Int(9));
+    }
+}

@@ -1,0 +1,265 @@
+//! The paper's example databases, as ready-made storage + providers.
+//!
+//! Three datasets appear in the paper:
+//!
+//! * The **suppliers–parts** database of the introduction (`S`, `P`, `SP`)
+//!   — we populate it with plausible data consistent with the paper's
+//!   examples (the paper never lists its rows).
+//! * **Kiessling's PARTS/SUPPLY** instantiation of Section 5.1 (exact rows
+//!   from [KIE 84:2]) used for the COUNT bug.
+//! * The **Section 5.3** variant of PARTS/SUPPLY used for the
+//!   non-equality-operator bug, and the **Section 5.4** variant with
+//!   duplicate outer join-column values.
+//!
+//! Each constructor returns the storage handle and a provider with the
+//! tables registered; experiments reset the I/O counters afterwards.
+
+use crate::provider::MemoryProvider;
+use nsql_storage::{HeapFile, Storage};
+use nsql_types::{ColumnType, Date, Relation, Schema, Tuple, Value};
+
+/// A fixture: storage plus registered tables.
+pub struct Fixture {
+    /// The storage handle (shared counters).
+    pub storage: Storage,
+    /// Table provider with all fixture tables registered.
+    pub provider: MemoryProvider,
+}
+
+fn date(s: &str) -> Value {
+    Value::Date(Date::parse(s).expect("fixture dates are valid"))
+}
+
+fn rel(schema: Schema, rows: Vec<Vec<Value>>) -> Relation {
+    Relation::new(schema, rows.into_iter().map(Tuple::new).collect())
+        .expect("fixture rows match fixture schemas")
+}
+
+/// PARTS schema: `PARTS(PNUM, QOH)` [KIE 84].
+pub fn parts_schema() -> Schema {
+    Schema::of_table("PARTS", &[("PNUM", ColumnType::Int), ("QOH", ColumnType::Int)])
+}
+
+/// SUPPLY schema: `SUPPLY(PNUM, QUAN, SHIPDATE)` [KIE 84].
+pub fn supply_schema() -> Schema {
+    Schema::of_table(
+        "SUPPLY",
+        &[
+            ("PNUM", ColumnType::Int),
+            ("QUAN", ColumnType::Int),
+            ("SHIPDATE", ColumnType::Date),
+        ],
+    )
+}
+
+fn fixture_from(tables: Vec<(&str, Relation)>) -> Fixture {
+    let storage = Storage::with_defaults();
+    let mut provider = MemoryProvider::new();
+    for (name, rel) in tables {
+        let file = storage.store_relation(&rel);
+        provider.register(name, file);
+    }
+    storage.reset_stats();
+    Fixture { storage, provider }
+}
+
+/// Section 5.1 data ([KIE 84:2]) — the COUNT-bug demonstration:
+///
+/// ```text
+/// PARTS:  PNUM QOH        SUPPLY: PNUM QUAN SHIPDATE
+///            3   6                   3    4  7-3-79
+///           10   1                   3    2  10-1-78
+///            8   0                  10    1  6-8-78
+///                                   10    2  8-10-81
+///                                    8    5  5-7-83
+/// ```
+pub fn kiessling_count_bug() -> Fixture {
+    let parts = rel(
+        parts_schema(),
+        vec![
+            vec![Value::Int(3), Value::Int(6)],
+            vec![Value::Int(10), Value::Int(1)],
+            vec![Value::Int(8), Value::Int(0)],
+        ],
+    );
+    let supply = rel(
+        supply_schema(),
+        vec![
+            vec![Value::Int(3), Value::Int(4), date("7-3-79")],
+            vec![Value::Int(3), Value::Int(2), date("10-1-78")],
+            vec![Value::Int(10), Value::Int(1), date("6-8-78")],
+            vec![Value::Int(10), Value::Int(2), date("8-10-81")],
+            vec![Value::Int(8), Value::Int(5), date("5-7-83")],
+        ],
+    );
+    fixture_from(vec![("PARTS", parts), ("SUPPLY", supply)])
+}
+
+/// Section 5.3 data — the non-equality-operator bug (query Q5):
+///
+/// ```text
+/// PARTS:  PNUM QOH        SUPPLY: PNUM QUAN SHIPDATE
+///            3   0                   3    4  7-3-79
+///           10   4                   3    2  10-1-78
+///            8   4                  10    1  6-8-78
+///                                    9    5  3-2-79
+/// ```
+pub fn non_equality_bug() -> Fixture {
+    let parts = rel(
+        parts_schema(),
+        vec![
+            vec![Value::Int(3), Value::Int(0)],
+            vec![Value::Int(10), Value::Int(4)],
+            vec![Value::Int(8), Value::Int(4)],
+        ],
+    );
+    let supply = rel(
+        supply_schema(),
+        vec![
+            vec![Value::Int(3), Value::Int(4), date("7-3-79")],
+            vec![Value::Int(3), Value::Int(2), date("10-1-78")],
+            vec![Value::Int(10), Value::Int(1), date("6-8-78")],
+            vec![Value::Int(9), Value::Int(5), date("3-2-79")],
+        ],
+    );
+    fixture_from(vec![("PARTS", parts), ("SUPPLY", supply)])
+}
+
+/// Section 5.4 data — duplicates in the outer join column:
+///
+/// ```text
+/// PARTS:  PNUM QOH        SUPPLY: PNUM QUAN SHIPDATE
+///            3   6                   3    4  8/14/77
+///            3   2                   3    2  11/11/78
+///           10   1                  10    1  6/22/76
+///           10   0
+///            8   0
+/// ```
+pub fn duplicates_problem() -> Fixture {
+    let parts = rel(
+        parts_schema(),
+        vec![
+            vec![Value::Int(3), Value::Int(6)],
+            vec![Value::Int(3), Value::Int(2)],
+            vec![Value::Int(10), Value::Int(1)],
+            vec![Value::Int(10), Value::Int(0)],
+            vec![Value::Int(8), Value::Int(0)],
+        ],
+    );
+    let supply = rel(
+        supply_schema(),
+        vec![
+            vec![Value::Int(3), Value::Int(4), date("8/14/77")],
+            vec![Value::Int(3), Value::Int(2), date("11/11/78")],
+            vec![Value::Int(10), Value::Int(1), date("6/22/76")],
+        ],
+    );
+    fixture_from(vec![("PARTS", parts), ("SUPPLY", supply)])
+}
+
+/// The suppliers–parts database of Section 1 (`S`, `P`, `SP`), populated
+/// with small data consistent with the paper's narrative. Primary keys:
+/// `SNO`, `PNO`, and `(SNO, PNO)`.
+pub fn suppliers_parts() -> Fixture {
+    let s_schema = Schema::of_table(
+        "S",
+        &[
+            ("SNO", ColumnType::Str),
+            ("SNAME", ColumnType::Str),
+            ("STATUS", ColumnType::Int),
+            ("CITY", ColumnType::Str),
+        ],
+    );
+    let p_schema = Schema::of_table(
+        "P",
+        &[
+            ("PNO", ColumnType::Str),
+            ("PNAME", ColumnType::Str),
+            ("COLOR", ColumnType::Str),
+            ("WEIGHT", ColumnType::Int),
+            ("CITY", ColumnType::Str),
+        ],
+    );
+    let sp_schema = Schema::of_table(
+        "SP",
+        &[
+            ("SNO", ColumnType::Str),
+            ("PNO", ColumnType::Str),
+            ("QTY", ColumnType::Int),
+            ("ORIGIN", ColumnType::Str),
+        ],
+    );
+    let s = rel(
+        s_schema,
+        [
+            ("S1", "SMITH", 20, "LONDON"),
+            ("S2", "JONES", 10, "PARIS"),
+            ("S3", "BLAKE", 30, "PARIS"),
+            ("S4", "CLARK", 20, "LONDON"),
+            ("S5", "ADAMS", 30, "ATHENS"),
+        ]
+        .into_iter()
+        .map(|(a, b, c, d)| vec![Value::str(a), Value::str(b), Value::Int(c), Value::str(d)])
+        .collect(),
+    );
+    let p = rel(
+        p_schema,
+        [
+            ("P1", "NUT", "RED", 12, "LONDON"),
+            ("P2", "BOLT", "GREEN", 17, "PARIS"),
+            ("P3", "SCREW", "BLUE", 17, "ROME"),
+            ("P4", "SCREW", "RED", 14, "LONDON"),
+            ("P5", "CAM", "BLUE", 12, "PARIS"),
+            ("P6", "COG", "RED", 19, "LONDON"),
+        ]
+        .into_iter()
+        .map(|(a, b, c, d, e)| {
+            vec![Value::str(a), Value::str(b), Value::str(c), Value::Int(d), Value::str(e)]
+        })
+        .collect(),
+    );
+    let sp = rel(
+        sp_schema,
+        [
+            ("S1", "P1", 300, "LONDON"),
+            ("S1", "P2", 200, "PARIS"),
+            ("S1", "P3", 400, "ROME"),
+            ("S1", "P4", 200, "LONDON"),
+            ("S1", "P5", 100, "PARIS"),
+            ("S1", "P6", 100, "LONDON"),
+            ("S2", "P1", 300, "PARIS"),
+            ("S2", "P2", 400, "PARIS"),
+            ("S3", "P2", 200, "PARIS"),
+            ("S4", "P2", 200, "LONDON"),
+            ("S4", "P4", 300, "LONDON"),
+            ("S4", "P5", 400, "LONDON"),
+        ]
+        .into_iter()
+        .map(|(a, b, c, d)| vec![Value::str(a), Value::str(b), Value::Int(c), Value::str(d)])
+        .collect(),
+    );
+    fixture_from(vec![("S", s), ("P", p), ("SP", sp)])
+}
+
+/// Store a relation and register it on an existing fixture (for
+/// workload-generated tables in the benchmark harness).
+pub fn register(fixture: &mut Fixture, name: &str, relation: &Relation) -> HeapFile {
+    let file = fixture.storage.store_relation(relation);
+    fixture.provider.register(name, file.clone());
+    file
+}
+
+/// Extract a single `Int` column from a result as a sorted `Vec<i64>` —
+/// the form in which the paper lists its example results.
+pub fn int_column_sorted(result: &Relation, idx: usize) -> Vec<i64> {
+    let mut out: Vec<i64> = result
+        .tuples()
+        .iter()
+        .filter_map(|t| match t.get(idx) {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}

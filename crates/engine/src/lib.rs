@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Relational executor over the paged storage simulator.
+//!
+//! Two evaluation paths coexist, mirroring the paper:
+//!
+//! 1. [`nested_iter::NestedIter`] — the **System R reference evaluator**:
+//!    direct interpretation of a nested [`QueryBlock`](nsql_sql::QueryBlock),
+//!    re-evaluating correlated inner blocks once per qualifying outer tuple
+//!    (Section 2's "nested iteration method"). It is both the semantic
+//!    ground truth for every correctness experiment and the cost baseline
+//!    for every benchmark. Uncorrelated inner blocks are evaluated once and
+//!    materialized, as System R did for type-N/A nesting [SEL 79:33].
+//!
+//! 2. Physical operators ([`ops`]) — scans, filters, projections, duplicate
+//!    elimination, nested-loop and sort-merge joins (inner and **left
+//!    outer**), and sort-based grouped aggregation. The transformed
+//!    (canonical) queries produced by `nsql-core` execute on these, with all
+//!    I/O flowing through the counted buffer pool.
+//!
+//! Predicate evaluation implements SQL three-valued logic throughout; see
+//! [`pred`].
+
+pub mod aggregate;
+pub mod error;
+pub mod expr;
+pub mod fixtures;
+pub mod nested_iter;
+pub mod ops;
+pub mod pred;
+pub mod provider;
+
+pub use error::EngineError;
+pub use expr::CExpr;
+pub use nested_iter::NestedIter;
+pub use ops::{AggSpec, Exec, JoinKind};
+pub use pred::CPred;
+pub use provider::{MemoryProvider, OverlayProvider, TableProvider};
+
+/// Result alias for execution.
+pub type Result<T> = std::result::Result<T, EngineError>;

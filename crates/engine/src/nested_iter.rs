@@ -1,0 +1,639 @@
+//! The System R reference evaluator: nested iteration.
+//!
+//! This evaluator interprets a nested [`QueryBlock`] directly, with the
+//! semantics the paper treats as ground truth:
+//!
+//! * The FROM clause is enumerated by nested iteration (a cartesian-product
+//!   loop); WHERE predicates are applied per candidate binding, **simple
+//!   predicates first** — System R evaluates the inner block "once for each
+//!   tuple of the outer relation which satisfies all simple predicates on
+//!   the outer relation" [SEL 79:33].
+//! * A *correlated* inner block is re-evaluated for every qualifying outer
+//!   tuple, re-scanning its relations through the buffer pool each time —
+//!   the repeated-retrieval cost the paper sets out to eliminate.
+//! * An *uncorrelated* inner block (type-N/A) is evaluated once: a scalar
+//!   result is cached as a constant; a list result is materialized as a
+//!   temporary file and re-scanned per membership test, mirroring System
+//!   R's "evaluate Q into a list X and substitute" strategy (Section 2.2).
+//! * Aggregates follow SQL semantics ([`crate::aggregate`]): `COUNT(∅)=0`,
+//!   `MAX(∅)=NULL`, etc.; comparisons follow three-valued logic.
+//!
+//! Every correctness experiment in the paper compares a transformation
+//! against this evaluator's output, and every benchmark uses its measured
+//! page I/Os as the baseline.
+
+use crate::aggregate::AggState;
+use crate::error::EngineError;
+use crate::pred::{compare_values, not3};
+use crate::provider::TableProvider;
+use crate::Result;
+use nsql_analyzer::resolve::level_column_refs;
+use nsql_sql::{
+    AggArg, AggFunc, ColumnRef, CompareOp, InRhs, Operand, Predicate, Quantifier, QueryBlock,
+    ScalarExpr, SortDir,
+};
+use nsql_storage::{HeapFile, Storage};
+use nsql_types::{Column, ColumnType, Relation, Schema, Tuple, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Cached result of an uncorrelated inner block.
+enum Cached {
+    Scalar(Value),
+    List(HeapFile),
+}
+
+/// One enclosing binding: the scope's schema and the current tuple.
+#[derive(Clone)]
+struct Scope {
+    schema: Schema,
+    tuple: Tuple,
+}
+
+/// The scope chain during evaluation, innermost first.
+#[derive(Clone, Default)]
+struct Env {
+    scopes: Vec<Scope>,
+}
+
+impl Env {
+    fn child(&self, schema: Schema, tuple: Tuple) -> Env {
+        let mut scopes = Vec::with_capacity(self.scopes.len() + 1);
+        scopes.push(Scope { schema, tuple });
+        scopes.extend(self.scopes.iter().cloned());
+        Env { scopes }
+    }
+
+    /// Resolve a column against the chain (nearest scope wins).
+    fn lookup(&self, c: &ColumnRef) -> Result<Value> {
+        for scope in &self.scopes {
+            match scope.schema.resolve(c.table.as_deref(), &c.column) {
+                Ok(i) => return Ok(scope.tuple.get(i).clone()),
+                Err(nsql_types::TypeError::AmbiguousColumn(n)) => {
+                    return Err(EngineError::Type(nsql_types::TypeError::AmbiguousColumn(n)))
+                }
+                Err(_) => continue,
+            }
+        }
+        Err(EngineError::Type(nsql_types::TypeError::UnknownColumn(c.to_string())))
+    }
+}
+
+/// The nested-iteration evaluator.
+pub struct NestedIter<'a, T: TableProvider + ?Sized> {
+    tables: &'a T,
+    storage: Storage,
+    cache: RefCell<HashMap<usize, Cached>>,
+}
+
+impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
+    /// Evaluator over `tables`, counting I/O against `storage`.
+    pub fn new(tables: &'a T, storage: Storage) -> Self {
+        NestedIter { tables, storage, cache: RefCell::new(HashMap::new()) }
+    }
+
+    /// Evaluate a top-level query.
+    pub fn eval_query(&self, q: &QueryBlock) -> Result<Relation> {
+        let result = self.eval_block(q, &Env::default());
+        // Cached temporaries are per-query; drop their pages.
+        for (_, cached) in self.cache.borrow_mut().drain() {
+            if let Cached::List(f) = cached {
+                f.drop_pages(&self.storage);
+            }
+        }
+        result
+    }
+
+    // ------------------------------------------------------------- blocks
+
+    fn eval_block(&self, q: &QueryBlock, env: &Env) -> Result<Relation> {
+        // Resolve FROM files and build the block scope schema.
+        let mut files: Vec<HeapFile> = Vec::new();
+        let mut scope_schema = Schema::default();
+        let mut seen = std::collections::HashSet::new();
+        for tref in &q.from {
+            let file = self
+                .tables
+                .get_table(&tref.table)
+                .ok_or_else(|| EngineError::UnknownTable(tref.table.clone()))?;
+            let name = tref.effective_name();
+            if !seen.insert(name.to_string()) {
+                return Err(EngineError::Unsupported(format!(
+                    "duplicate table name/alias in FROM: {name}"
+                )));
+            }
+            let qualified = file.schema().requalify(name);
+            scope_schema = scope_schema.join(&qualified);
+            files.push(file.with_schema(qualified));
+        }
+
+        // Partition top-level conjuncts: simple predicates first.
+        let conjuncts: Vec<&Predicate> = match &q.where_clause {
+            Some(p) => p.conjuncts(),
+            None => Vec::new(),
+        };
+        let (simple, nested): (Vec<&&Predicate>, Vec<&&Predicate>) = conjuncts
+            .iter()
+            .partition(|p| !p.contains_subquery());
+
+        // Nested-iteration enumeration of the FROM product.
+        let mut survivors: Vec<Tuple> = Vec::new();
+        self.enumerate(&files, 0, Tuple::default(), &mut |binding| {
+            let here = env.child(scope_schema.clone(), binding.clone());
+            for p in &simple {
+                if self.eval_pred(p, &here)? != Some(true) {
+                    return Ok(());
+                }
+            }
+            for p in &nested {
+                if self.eval_pred(p, &here)? != Some(true) {
+                    return Ok(());
+                }
+            }
+            survivors.push(binding);
+            Ok(())
+        })?;
+
+        // SELECT phase.
+        self.eval_select(q, &scope_schema, survivors, env)
+    }
+
+    /// Depth-first enumeration of the FROM product: rescans inner files per
+    /// outer tuple, exactly like System R's nested iteration.
+    fn enumerate(
+        &self,
+        files: &[HeapFile],
+        depth: usize,
+        prefix: Tuple,
+        visit: &mut dyn FnMut(Tuple) -> Result<()>,
+    ) -> Result<()> {
+        if depth == files.len() {
+            return visit(prefix);
+        }
+        for t in files[depth].scan(&self.storage) {
+            self.enumerate(files, depth + 1, prefix.join(&t), visit)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- select
+
+    fn eval_select(
+        &self,
+        q: &QueryBlock,
+        scope_schema: &Schema,
+        survivors: Vec<Tuple>,
+        env: &Env,
+    ) -> Result<Relation> {
+        let grouped = !q.group_by.is_empty();
+        let has_agg = q.has_aggregate_select();
+        let out_schema = self.output_schema(q, scope_schema)?;
+
+        let mut rows: Vec<Tuple> = if grouped {
+            self.eval_grouped(q, scope_schema, &survivors, env)?
+        } else if has_agg {
+            // Global aggregate: one row, even over zero survivors.
+            vec![self.eval_aggregate_row(q, scope_schema, &survivors, env)?]
+        } else {
+            let mut rows = Vec::with_capacity(survivors.len());
+            for s in &survivors {
+                let here = env.child(scope_schema.clone(), s.clone());
+                let mut vals = Vec::with_capacity(q.select.len());
+                for item in &q.select {
+                    vals.push(self.eval_scalar(&item.expr, &here)?);
+                }
+                rows.push(Tuple::new(vals));
+            }
+            rows
+        };
+
+        if q.distinct {
+            rows.sort_by(Tuple::total_cmp);
+            rows.dedup();
+        }
+        if !q.order_by.is_empty() {
+            let mut keys = Vec::new();
+            for k in &q.order_by {
+                let idx = resolve_output_column(&out_schema, q, &k.column)?;
+                keys.push((idx, k.dir));
+            }
+            rows.sort_by(|a, b| {
+                for &(i, dir) in &keys {
+                    let o = a.get(i).total_cmp(b.get(i));
+                    let o = if dir == SortDir::Desc { o.reverse() } else { o };
+                    if o != std::cmp::Ordering::Equal {
+                        return o;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        Relation::new(out_schema, rows).map_err(EngineError::from)
+    }
+
+    fn eval_grouped(
+        &self,
+        q: &QueryBlock,
+        scope_schema: &Schema,
+        survivors: &[Tuple],
+        env: &Env,
+    ) -> Result<Vec<Tuple>> {
+        // Validate select items: group columns or aggregates only.
+        let group_indices: Vec<usize> = q
+            .group_by
+            .iter()
+            .map(|c| scope_schema.resolve(c.table.as_deref(), &c.column))
+            .collect::<std::result::Result<_, _>>()?;
+        let mut groups: Vec<(Tuple, Vec<Tuple>)> = Vec::new();
+        let mut index: HashMap<Tuple, usize> = HashMap::new();
+        for s in survivors {
+            let key = s.project(&group_indices);
+            match index.get(&key) {
+                Some(&i) => groups[i].1.push(s.clone()),
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key, vec![s.clone()]));
+                }
+            }
+        }
+        let mut rows = Vec::with_capacity(groups.len());
+        for (_, members) in &groups {
+            let mut vals = Vec::with_capacity(q.select.len());
+            for item in &q.select {
+                match &item.expr {
+                    ScalarExpr::Aggregate(func, arg) => {
+                        vals.push(self.aggregate_over(*func, arg, members, scope_schema, env)?)
+                    }
+                    ScalarExpr::Column(c) => {
+                        // Must be (functionally determined by) a group key.
+                        let idx = scope_schema.resolve(c.table.as_deref(), &c.column)?;
+                        if !group_indices.contains(&idx) {
+                            return Err(EngineError::Unsupported(format!(
+                                "column {c} in SELECT is not in GROUP BY"
+                            )));
+                        }
+                        vals.push(members[0].get(idx).clone());
+                    }
+                    ScalarExpr::Literal(v) => vals.push(v.clone()),
+                }
+            }
+            rows.push(Tuple::new(vals));
+        }
+        Ok(rows)
+    }
+
+    fn eval_aggregate_row(
+        &self,
+        q: &QueryBlock,
+        scope_schema: &Schema,
+        survivors: &[Tuple],
+        env: &Env,
+    ) -> Result<Tuple> {
+        let mut vals = Vec::with_capacity(q.select.len());
+        for item in &q.select {
+            match &item.expr {
+                ScalarExpr::Aggregate(func, arg) => {
+                    vals.push(self.aggregate_over(*func, arg, survivors, scope_schema, env)?)
+                }
+                ScalarExpr::Literal(v) => vals.push(v.clone()),
+                ScalarExpr::Column(c) => {
+                    return Err(EngineError::Unsupported(format!(
+                        "bare column {c} in aggregate SELECT without GROUP BY"
+                    )))
+                }
+            }
+        }
+        Ok(Tuple::new(vals))
+    }
+
+    fn aggregate_over(
+        &self,
+        func: AggFunc,
+        arg: &AggArg,
+        members: &[Tuple],
+        scope_schema: &Schema,
+        env: &Env,
+    ) -> Result<Value> {
+        let mut state = AggState::new(func);
+        match arg {
+            AggArg::Star => {
+                for _ in members {
+                    state.accumulate_row();
+                }
+            }
+            AggArg::Column(c) => {
+                for m in members {
+                    let here = env.child(scope_schema.clone(), m.clone());
+                    let v = here.lookup(c)?;
+                    state.accumulate(&v)?;
+                }
+            }
+        }
+        Ok(state.finish())
+    }
+
+    // --------------------------------------------------------- predicates
+
+    fn eval_pred(&self, p: &Predicate, env: &Env) -> Result<Option<bool>> {
+        match p {
+            Predicate::And(ps) => {
+                let mut unknown = false;
+                for q in ps {
+                    match self.eval_pred(q, env)? {
+                        Some(false) => return Ok(Some(false)),
+                        None => unknown = true,
+                        Some(true) => {}
+                    }
+                }
+                Ok(if unknown { None } else { Some(true) })
+            }
+            Predicate::Or(ps) => {
+                let mut unknown = false;
+                for q in ps {
+                    match self.eval_pred(q, env)? {
+                        Some(true) => return Ok(Some(true)),
+                        None => unknown = true,
+                        Some(false) => {}
+                    }
+                }
+                Ok(if unknown { None } else { Some(false) })
+            }
+            Predicate::Not(q) => Ok(not3(self.eval_pred(q, env)?)),
+            Predicate::Compare { left, op, right } => {
+                let l = self.eval_operand(left, env)?;
+                let r = self.eval_operand(right, env)?;
+                compare_values(&l, *op, &r)
+            }
+            Predicate::In { operand, negated, rhs } => {
+                let v = self.eval_operand(operand, env)?;
+                let raw = match rhs {
+                    InRhs::List(list) => crate::pred::in_list(&v, list)?,
+                    InRhs::Subquery(q) => self.eval_membership(&v, q, env)?,
+                };
+                Ok(if *negated { not3(raw) } else { raw })
+            }
+            Predicate::Exists { negated, query } => {
+                let nonempty = !self.eval_inner_rows(query, env)?.is_empty();
+                Ok(Some(if *negated { !nonempty } else { nonempty }))
+            }
+            Predicate::Quantified { left, op, quantifier, query } => {
+                let v = self.eval_operand(left, env)?;
+                let rows = self.eval_inner_rows(query, env)?;
+                self.eval_quantified(&v, *op, *quantifier, &rows)
+            }
+            Predicate::IsNull { operand, negated } => {
+                let v = self.eval_operand(operand, env)?;
+                Ok(Some(if *negated { !v.is_null() } else { v.is_null() }))
+            }
+        }
+    }
+
+    fn eval_operand(&self, o: &Operand, env: &Env) -> Result<Value> {
+        match o {
+            Operand::Column(c) => env.lookup(c),
+            Operand::Literal(v) => Ok(v.clone()),
+            Operand::Subquery(q) => self.eval_scalar_subquery(q, env),
+        }
+    }
+
+    fn eval_scalar(&self, e: &ScalarExpr, env: &Env) -> Result<Value> {
+        match e {
+            ScalarExpr::Column(c) => env.lookup(c),
+            ScalarExpr::Literal(v) => Ok(v.clone()),
+            ScalarExpr::Aggregate(..) => Err(EngineError::Internal(
+                "aggregate reached scalar evaluation".into(),
+            )),
+        }
+    }
+
+    /// Scalar subquery: at most one row, one column; empty ⇒ NULL.
+    fn eval_scalar_subquery(&self, q: &QueryBlock, env: &Env) -> Result<Value> {
+        if !self.is_correlated(q)? {
+            let key = q as *const QueryBlock as usize;
+            if let Some(Cached::Scalar(v)) = self.cache.borrow().get(&key) {
+                return Ok(v.clone());
+            }
+            let v = self.scalar_from_relation(self.eval_block(q, &Env::default())?)?;
+            self.cache.borrow_mut().insert(key, Cached::Scalar(v.clone()));
+            return Ok(v);
+        }
+        let rel = self.eval_block(q, env)?;
+        self.scalar_from_relation(rel)
+    }
+
+    fn scalar_from_relation(&self, rel: Relation) -> Result<Value> {
+        match rel.len() {
+            0 => Ok(Value::Null),
+            1 => Ok(rel.tuples()[0].get(0).clone()),
+            n => Err(EngineError::ScalarSubqueryCardinality(n)),
+        }
+    }
+
+    /// `v IN (subquery)` with System R's materialize-once strategy for
+    /// uncorrelated inners: the list is stored as a temporary file and
+    /// re-scanned per membership test.
+    fn eval_membership(&self, v: &Value, q: &QueryBlock, env: &Env) -> Result<Option<bool>> {
+        if !self.is_correlated(q)? {
+            let key = q as *const QueryBlock as usize;
+            if !self.cache.borrow().contains_key(&key) {
+                let rel = self.eval_block(q, &Env::default())?;
+                let file = self.storage.store_relation(&rel);
+                self.cache.borrow_mut().insert(key, Cached::List(file));
+            }
+            let cache = self.cache.borrow();
+            let Some(Cached::List(file)) = cache.get(&key) else {
+                return Err(EngineError::Internal("membership cache corrupted".into()));
+            };
+            // Scan the stored list per test (bounded memory, real I/O).
+            let mut unknown = false;
+            for t in file.scan(&self.storage) {
+                match v.sql_eq(t.get(0))? {
+                    Some(true) => return Ok(Some(true)),
+                    None => unknown = true,
+                    Some(false) => {}
+                }
+            }
+            return Ok(if unknown { None } else { Some(false) });
+        }
+        let rows = self.eval_block(q, env)?;
+        let list: Vec<Value> = rows.tuples().iter().map(|t| t.get(0).clone()).collect();
+        crate::pred::in_list(v, &list)
+    }
+
+    /// Rows of an inner block (for EXISTS / quantified), with caching for
+    /// uncorrelated blocks.
+    fn eval_inner_rows(&self, q: &QueryBlock, env: &Env) -> Result<Vec<Value>> {
+        if !self.is_correlated(q)? {
+            let key = q as *const QueryBlock as usize;
+            if !self.cache.borrow().contains_key(&key) {
+                let rel = self.eval_block(q, &Env::default())?;
+                let file = self.storage.store_relation(&rel);
+                self.cache.borrow_mut().insert(key, Cached::List(file));
+            }
+            let cache = self.cache.borrow();
+            let Some(Cached::List(file)) = cache.get(&key) else {
+                return Err(EngineError::Internal("rows cache corrupted".into()));
+            };
+            return Ok(file.scan(&self.storage).map(|t| t.get(0).clone()).collect());
+        }
+        let rel = self.eval_block(q, env)?;
+        Ok(rel.tuples().iter().map(|t| t.get(0).clone()).collect())
+    }
+
+    /// SQL quantified-comparison semantics:
+    /// `ANY`: TRUE if any comparison is TRUE; else UNKNOWN if any UNKNOWN;
+    /// else FALSE (FALSE over the empty set).
+    /// `ALL`: FALSE if any comparison is FALSE; else UNKNOWN if any UNKNOWN;
+    /// else TRUE (TRUE over the empty set).
+    fn eval_quantified(
+        &self,
+        v: &Value,
+        op: CompareOp,
+        quant: Quantifier,
+        rows: &[Value],
+    ) -> Result<Option<bool>> {
+        let mut unknown = false;
+        for r in rows {
+            match compare_values(v, op, r)? {
+                Some(true) if quant == Quantifier::Any => return Ok(Some(true)),
+                Some(false) if quant == Quantifier::All => return Ok(Some(false)),
+                None => unknown = true,
+                _ => {}
+            }
+        }
+        Ok(if unknown {
+            None
+        } else {
+            Some(quant == Quantifier::All)
+        })
+    }
+
+    // -------------------------------------------------------- correlation
+
+    /// Whether any column reference in `q`'s subtree fails to resolve
+    /// within the subtree's own scopes (i.e. the block depends on enclosing
+    /// bindings).
+    fn is_correlated(&self, q: &QueryBlock) -> Result<bool> {
+        let mut scopes: Vec<Schema> = Vec::new();
+        self.subtree_has_free_refs(q, &mut scopes)
+    }
+
+    fn subtree_has_free_refs(&self, q: &QueryBlock, scopes: &mut Vec<Schema>) -> Result<bool> {
+        let mut local = Schema::default();
+        for tref in &q.from {
+            let file = self
+                .tables
+                .get_table(&tref.table)
+                .ok_or_else(|| EngineError::UnknownTable(tref.table.clone()))?;
+            local = local.join(&file.schema().requalify(tref.effective_name()));
+        }
+        scopes.push(local);
+        let mut free = false;
+        for c in level_column_refs(q) {
+            let bound = scopes
+                .iter()
+                .any(|s| s.try_resolve(c.table.as_deref(), &c.column).is_some());
+            if !bound {
+                free = true;
+                break;
+            }
+        }
+        if !free {
+            for sub in subquery_children(q) {
+                if self.subtree_has_free_refs(sub, scopes)? {
+                    free = true;
+                    break;
+                }
+            }
+        }
+        scopes.pop();
+        Ok(free)
+    }
+
+    // ------------------------------------------------------- output schema
+
+    fn output_schema(&self, q: &QueryBlock, scope_schema: &Schema) -> Result<Schema> {
+        let mut cols = Vec::with_capacity(q.select.len());
+        for item in &q.select {
+            let (name, ty) = match &item.expr {
+                ScalarExpr::Column(c) => {
+                    let idx = scope_schema.resolve(c.table.as_deref(), &c.column)?;
+                    let col = &scope_schema.columns()[idx];
+                    (col.name.clone(), col.ty)
+                }
+                ScalarExpr::Literal(v) => {
+                    ("LITERAL".to_string(), v.column_type().unwrap_or(ColumnType::Int))
+                }
+                ScalarExpr::Aggregate(f, arg) => {
+                    let ty = match (f, arg) {
+                        (AggFunc::Count, _) => ColumnType::Int,
+                        (AggFunc::Avg, _) => ColumnType::Float,
+                        (_, AggArg::Column(c)) => {
+                            let idx = scope_schema.resolve(c.table.as_deref(), &c.column)?;
+                            scope_schema.columns()[idx].ty
+                        }
+                        (_, AggArg::Star) => ColumnType::Int,
+                    };
+                    (f.name().to_string(), ty)
+                }
+            };
+            let name = item.alias.clone().unwrap_or(name);
+            cols.push(Column::new(name, ty));
+        }
+        Ok(Schema::new(cols))
+    }
+}
+
+/// Direct subquery children of a block's WHERE clause.
+pub fn subquery_children(q: &QueryBlock) -> Vec<&QueryBlock> {
+    let mut out = Vec::new();
+    if let Some(p) = &q.where_clause {
+        collect_subqueries(p, &mut out);
+    }
+    out
+}
+
+fn collect_subqueries<'p>(p: &'p Predicate, out: &mut Vec<&'p QueryBlock>) {
+    match p {
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            for q in ps {
+                collect_subqueries(q, out);
+            }
+        }
+        Predicate::Not(q) => collect_subqueries(q, out),
+        Predicate::Compare { left, right, .. } => {
+            for o in [left, right] {
+                if let Operand::Subquery(q) = o {
+                    out.push(q);
+                }
+            }
+        }
+        Predicate::In { rhs: InRhs::Subquery(q), .. } => out.push(q),
+        Predicate::In { .. } => {}
+        Predicate::Exists { query, .. } => out.push(query),
+        Predicate::Quantified { query, .. } => out.push(query),
+        Predicate::IsNull { .. } => {}
+    }
+}
+
+fn resolve_output_column(
+    out_schema: &Schema,
+    q: &QueryBlock,
+    c: &ColumnRef,
+) -> Result<usize> {
+    // ORDER BY resolves against the output columns (by alias or name).
+    if let Some(i) = out_schema.try_resolve(None, &c.column) {
+        return Ok(i);
+    }
+    // Fall back to positional match against select-list column refs.
+    for (i, item) in q.select.iter().enumerate() {
+        if let ScalarExpr::Column(sc) = &item.expr {
+            if sc.column == c.column
+                && (c.table.is_none() || sc.table == c.table)
+            {
+                return Ok(i);
+            }
+        }
+    }
+    Err(EngineError::Type(nsql_types::TypeError::UnknownColumn(c.to_string())))
+}

@@ -1,0 +1,188 @@
+//! Hash join — a **modern extension**, not part of the paper.
+//!
+//! System R (and hence the paper) offered only nested-loop and sort-merge
+//! joins; hash joins entered mainstream optimizers later. This operator
+//! exists as an ablation point: experiment E13 asks how much of NEST-JA2's
+//! advantage survives when the competition gets a better join. The build
+//! side is held in memory (no Grace partitioning) — the simulated I/O is
+//! one read of each input plus the output write, the best case a real
+//! hash join approaches when the build side fits.
+
+use super::{Exec, JoinKind};
+use crate::pred::CPred;
+use crate::Result;
+use nsql_storage::HeapFile;
+use nsql_types::{Relation, Tuple, Value};
+use std::collections::HashMap;
+
+impl Exec {
+    /// Hash equi-join on positionally-paired keys, with optional residual.
+    ///
+    /// `NULL` keys never match (SQL equality), but unmatched left tuples
+    /// are still padded under [`JoinKind::LeftOuter`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn hash_join(
+        &self,
+        left: &HeapFile,
+        right: &HeapFile,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        residual: Option<&CPred>,
+        kind: JoinKind,
+    ) -> Result<HeapFile> {
+        let schema = left.schema().join(right.schema());
+        let tuples = self.hash_join_tuples(left, right, left_keys, right_keys, residual, kind)?;
+        Ok(HeapFile::from_tuples(&self.storage, schema, tuples))
+    }
+
+    /// Hash join delivering the result in memory (final operator).
+    #[allow(clippy::too_many_arguments)]
+    pub fn hash_join_collect(
+        &self,
+        left: &HeapFile,
+        right: &HeapFile,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        residual: Option<&CPred>,
+        kind: JoinKind,
+    ) -> Result<Relation> {
+        let schema = left.schema().join(right.schema());
+        let tuples = self.hash_join_tuples(left, right, left_keys, right_keys, residual, kind)?;
+        Relation::new(schema, tuples).map_err(crate::EngineError::from)
+    }
+
+    fn hash_join_tuples(
+        &self,
+        left: &HeapFile,
+        right: &HeapFile,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        residual: Option<&CPred>,
+        kind: JoinKind,
+    ) -> Result<Vec<Tuple>> {
+        assert_eq!(left_keys.len(), right_keys.len(), "key lists must pair up");
+        // Build on the right side.
+        let mut table: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
+        for rt in right.scan(&self.storage) {
+            let key = rt.project(right_keys);
+            if key.values().iter().any(Value::is_null) {
+                continue; // NULL keys never join
+            }
+            table.entry(key).or_default().push(rt);
+        }
+        // Probe with the left side.
+        let right_arity = right.schema().arity();
+        let mut out = Vec::new();
+        for lt in left.scan(&self.storage) {
+            let key = lt.project(left_keys);
+            let mut matched = false;
+            if !key.values().iter().any(Value::is_null) {
+                if let Some(group) = table.get(&key) {
+                    for rt in group {
+                        let combined = lt.join(rt);
+                        let ok = match residual {
+                            Some(p) => p.accepts(&combined)?,
+                            None => true,
+                        };
+                        if ok {
+                            matched = true;
+                            out.push(combined);
+                        }
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                out.push(lt.join_nulls(right_arity));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::*;
+    use super::*;
+    use nsql_storage::Storage;
+    use nsql_sql::parse_query;
+
+    fn exec() -> Exec {
+        Exec::new(Storage::with_defaults())
+    }
+
+    fn on_pred(l: &HeapFile, r: &HeapFile, cond: &str) -> CPred {
+        let combined = l.schema().join(r.schema());
+        let q = parse_query(&format!("SELECT L.A FROM L, R WHERE {cond}")).unwrap();
+        CPred::compile(&combined, q.where_clause.as_ref().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn hash_join_equals_nl_join() {
+        let e = exec();
+        let l = int_file(e.storage(), "L", &["A", "X"], &[&[3, 0], &[1, 1], &[3, 2], &[5, 3]]);
+        let r = int_file(e.storage(), "R", &["B", "Y"], &[&[3, 10], &[3, 11], &[1, 12]]);
+        let on = on_pred(&l, &r, "L.A = R.B");
+        for kind in [JoinKind::Inner, JoinKind::LeftOuter] {
+            let nl = e.nl_join(&l, &r, &on, kind).unwrap();
+            let hj = e.hash_join(&l, &r, &[0], &[0], None, kind).unwrap();
+            assert!(
+                e.collect(&nl).same_bag(&e.collect(&hj)),
+                "{kind:?}:\nNL:\n{}\nHJ:\n{}",
+                e.collect(&nl),
+                e.collect(&hj)
+            );
+        }
+    }
+
+    #[test]
+    fn hash_join_residual_and_nulls() {
+        let e = exec();
+        let st = e.storage().clone();
+        let schema = nsql_types::Schema::new(vec![
+            nsql_types::Column::qualified("L", "A", nsql_types::ColumnType::Int),
+            nsql_types::Column::qualified("L", "X", nsql_types::ColumnType::Int),
+        ]);
+        let l = HeapFile::from_tuples(
+            &st,
+            schema,
+            vec![
+                Tuple::new(vec![Value::Null, Value::Int(0)]),
+                Tuple::new(vec![Value::Int(1), Value::Int(5)]),
+                Tuple::new(vec![Value::Int(1), Value::Int(6)]),
+            ],
+        );
+        let r = int_file(&st, "R", &["B", "Y"], &[&[1, 5], &[1, 9]]);
+        let res = on_pred(&l, &r, "L.X = R.Y");
+        let hj = e
+            .hash_join(&l, &r, &[0], &[0], Some(&res), JoinKind::LeftOuter)
+            .unwrap();
+        let mut rows = rows_of(&st, &hj);
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![None, Some(0), None, None],      // NULL key padded
+                vec![Some(1), Some(5), Some(1), Some(5)], // residual match
+                vec![Some(1), Some(6), None, None],   // residual fails → padded
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_join_io_is_two_scans_plus_output() {
+        let e = exec();
+        let l = int_file(e.storage(), "L", &["A"], &(0..200).map(|i| vec![i]).collect::<Vec<_>>().iter().map(|v| v.as_slice()).collect::<Vec<_>>());
+        let r = int_file(e.storage(), "R", &["B"], &(0..100).map(|i| vec![i]).collect::<Vec<_>>().iter().map(|v| v.as_slice()).collect::<Vec<_>>());
+        e.storage().clear_buffer();
+        e.storage().reset_stats();
+        let before = e.storage().io_stats();
+        let out = e.hash_join(&l, &r, &[0], &[0], None, JoinKind::Inner).unwrap();
+        let used = e.storage().io_stats().since(&before);
+        assert_eq!(
+            used.reads,
+            (l.page_count() + r.page_count()) as u64,
+            "hash join reads each input exactly once"
+        );
+        assert_eq!(used.writes, out.page_count() as u64);
+    }
+}

@@ -1,0 +1,420 @@
+//! Join operators: nested-loop and sort-merge, inner and left outer.
+
+use super::{Exec, JoinKind};
+use crate::pred::CPred;
+use crate::Result;
+use nsql_storage::sort::{compare, SortKey};
+use nsql_storage::HeapFile;
+use nsql_types::{Relation, Tuple};
+use std::cmp::Ordering;
+
+impl Exec {
+    /// Nested-loop join: for each left tuple, rescan the right file and
+    /// emit combinations accepted by `on` (a predicate over the
+    /// concatenated schema).
+    ///
+    /// The right file is re-read through the buffer pool per left tuple —
+    /// cheap when it fits in the buffer, thrashing when it does not. That
+    /// is exactly the cost cliff of System R's nested iteration that the
+    /// paper's Section 7.2 analyses.
+    pub fn nl_join(
+        &self,
+        left: &HeapFile,
+        right: &HeapFile,
+        on: &CPred,
+        kind: JoinKind,
+    ) -> Result<HeapFile> {
+        let schema = left.schema().join(right.schema());
+        let tuples = self.nl_join_tuples(left, right, on, kind)?;
+        Ok(HeapFile::from_tuples(&self.storage, schema, tuples))
+    }
+
+    /// Nested-loop join delivering the result in memory (final operator).
+    pub fn nl_join_collect(
+        &self,
+        left: &HeapFile,
+        right: &HeapFile,
+        on: &CPred,
+        kind: JoinKind,
+    ) -> Result<Relation> {
+        let schema = left.schema().join(right.schema());
+        let tuples = self.nl_join_tuples(left, right, on, kind)?;
+        Relation::new(schema, tuples).map_err(crate::EngineError::from)
+    }
+
+    fn nl_join_tuples(
+        &self,
+        left: &HeapFile,
+        right: &HeapFile,
+        on: &CPred,
+        kind: JoinKind,
+    ) -> Result<Vec<Tuple>> {
+        let right_arity = right.schema().arity();
+        let mut out = Vec::new();
+        for lt in left.scan(&self.storage) {
+            let mut matched = false;
+            for rt in right.scan(&self.storage) {
+                let combined = lt.join(&rt);
+                if on.accepts(&combined)? {
+                    matched = true;
+                    out.push(combined);
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                out.push(lt.join_nulls(right_arity));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sort-merge equi-join on `left_keys` = `right_keys` (positionally
+    /// paired), with an optional residual predicate over the concatenated
+    /// schema.
+    ///
+    /// Inputs are sorted first unless the corresponding `presorted` flag is
+    /// set (the paper's NEST-JA2 exploits exactly these "already in join
+    /// column order" savings — Section 7.4). For [`JoinKind::LeftOuter`],
+    /// unmatched left tuples are emitted `NULL`-padded; as the paper notes
+    /// (Section 7.2), the merge outer join costs the same as the standard
+    /// merge join since both relations are scanned in sorted order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn merge_join(
+        &self,
+        left: &HeapFile,
+        right: &HeapFile,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        residual: Option<&CPred>,
+        kind: JoinKind,
+        left_presorted: bool,
+        right_presorted: bool,
+    ) -> Result<HeapFile> {
+        let schema = left.schema().join(right.schema());
+        let tuples = self.merge_join_tuples(
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            kind,
+            left_presorted,
+            right_presorted,
+        )?;
+        Ok(HeapFile::from_tuples(&self.storage, schema, tuples))
+    }
+
+    /// Sort-merge join delivering the result in memory (final operator).
+    #[allow(clippy::too_many_arguments)]
+    pub fn merge_join_collect(
+        &self,
+        left: &HeapFile,
+        right: &HeapFile,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        residual: Option<&CPred>,
+        kind: JoinKind,
+        left_presorted: bool,
+        right_presorted: bool,
+    ) -> Result<Relation> {
+        let schema = left.schema().join(right.schema());
+        let tuples = self.merge_join_tuples(
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            kind,
+            left_presorted,
+            right_presorted,
+        )?;
+        Relation::new(schema, tuples).map_err(crate::EngineError::from)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn merge_join_tuples(
+        &self,
+        left: &HeapFile,
+        right: &HeapFile,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        residual: Option<&CPred>,
+        kind: JoinKind,
+        left_presorted: bool,
+        right_presorted: bool,
+    ) -> Result<Vec<Tuple>> {
+        assert_eq!(left_keys.len(), right_keys.len(), "key lists must pair up");
+        let lsort: Vec<SortKey> = left_keys.iter().map(|&i| SortKey::asc(i)).collect();
+        let rsort: Vec<SortKey> = right_keys.iter().map(|&i| SortKey::asc(i)).collect();
+        let (lfile, l_temp) = if left_presorted {
+            (left.clone(), false)
+        } else {
+            (self.sort(left, &lsort, false), true)
+        };
+        let (rfile, r_temp) = if right_presorted {
+            (right.clone(), false)
+        } else {
+            (self.sort(right, &rsort, false), true)
+        };
+
+        let right_arity = right.schema().arity();
+        let mut out = Vec::new();
+        let liter = lfile.scan(&self.storage).peekable();
+        let mut riter = rfile.scan(&self.storage).peekable();
+        // Current right group: consecutive right tuples sharing a key.
+        let mut group: Vec<Tuple> = Vec::new();
+        let mut group_key: Option<Tuple> = None;
+
+        for lt in liter {
+            // Advance the right side until its key >= left key, refreshing
+            // the buffered group when we land on equality.
+            let lkey = lt.project(left_keys);
+            let need_new_group = match &group_key {
+                Some(k) => cmp_keys(k, &lkey) != Ordering::Equal,
+                None => true,
+            };
+            if need_new_group {
+                // Skip right tuples with smaller keys.
+                while let Some(rt) = riter.peek() {
+                    if cmp_keys(&rt.project(right_keys), &lkey) == Ordering::Less {
+                        riter.next();
+                    } else {
+                        break;
+                    }
+                }
+                group.clear();
+                group_key = None;
+                if let Some(rt) = riter.peek() {
+                    if cmp_keys(&rt.project(right_keys), &lkey) == Ordering::Equal {
+                        group_key = Some(lkey.clone());
+                        while let Some(rt) = riter.peek() {
+                            if cmp_keys(&rt.project(right_keys), &lkey) == Ordering::Equal {
+                                group.push(riter.next().expect("peeked"));
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            // NULL keys never join (SQL equality is unknown on NULL).
+            let key_has_null = lkey.values().iter().any(nsql_types::Value::is_null);
+            let mut matched = false;
+            if !key_has_null && group_key.as_ref().is_some_and(|k| cmp_keys(k, &lkey) == Ordering::Equal)
+            {
+                for rt in &group {
+                    let combined = lt.join(rt);
+                    let ok = match residual {
+                        Some(p) => p.accepts(&combined)?,
+                        None => true,
+                    };
+                    if ok {
+                        matched = true;
+                        out.push(combined);
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                out.push(lt.join_nulls(right_arity));
+            }
+        }
+
+        if l_temp {
+            lfile.drop_pages(&self.storage);
+        }
+        if r_temp {
+            rfile.drop_pages(&self.storage);
+        }
+        Ok(out)
+    }
+}
+
+fn cmp_keys(a: &Tuple, b: &Tuple) -> Ordering {
+    let keys: Vec<SortKey> = (0..a.arity()).map(SortKey::asc).collect();
+    compare(a, b, &keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::*;
+    use super::*;
+    use nsql_storage::Storage;
+    use nsql_sql::parse_query;
+
+    fn exec() -> Exec {
+        Exec::new(Storage::with_defaults())
+    }
+
+    fn on_pred(l: &HeapFile, r: &HeapFile, cond: &str) -> CPred {
+        let combined = l.schema().join(r.schema());
+        let q = parse_query(&format!("SELECT L.A FROM L, R WHERE {cond}")).unwrap();
+        CPred::compile(&combined, q.where_clause.as_ref().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn nl_inner_join_matches() {
+        let e = exec();
+        let l = int_file(e.storage(), "L", &["A"], &[&[1], &[2], &[3]]);
+        let r = int_file(e.storage(), "R", &["B"], &[&[2], &[3], &[3]]);
+        let on = on_pred(&l, &r, "L.A = R.B");
+        let out = e.nl_join(&l, &r, &on, JoinKind::Inner).unwrap();
+        let mut rows = rows_of(e.storage(), &out);
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Some(2), Some(2)],
+                vec![Some(3), Some(3)],
+                vec![Some(3), Some(3)]
+            ]
+        );
+    }
+
+    #[test]
+    fn nl_left_outer_pads_unmatched() {
+        let e = exec();
+        let l = int_file(e.storage(), "L", &["A"], &[&[1], &[2]]);
+        let r = int_file(e.storage(), "R", &["B"], &[&[2]]);
+        let on = on_pred(&l, &r, "L.A = R.B");
+        let out = e.nl_join(&l, &r, &on, JoinKind::LeftOuter).unwrap();
+        let mut rows = rows_of(e.storage(), &out);
+        rows.sort();
+        assert_eq!(rows, vec![vec![Some(1), None], vec![Some(2), Some(2)]]);
+    }
+
+    #[test]
+    fn nl_join_supports_inequality() {
+        let e = exec();
+        let l = int_file(e.storage(), "L", &["A"], &[&[1], &[3]]);
+        let r = int_file(e.storage(), "R", &["B"], &[&[2]]);
+        let on = on_pred(&l, &r, "R.B < L.A");
+        let out = e.nl_join(&l, &r, &on, JoinKind::Inner).unwrap();
+        assert_eq!(rows_of(e.storage(), &out), vec![vec![Some(3), Some(2)]]);
+    }
+
+    #[test]
+    fn merge_join_equals_nl_join() {
+        let e = exec();
+        let l = int_file(
+            e.storage(),
+            "L",
+            &["A", "X"],
+            &[&[3, 0], &[1, 1], &[2, 2], &[3, 3], &[5, 4]],
+        );
+        let r = int_file(
+            e.storage(),
+            "R",
+            &["B", "Y"],
+            &[&[3, 10], &[3, 11], &[2, 12], &[9, 13]],
+        );
+        let on = on_pred(&l, &r, "L.A = R.B");
+        let nl = e.nl_join(&l, &r, &on, JoinKind::Inner).unwrap();
+        let mj = e
+            .merge_join(&l, &r, &[0], &[0], None, JoinKind::Inner, false, false)
+            .unwrap();
+        let a = e.collect(&nl);
+        let b = e.collect(&mj);
+        assert!(a.same_bag(&b), "\nNL:\n{a}\nMJ:\n{b}");
+    }
+
+    #[test]
+    fn merge_left_outer_equals_nl_left_outer() {
+        let e = exec();
+        let l = int_file(e.storage(), "L", &["A"], &[&[1], &[2], &[2], &[4]]);
+        let r = int_file(e.storage(), "R", &["B"], &[&[2], &[2], &[3]]);
+        let on = on_pred(&l, &r, "L.A = R.B");
+        let nl = e.nl_join(&l, &r, &on, JoinKind::LeftOuter).unwrap();
+        let mj = e
+            .merge_join(&l, &r, &[0], &[0], None, JoinKind::LeftOuter, false, false)
+            .unwrap();
+        assert!(e.collect(&nl).same_bag(&e.collect(&mj)));
+    }
+
+    #[test]
+    fn merge_join_residual_filters_within_groups() {
+        let e = exec();
+        let l = int_file(e.storage(), "L", &["A", "X"], &[&[1, 5], &[1, 6]]);
+        let r = int_file(e.storage(), "R", &["B", "Y"], &[&[1, 5], &[1, 7]]);
+        let res = on_pred(&l, &r, "L.X = R.Y");
+        let out = e
+            .merge_join(&l, &r, &[0], &[0], Some(&res), JoinKind::Inner, false, false)
+            .unwrap();
+        assert_eq!(rows_of(e.storage(), &out), vec![vec![Some(1), Some(5), Some(1), Some(5)]]);
+    }
+
+    #[test]
+    fn null_keys_never_match_but_outer_pads() {
+        let e = exec();
+        let st = e.storage().clone();
+        let schema = nsql_types::Schema::new(vec![nsql_types::Column::qualified(
+            "L",
+            "A",
+            nsql_types::ColumnType::Int,
+        )]);
+        let l = HeapFile::from_tuples(
+            &st,
+            schema,
+            vec![
+                Tuple::new(vec![nsql_types::Value::Null]),
+                Tuple::new(vec![nsql_types::Value::Int(1)]),
+            ],
+        );
+        let r = int_file(&st, "R", &["B"], &[&[1]]);
+        let mj = e
+            .merge_join(&l, &r, &[0], &[0], None, JoinKind::LeftOuter, false, false)
+            .unwrap();
+        let mut rows = rows_of(&st, &mj);
+        rows.sort();
+        assert_eq!(rows, vec![vec![None, None], vec![Some(1), Some(1)]]);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let e = exec();
+        let l = int_file(e.storage(), "L", &["A"], &[&[1]]);
+        let empty = int_file(e.storage(), "R", &["B"], &[]);
+        let on = on_pred(&l, &empty, "L.A = R.B");
+        let inner = e.nl_join(&l, &empty, &on, JoinKind::Inner).unwrap();
+        assert_eq!(inner.tuple_count(), 0);
+        let outer = e
+            .merge_join(&l, &empty, &[0], &[0], None, JoinKind::LeftOuter, false, false)
+            .unwrap();
+        assert_eq!(rows_of(e.storage(), &outer), vec![vec![Some(1), None]]);
+        let rev = e.nl_join(&empty, &l, &on_pred(&empty, &l, "R.B = L.A"), JoinKind::LeftOuter);
+        assert_eq!(rev.unwrap().tuple_count(), 0);
+    }
+
+    #[test]
+    fn multi_key_merge_join() {
+        let e = exec();
+        let l = int_file(e.storage(), "L", &["A", "B"], &[&[1, 1], &[1, 2], &[2, 1]]);
+        let r = int_file(e.storage(), "R", &["C", "D"], &[&[1, 1], &[1, 2], &[2, 2]]);
+        let mj = e
+            .merge_join(&l, &r, &[0, 1], &[0, 1], None, JoinKind::Inner, false, false)
+            .unwrap();
+        let mut rows = rows_of(e.storage(), &mj);
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Some(1), Some(1), Some(1), Some(1)],
+                vec![Some(1), Some(2), Some(1), Some(2)]
+            ]
+        );
+    }
+
+    #[test]
+    fn presorted_inputs_skip_sorting_io() {
+        let e = exec();
+        let l = int_file(e.storage(), "L", &["A"], &[&[1], &[2], &[3]]);
+        let r = int_file(e.storage(), "R", &["B"], &[&[1], &[2]]);
+        e.storage().reset_stats();
+        let before = e.storage().io_stats();
+        let _ = e
+            .merge_join(&l, &r, &[0], &[0], None, JoinKind::Inner, true, true)
+            .unwrap();
+        let used = e.storage().io_stats().since(&before);
+        // Just reads of both files plus writing the (1-page) result.
+        assert_eq!(used.reads, (l.page_count() + r.page_count()) as u64);
+        assert!(used.writes <= 1);
+    }
+}

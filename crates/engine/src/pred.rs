@@ -1,0 +1,344 @@
+//! Compiled predicates with SQL three-valued logic.
+//!
+//! Evaluation returns `Option<bool>`: `Some(true)` / `Some(false)` /
+//! `None` (*unknown*). `WHERE` keeps a row only when the predicate is
+//! `Some(true)` — the rule that makes `MAX(∅) = NULL` drop rows in the
+//! paper's Q5 example and that outer-join `NULL` padding interacts with.
+
+use crate::error::EngineError;
+use crate::expr::CExpr;
+use crate::Result;
+use nsql_sql::{CompareOp, InRhs, Operand, Predicate};
+use nsql_types::{Schema, Tuple, Value};
+
+/// Three-valued AND over an iterator of truth values.
+pub fn and3(values: impl IntoIterator<Item = Option<bool>>) -> Option<bool> {
+    let mut unknown = false;
+    for v in values {
+        match v {
+            Some(false) => return Some(false),
+            None => unknown = true,
+            Some(true) => {}
+        }
+    }
+    if unknown {
+        None
+    } else {
+        Some(true)
+    }
+}
+
+/// Three-valued OR over an iterator of truth values.
+pub fn or3(values: impl IntoIterator<Item = Option<bool>>) -> Option<bool> {
+    let mut unknown = false;
+    for v in values {
+        match v {
+            Some(true) => return Some(true),
+            None => unknown = true,
+            Some(false) => {}
+        }
+    }
+    if unknown {
+        None
+    } else {
+        Some(false)
+    }
+}
+
+/// Three-valued NOT.
+pub fn not3(v: Option<bool>) -> Option<bool> {
+    v.map(|b| !b)
+}
+
+/// A compiled predicate over a fixed tuple schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CPred {
+    /// Constant truth value (used for empty conjunctions).
+    Const(Option<bool>),
+    /// Conjunction.
+    And(Vec<CPred>),
+    /// Disjunction.
+    Or(Vec<CPred>),
+    /// Negation.
+    Not(Box<CPred>),
+    /// Scalar comparison.
+    Cmp {
+        /// Left side.
+        left: CExpr,
+        /// Operator.
+        op: CompareOp,
+        /// Right side.
+        right: CExpr,
+    },
+    /// Membership in a literal list.
+    InList {
+        /// Tested expression.
+        expr: CExpr,
+        /// List of values.
+        list: Vec<Value>,
+        /// Negated?
+        negated: bool,
+    },
+    /// NULL test.
+    IsNull {
+        /// Tested expression.
+        expr: CExpr,
+        /// `IS NOT NULL`?
+        negated: bool,
+    },
+}
+
+impl CPred {
+    /// Evaluate under three-valued logic.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Option<bool>> {
+        Ok(match self {
+            CPred::Const(v) => *v,
+            CPred::And(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval(tuple)? {
+                        Some(false) => return Ok(Some(false)),
+                        None => unknown = true,
+                        Some(true) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+            CPred::Or(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval(tuple)? {
+                        Some(true) => return Ok(Some(true)),
+                        None => unknown = true,
+                        Some(false) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            CPred::Not(p) => not3(p.eval(tuple)?),
+            CPred::Cmp { left, op, right } => {
+                compare_values(left.eval(tuple), *op, right.eval(tuple))?
+            }
+            CPred::InList { expr, list, negated } => {
+                let v = in_list(expr.eval(tuple), list)?;
+                if *negated {
+                    not3(v)
+                } else {
+                    v
+                }
+            }
+            CPred::IsNull { expr, negated } => {
+                let isnull = expr.eval(tuple).is_null();
+                Some(if *negated { !isnull } else { isnull })
+            }
+        })
+    }
+
+    /// True iff `eval` returns `Some(true)` — the WHERE-clause acceptance
+    /// test.
+    pub fn accepts(&self, tuple: &Tuple) -> Result<bool> {
+        Ok(self.eval(tuple)? == Some(true))
+    }
+
+    /// Compile an AST predicate against `schema`. Subqueries are rejected
+    /// (see [`CExpr::compile_operand`]); `Exists`/`Quantified` never reach
+    /// physical compilation.
+    pub fn compile(schema: &Schema, p: &Predicate) -> Result<CPred> {
+        Ok(match p {
+            Predicate::And(ps) => CPred::And(
+                ps.iter().map(|q| CPred::compile(schema, q)).collect::<Result<_>>()?,
+            ),
+            Predicate::Or(ps) => CPred::Or(
+                ps.iter().map(|q| CPred::compile(schema, q)).collect::<Result<_>>()?,
+            ),
+            Predicate::Not(q) => CPred::Not(Box::new(CPred::compile(schema, q)?)),
+            Predicate::Compare { left, op, right } => CPred::Cmp {
+                left: CExpr::compile_operand(schema, left)?,
+                op: *op,
+                right: CExpr::compile_operand(schema, right)?,
+            },
+            Predicate::In { operand, negated, rhs: InRhs::List(list) } => CPred::InList {
+                expr: CExpr::compile_operand(schema, operand)?,
+                list: list.clone(),
+                negated: *negated,
+            },
+            Predicate::In { rhs: InRhs::Subquery(_), .. } => {
+                return Err(EngineError::Unsupported(
+                    "IN subquery in physical predicate (transform it away first)".into(),
+                ))
+            }
+            Predicate::Exists { .. } | Predicate::Quantified { .. } => {
+                return Err(EngineError::Unsupported(
+                    "EXISTS/quantified predicate in physical plan (rewrite it first)".into(),
+                ))
+            }
+            Predicate::IsNull { operand, negated } => CPred::IsNull {
+                expr: CExpr::compile_operand(schema, operand)?,
+                negated: *negated,
+            },
+        })
+    }
+
+    /// A predicate that is always true.
+    pub fn always_true() -> CPred {
+        CPred::Const(Some(true))
+    }
+}
+
+/// Compare under 3VL (`None` when either side is `NULL`).
+pub fn compare_values(a: &Value, op: CompareOp, b: &Value) -> Result<Option<bool>> {
+    Ok(a.sql_cmp(b)?.map(|o| op.eval(o)))
+}
+
+/// SQL `IN` over an in-memory list: `TRUE` if some element equals, else
+/// `UNKNOWN` if any comparison was unknown (NULL involved), else `FALSE`.
+pub fn in_list(v: &Value, list: &[Value]) -> Result<Option<bool>> {
+    let mut unknown = false;
+    for item in list {
+        match v.sql_eq(item)? {
+            Some(true) => return Ok(Some(true)),
+            None => unknown = true,
+            Some(false) => {}
+        }
+    }
+    Ok(if unknown { None } else { Some(false) })
+}
+
+/// Check whether an AST operand is free of subqueries (usable physically).
+pub fn operand_is_simple(o: &Operand) -> bool {
+    !matches!(o, Operand::Subquery(_))
+}
+
+/// A *simple* predicate in the paper's sense: no nested query block at any
+/// position. These are the predicates NEST-JA2 pushes into the projection /
+/// restriction steps.
+pub fn predicate_is_simple(p: &Predicate) -> bool {
+    match p {
+        Predicate::And(ps) | Predicate::Or(ps) => ps.iter().all(predicate_is_simple),
+        Predicate::Not(q) => predicate_is_simple(q),
+        Predicate::Compare { left, right, .. } => {
+            operand_is_simple(left) && operand_is_simple(right)
+        }
+        Predicate::In { operand, rhs, .. } => {
+            operand_is_simple(operand) && matches!(rhs, InRhs::List(_))
+        }
+        Predicate::Exists { .. } | Predicate::Quantified { .. } => false,
+        Predicate::IsNull { operand, .. } => operand_is_simple(operand),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsql_sql::parse_query;
+    use nsql_types::{Column, ColumnType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::qualified("T", "A", ColumnType::Int),
+            Column::qualified("T", "B", ColumnType::Int),
+        ])
+    }
+
+    fn compile(src_where: &str) -> CPred {
+        let q = parse_query(&format!("SELECT A FROM T WHERE {src_where}")).unwrap();
+        CPred::compile(&schema(), q.where_clause.as_ref().unwrap()).unwrap()
+    }
+
+    fn t(a: Option<i64>, b: Option<i64>) -> Tuple {
+        Tuple::new(vec![
+            a.map_or(Value::Null, Value::Int),
+            b.map_or(Value::Null, Value::Int),
+        ])
+    }
+
+    #[test]
+    fn three_valued_and() {
+        assert_eq!(and3([Some(true), Some(true)]), Some(true));
+        assert_eq!(and3([Some(true), Some(false), None]), Some(false));
+        assert_eq!(and3([Some(true), None]), None);
+        assert_eq!(and3([]), Some(true));
+    }
+
+    #[test]
+    fn three_valued_or() {
+        assert_eq!(or3([Some(false), Some(true), None]), Some(true));
+        assert_eq!(or3([Some(false), None]), None);
+        assert_eq!(or3([Some(false)]), Some(false));
+        assert_eq!(or3([]), Some(false));
+    }
+
+    #[test]
+    fn comparison_with_null_is_unknown() {
+        let p = compile("A = 1");
+        assert_eq!(p.eval(&t(Some(1), None)).unwrap(), Some(true));
+        assert_eq!(p.eval(&t(None, None)).unwrap(), None);
+        assert!(!p.accepts(&t(None, None)).unwrap());
+    }
+
+    #[test]
+    fn and_short_circuits_unknown_correctly() {
+        // FALSE AND UNKNOWN = FALSE; TRUE AND UNKNOWN = UNKNOWN.
+        let p = compile("A = 1 AND B = 2");
+        assert_eq!(p.eval(&t(Some(0), None)).unwrap(), Some(false));
+        assert_eq!(p.eval(&t(Some(1), None)).unwrap(), None);
+    }
+
+    #[test]
+    fn not_of_unknown_is_unknown() {
+        let p = compile("NOT (B = 2)");
+        assert_eq!(p.eval(&t(Some(1), None)).unwrap(), None);
+        assert_eq!(p.eval(&t(Some(1), Some(3))).unwrap(), Some(true));
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        assert_eq!(in_list(&Value::Int(1), &[Value::Int(1), Value::Null]).unwrap(), Some(true));
+        assert_eq!(in_list(&Value::Int(2), &[Value::Int(1), Value::Null]).unwrap(), None);
+        assert_eq!(in_list(&Value::Int(2), &[Value::Int(1)]).unwrap(), Some(false));
+        assert_eq!(in_list(&Value::Null, &[Value::Int(1)]).unwrap(), None);
+        assert_eq!(in_list(&Value::Int(1), &[]).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn not_in_with_null_never_accepts() {
+        let p = compile("A NOT IN (1, NULL)");
+        assert_eq!(p.eval(&t(Some(2), None)).unwrap(), None);
+        assert_eq!(p.eval(&t(Some(1), None)).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn is_null_is_two_valued() {
+        let p = compile("B IS NULL");
+        assert_eq!(p.eval(&t(Some(1), None)).unwrap(), Some(true));
+        assert_eq!(p.eval(&t(Some(1), Some(2))).unwrap(), Some(false));
+        let p = compile("B IS NOT NULL");
+        assert_eq!(p.eval(&t(Some(1), None)).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn simple_predicate_detection() {
+        let q = parse_query("SELECT A FROM T WHERE A = 1 AND B IN (1, 2)").unwrap();
+        assert!(predicate_is_simple(q.where_clause.as_ref().unwrap()));
+        let q = parse_query("SELECT A FROM T WHERE A IN (SELECT B FROM T)").unwrap();
+        assert!(!predicate_is_simple(q.where_clause.as_ref().unwrap()));
+        let q = parse_query("SELECT A FROM T WHERE A = (SELECT MAX(B) FROM T)").unwrap();
+        assert!(!predicate_is_simple(q.where_clause.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn compile_rejects_subqueries() {
+        let q = parse_query("SELECT A FROM T WHERE A IN (SELECT B FROM T)").unwrap();
+        assert!(CPred::compile(&schema(), q.where_clause.as_ref().unwrap()).is_err());
+        let q = parse_query("SELECT A FROM T WHERE EXISTS (SELECT B FROM T)").unwrap();
+        assert!(CPred::compile(&schema(), q.where_clause.as_ref().unwrap()).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Render AST back to SQL text.
+//!
+//! Used by `EXPLAIN`-style output, by the experiment binaries that print the
+//! paper's intermediate transformed queries, and by the parser round-trip
+//! property tests.
+
+use crate::ast::*;
+use nsql_types::Value;
+use std::fmt::Write as _;
+
+/// Render a query block as a single-line SQL string.
+pub fn print_query(q: &QueryBlock) -> String {
+    let mut out = String::new();
+    write_query(&mut out, q);
+    out
+}
+
+/// Render a predicate as SQL.
+pub fn print_predicate(p: &Predicate) -> String {
+    let mut out = String::new();
+    write_pred(&mut out, p, false);
+    out
+}
+
+/// Render a statement as SQL.
+pub fn print_statement(s: &Statement) -> String {
+    match s {
+        Statement::Select(q) => print_query(q),
+        Statement::CreateTable { name, columns } => {
+            let cols: Vec<String> =
+                columns.iter().map(|(n, t)| format!("{n} {t}")).collect();
+            format!("CREATE TABLE {name} ({})", cols.join(", "))
+        }
+        Statement::Insert { table, rows } => {
+            let rows: Vec<String> = rows
+                .iter()
+                .map(|r| {
+                    let vals: Vec<String> = r.iter().map(print_value).collect();
+                    format!("({})", vals.join(", "))
+                })
+                .collect();
+            format!("INSERT INTO {table} VALUES {}", rows.join(", "))
+        }
+    }
+}
+
+fn write_query(out: &mut String, q: &QueryBlock) {
+    out.push_str("SELECT ");
+    if q.distinct {
+        out.push_str("DISTINCT ");
+    }
+    for (i, item) in q.select.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_scalar(out, &item.expr);
+        if let Some(a) = &item.alias {
+            let _ = write!(out, " AS {a}");
+        }
+    }
+    out.push_str(" FROM ");
+    for (i, t) in q.from.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&t.table);
+        if let Some(a) = &t.alias {
+            let _ = write!(out, " {a}");
+        }
+    }
+    if let Some(w) = &q.where_clause {
+        out.push_str(" WHERE ");
+        write_pred(out, w, false);
+    }
+    if !q.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, c) in q.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{c}");
+        }
+    }
+    if !q.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        for (i, k) in q.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}", k.column);
+            if matches!(k.dir, SortDir::Desc) {
+                out.push_str(" DESC");
+            }
+        }
+    }
+}
+
+fn write_scalar(out: &mut String, e: &ScalarExpr) {
+    match e {
+        ScalarExpr::Column(c) => {
+            let _ = write!(out, "{c}");
+        }
+        ScalarExpr::Literal(v) => out.push_str(&print_value(v)),
+        ScalarExpr::Aggregate(f, AggArg::Star) => {
+            let _ = write!(out, "{}(*)", f.name());
+        }
+        ScalarExpr::Aggregate(f, AggArg::Column(c)) => {
+            let _ = write!(out, "{}({c})", f.name());
+        }
+    }
+}
+
+fn write_operand(out: &mut String, o: &Operand) {
+    match o {
+        Operand::Column(c) => {
+            let _ = write!(out, "{c}");
+        }
+        Operand::Literal(v) => out.push_str(&print_value(v)),
+        Operand::Subquery(q) => {
+            out.push('(');
+            write_query(out, q);
+            out.push(')');
+        }
+    }
+}
+
+/// `parenthesize` wraps compound predicates so nesting under NOT/OR prints
+/// unambiguously.
+fn write_pred(out: &mut String, p: &Predicate, parenthesize: bool) {
+    match p {
+        Predicate::And(ps) => {
+            if parenthesize {
+                out.push('(');
+            }
+            for (i, sub) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" AND ");
+                }
+                write_pred(out, sub, matches!(sub, Predicate::Or(_)));
+            }
+            if parenthesize {
+                out.push(')');
+            }
+        }
+        Predicate::Or(ps) => {
+            if parenthesize {
+                out.push('(');
+            }
+            for (i, sub) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" OR ");
+                }
+                write_pred(out, sub, matches!(sub, Predicate::And(_) | Predicate::Or(_)));
+            }
+            if parenthesize {
+                out.push(')');
+            }
+        }
+        Predicate::Not(inner) => {
+            out.push_str("NOT (");
+            write_pred(out, inner, false);
+            out.push(')');
+        }
+        Predicate::Compare { left, op, right } => {
+            write_operand(out, left);
+            let _ = write!(out, " {} ", op.symbol());
+            write_operand(out, right);
+        }
+        Predicate::In { operand, negated, rhs } => {
+            write_operand(out, operand);
+            if *negated {
+                out.push_str(" NOT IN (");
+            } else {
+                out.push_str(" IN (");
+            }
+            match rhs {
+                InRhs::Subquery(q) => write_query(out, q),
+                InRhs::List(vs) => {
+                    for (i, v) in vs.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&print_value(v));
+                    }
+                }
+            }
+            out.push(')');
+        }
+        Predicate::Exists { negated, query } => {
+            if *negated {
+                out.push_str("NOT ");
+            }
+            out.push_str("EXISTS (");
+            write_query(out, query);
+            out.push(')');
+        }
+        Predicate::Quantified { left, op, quantifier, query } => {
+            write_operand(out, left);
+            let q = match quantifier {
+                Quantifier::Any => "ANY",
+                Quantifier::All => "ALL",
+            };
+            let _ = write!(out, " {} {q} (", op.symbol());
+            write_query(out, query);
+            out.push(')');
+        }
+        Predicate::IsNull { operand, negated } => {
+            write_operand(out, operand);
+            if *negated {
+                out.push_str(" IS NOT NULL");
+            } else {
+                out.push_str(" IS NULL");
+            }
+        }
+    }
+}
+
+/// Render a literal as SQL source.
+pub fn print_value(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f:?}"),
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Date(d) => format!("DATE '{d}'"),
+        Value::Bool(b) => b.to_string().to_uppercase(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_statement};
+
+    /// Parse → print → parse must be a fixed point.
+    fn roundtrip(src: &str) {
+        let q1 = parse_query(src).unwrap();
+        let printed = print_query(&q1);
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(q1, q2, "roundtrip changed the AST for {printed:?}");
+    }
+
+    #[test]
+    fn roundtrips_paper_queries() {
+        for src in [
+            "SELECT SNAME FROM S WHERE SNO IN (SELECT SNO FROM SP WHERE PNO = 'P2')",
+            "SELECT SNO FROM SP WHERE PNO = (SELECT MAX(PNO) FROM P)",
+            "SELECT SNO FROM SP WHERE PNO IS IN (SELECT PNO FROM P WHERE WEIGHT > 50)",
+            "SELECT SNAME FROM S WHERE SNO IS IN (SELECT SNO FROM SP WHERE QTY > 100 AND SP.ORIGIN = S.CITY)",
+            "SELECT PNAME FROM P WHERE PNO = (SELECT MAX(PNO) FROM SP WHERE SP.ORIGIN = P.CITY)",
+            "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)",
+            "SELECT DISTINCT PNUM FROM PARTS",
+            "SELECT PNUM, COUNT(SHIPDATE) AS CT FROM SUPPLY GROUP BY PNUM ORDER BY PNUM DESC",
+            "SELECT SNO FROM S WHERE NOT EXISTS (SELECT SNO FROM SP WHERE SP.SNO = S.SNO)",
+            "SELECT SNO FROM SP WHERE QTY < ALL (SELECT QTY FROM SP X WHERE X.PNO = 'P1')",
+            "SELECT SNO FROM SP WHERE (QTY > 10 OR QTY < 2) AND PNO IN ('P1', 'P2')",
+            "SELECT A FROM T WHERE NOT (A = 1 OR A = 2)",
+            "SELECT A FROM T WHERE B IS NOT NULL AND A != 2.5",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn prints_in_subquery_in_paper_style() {
+        let q = parse_query("SELECT SNO FROM SP WHERE PNO IN (SELECT PNO FROM P)").unwrap();
+        assert_eq!(
+            print_query(&q),
+            "SELECT SNO FROM SP WHERE PNO IN (SELECT PNO FROM P)"
+        );
+    }
+
+    #[test]
+    fn prints_statements() {
+        let c = parse_statement("CREATE TABLE T (A INT, D DATE)").unwrap();
+        assert_eq!(print_statement(&c), "CREATE TABLE T (A INT, D DATE)");
+        let i = parse_statement("INSERT INTO T VALUES (1, 7-3-79), (2, NULL)").unwrap();
+        assert_eq!(
+            print_statement(&i),
+            "INSERT INTO T VALUES (1, DATE '1979-07-03'), (2, NULL)"
+        );
+    }
+
+    #[test]
+    fn date_value_roundtrips_via_date_keyword() {
+        roundtrip("SELECT A FROM T WHERE D < 1-1-80");
+    }
+}

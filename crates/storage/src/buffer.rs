@@ -1,0 +1,177 @@
+//! A `B`-frame LRU buffer pool in front of the simulated disk.
+//!
+//! The pool caches read pages; a hit costs no I/O, a miss costs one read and
+//! may evict the least-recently-used frame. Pages are immutable after
+//! creation (heap files are append-built and temporaries are written whole),
+//! so eviction never writes back — all write I/O is counted at file-creation
+//! time, matching how the paper's cost formulas charge `Pt` once per
+//! temporary.
+
+use crate::disk::{Disk, Page, PageId};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+struct Frame {
+    page: Rc<Page>,
+    last_used: u64,
+}
+
+/// LRU page cache with a fixed number of frames.
+pub struct BufferPool {
+    disk: Rc<Disk>,
+    capacity: usize,
+    frames: HashMap<PageId, Frame>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// Pool with `capacity` frames (minimum 1).
+    pub fn new(disk: Rc<Disk>, capacity: usize) -> BufferPool {
+        BufferPool {
+            disk,
+            capacity: capacity.max(1),
+            frames: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cache hits since the last reset.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses since the last reset.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fetch a page, consulting the cache first.
+    pub fn get(&mut self, id: PageId) -> Rc<Page> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(frame) = self.frames.get_mut(&id) {
+            frame.last_used = clock;
+            self.hits += 1;
+            return Rc::clone(&frame.page);
+        }
+        self.misses += 1;
+        let page = self.disk.read(id);
+        if self.frames.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.frames.insert(id, Frame { page: Rc::clone(&page), last_used: clock });
+        page
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some((&victim, _)) = self.frames.iter().min_by_key(|(_, f)| f.last_used) {
+            self.frames.remove(&victim);
+        }
+    }
+
+    /// Drop a specific page from the cache (used when a page is freed).
+    pub fn evict(&mut self, id: PageId) {
+        self.frames.remove(&id);
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+
+    /// Zero hit/miss counters.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of cached pages (≤ capacity; for invariant tests).
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsql_types::{Tuple, Value};
+
+    fn disk_with_pages(n: u64) -> (Rc<Disk>, Vec<PageId>) {
+        let disk = Rc::new(Disk::new());
+        let ids: Vec<PageId> = (0..n)
+            .map(|i| {
+                let id = disk.alloc();
+                disk.write(id, Page::new(vec![Tuple::new(vec![Value::Int(i as i64)])]));
+                id
+            })
+            .collect();
+        disk.reset_stats();
+        (disk, ids)
+    }
+
+    #[test]
+    fn hit_costs_no_io() {
+        let (disk, ids) = disk_with_pages(1);
+        let mut pool = BufferPool::new(Rc::clone(&disk), 2);
+        pool.get(ids[0]);
+        pool.get(ids[0]);
+        assert_eq!(disk.stats().reads, 1);
+        assert_eq!((pool.hits(), pool.misses()), (1, 1));
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let (disk, ids) = disk_with_pages(10);
+        let mut pool = BufferPool::new(disk, 3);
+        for &id in &ids {
+            pool.get(id);
+            assert!(pool.resident() <= 3);
+        }
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let (disk, ids) = disk_with_pages(3);
+        let mut pool = BufferPool::new(Rc::clone(&disk), 2);
+        pool.get(ids[0]); // miss
+        pool.get(ids[1]); // miss
+        pool.get(ids[0]); // hit — makes ids[1] the LRU
+        pool.get(ids[2]); // miss, evicts ids[1]
+        pool.get(ids[0]); // hit — still resident
+        pool.get(ids[1]); // miss — was evicted
+        assert_eq!(disk.stats().reads, 4);
+    }
+
+    #[test]
+    fn cyclic_scan_beyond_capacity_thrashes() {
+        // Sequential rescan pattern with LRU: every access misses once the
+        // working set exceeds the pool. This is the nested-iteration
+        // worst case from the paper.
+        let (disk, ids) = disk_with_pages(4);
+        let mut pool = BufferPool::new(Rc::clone(&disk), 3);
+        for _ in 0..3 {
+            for &id in &ids {
+                pool.get(id);
+            }
+        }
+        assert_eq!(disk.stats().reads, 12, "every access must miss");
+    }
+
+    #[test]
+    fn clear_empties_pool() {
+        let (disk, ids) = disk_with_pages(2);
+        let mut pool = BufferPool::new(disk, 2);
+        pool.get(ids[0]);
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Heap files: paged, unordered tuple files.
+
+use crate::disk::PageId;
+use crate::Storage;
+use nsql_types::{Schema, Tuple};
+use std::rc::Rc;
+
+/// An immutable paged file of tuples with a schema.
+///
+/// Heap files are built once (from a tuple stream) and then scanned; the
+/// engine materializes every intermediate relation — temporary tables, sort
+/// runs, join results — as a heap file, so all I/O flows through the counted
+/// disk.
+#[derive(Clone)]
+pub struct HeapFile {
+    schema: Schema,
+    pages: Rc<Vec<PageId>>,
+    tuple_count: usize,
+}
+
+impl HeapFile {
+    /// Build a heap file by packing `tuples` into pages of
+    /// `storage.page_size()` bytes (at least one tuple per page). Costs one
+    /// write per produced page. An empty input produces zero pages.
+    pub fn from_tuples(
+        storage: &Storage,
+        schema: Schema,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> HeapFile {
+        let budget = storage.page_size();
+        let mut pages = Vec::new();
+        let mut current: Vec<Tuple> = Vec::new();
+        let mut used = 0usize;
+        let mut tuple_count = 0usize;
+        for t in tuples {
+            debug_assert_eq!(t.arity(), schema.arity(), "tuple arity must match heap schema");
+            let w = t.storage_width();
+            if !current.is_empty() && used + w > budget {
+                pages.push(storage.write_new_page(std::mem::take(&mut current)));
+                used = 0;
+            }
+            used += w;
+            tuple_count += 1;
+            current.push(t);
+        }
+        if !current.is_empty() {
+            pages.push(storage.write_new_page(current));
+        }
+        HeapFile { schema, pages: Rc::new(pages), tuple_count }
+    }
+
+    /// The tuple schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// A copy of this file's metadata with columns re-qualified to `name`
+    /// (no I/O — the pages are shared). Used when a temporary table result
+    /// is registered under a new name.
+    pub fn with_schema(&self, schema: Schema) -> HeapFile {
+        assert_eq!(schema.arity(), self.schema.arity());
+        HeapFile { schema, pages: Rc::clone(&self.pages), tuple_count: self.tuple_count }
+    }
+
+    /// Number of pages (the paper's `P`).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of tuples (the paper's `N`).
+    pub fn tuple_count(&self) -> usize {
+        self.tuple_count
+    }
+
+    /// The page ids, in file order.
+    pub fn page_ids(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Scan all tuples through the buffer pool.
+    pub fn scan(&self, storage: &Storage) -> HeapScan {
+        HeapScan {
+            storage: storage.clone(),
+            pages: Rc::clone(&self.pages),
+            direct: false,
+            page_idx: 0,
+            tuple_idx: 0,
+            current: None,
+        }
+    }
+
+    /// Scan bypassing the buffer pool (sort passes; see
+    /// [`Storage::read_page_direct`]).
+    pub fn scan_direct(&self, storage: &Storage) -> HeapScan {
+        HeapScan {
+            storage: storage.clone(),
+            pages: Rc::clone(&self.pages),
+            direct: true,
+            page_idx: 0,
+            tuple_idx: 0,
+            current: None,
+        }
+    }
+
+    /// Free every page of this file (no I/O).
+    pub fn drop_pages(&self, storage: &Storage) {
+        for &id in self.pages.iter() {
+            storage.free_page(id);
+        }
+    }
+}
+
+/// Streaming iterator over a heap file's tuples.
+pub struct HeapScan {
+    storage: Storage,
+    pages: Rc<Vec<PageId>>,
+    direct: bool,
+    page_idx: usize,
+    tuple_idx: usize,
+    current: Option<Rc<crate::disk::Page>>,
+}
+
+impl Iterator for HeapScan {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if let Some(page) = &self.current {
+                if self.tuple_idx < page.len() {
+                    let t = page.tuples()[self.tuple_idx].clone();
+                    self.tuple_idx += 1;
+                    return Some(t);
+                }
+                self.current = None;
+            }
+            if self.page_idx >= self.pages.len() {
+                return None;
+            }
+            let id = self.pages[self.page_idx];
+            self.page_idx += 1;
+            self.tuple_idx = 0;
+            self.current = Some(if self.direct {
+                self.storage.read_page_direct(id)
+            } else {
+                self.storage.read_page(id)
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsql_types::{Column, ColumnType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("A", ColumnType::Int)])
+    }
+
+    fn tuples(n: i64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new(vec![Value::Int(i)])).collect()
+    }
+
+    #[test]
+    fn empty_file_has_no_pages() {
+        let st = Storage::with_defaults();
+        let f = HeapFile::from_tuples(&st, schema(), Vec::new());
+        assert_eq!(f.page_count(), 0);
+        assert_eq!(f.scan(&st).count(), 0);
+    }
+
+    #[test]
+    fn scan_preserves_order() {
+        let st = Storage::with_defaults();
+        let f = HeapFile::from_tuples(&st, schema(), tuples(300));
+        let vals: Vec<i64> = f
+            .scan(&st)
+            .map(|t| match t.get(0) {
+                Value::Int(i) => *i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(vals, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pages_fill_to_budget() {
+        let st = Storage::new(4, 100);
+        let f = HeapFile::from_tuples(&st, schema(), tuples(100));
+        // width = 2 + 8 = 10 bytes, so 10 tuples per 100-byte page.
+        assert_eq!(f.page_count(), 10);
+        assert_eq!(f.tuple_count(), 100);
+    }
+
+    #[test]
+    fn drop_pages_frees_disk() {
+        let st = Storage::with_defaults();
+        let f = HeapFile::from_tuples(&st, schema(), tuples(50));
+        assert!(f.page_count() > 0);
+        f.drop_pages(&st);
+        // A subsequent scan would panic (pages freed); just check liveness
+        // via a fresh write reusing nothing.
+        let g = HeapFile::from_tuples(&st, schema(), tuples(1));
+        assert_eq!(g.page_count(), 1);
+    }
+}

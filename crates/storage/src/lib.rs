@@ -1,0 +1,279 @@
+#![warn(missing_docs)]
+
+//! Simulated paged storage engine with I/O accounting.
+//!
+//! The paper measures every strategy in **disk page I/Os** on a System-R-like
+//! engine: relations live in pages, a main-memory buffer holds `B` pages, and
+//! sorting a `P`-page relation with a (B−1)-way multi-way merge sort costs
+//! `2·P·log_{B-1}(P)` page I/Os [KIM 82:462]. This crate provides that
+//! substrate:
+//!
+//! * [`disk::Disk`] — the simulated disk: a page store whose every read and
+//!   write increments shared [`stats::IoStats`] counters.
+//! * [`buffer::BufferPool`] — a `B`-frame LRU cache in front of the disk.
+//!   Re-reading a cached page is free, which is exactly why the paper's
+//!   nested-loop join is cheap when the inner relation fits in `B−1` pages
+//!   and catastrophic when it does not (LRU thrashes on cyclic rescans).
+//! * [`heap::HeapFile`] — an unordered paged file of tuples; relations and
+//!   temporary tables are heap files. Pages are packed by a byte budget so
+//!   page counts scale with schema width like a real system.
+//! * [`sort::external_sort`] — the (B−1)-way external merge sort used for
+//!   merge joins, `GROUP BY`, and duplicate elimination.
+//! * [`Storage`] — the facade tying disk + buffer together; cheaply
+//!   cloneable (shared interior) so iterators can own a handle.
+//!
+//! Pages hold decoded [`Tuple`]s rather than serialized bytes: the unit under
+//! study is the *I/O count*, not the byte encoding, and every algorithm in
+//! the paper is insensitive to the on-page layout.
+
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod sort;
+pub mod stats;
+
+pub use buffer::BufferPool;
+pub use disk::{Disk, Page, PageId};
+pub use heap::HeapFile;
+pub use sort::external_sort;
+pub use stats::IoStats;
+
+use nsql_types::{Relation, Schema, Tuple};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Default page size in bytes (a deliberately small page so that the paper's
+/// example tables span realistic page counts at laptop-scale cardinalities).
+pub const DEFAULT_PAGE_SIZE: usize = 512;
+
+/// Default buffer size in pages; the Section-7.4 example uses `B = 6`.
+pub const DEFAULT_BUFFER_PAGES: usize = 6;
+
+struct StorageInner {
+    disk: Rc<Disk>,
+    buffer: RefCell<BufferPool>,
+    page_size: usize,
+}
+
+/// Facade over the simulated disk and buffer pool.
+///
+/// Cloning is cheap and shares the same underlying disk, buffer, and I/O
+/// counters, so scans and operators can each hold a handle.
+#[derive(Clone)]
+pub struct Storage {
+    inner: Rc<StorageInner>,
+}
+
+impl Storage {
+    /// New storage with `buffer_pages` frames and `page_size`-byte pages.
+    pub fn new(buffer_pages: usize, page_size: usize) -> Storage {
+        let disk = Rc::new(Disk::new());
+        let buffer = RefCell::new(BufferPool::new(Rc::clone(&disk), buffer_pages));
+        Storage { inner: Rc::new(StorageInner { disk, buffer, page_size }) }
+    }
+
+    /// Storage with the defaults used across the experiments.
+    pub fn with_defaults() -> Storage {
+        Storage::new(DEFAULT_BUFFER_PAGES, DEFAULT_PAGE_SIZE)
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.inner.page_size
+    }
+
+    /// The number of buffer frames `B`.
+    pub fn buffer_pages(&self) -> usize {
+        self.inner.buffer.borrow().capacity()
+    }
+
+    /// Snapshot of the cumulative I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.inner.disk.stats()
+    }
+
+    /// Reset the I/O counters (buffer contents are kept; call
+    /// [`Storage::clear_buffer`] too for a fully cold measurement).
+    pub fn reset_stats(&self) {
+        self.inner.disk.reset_stats();
+        self.inner.buffer.borrow_mut().reset_stats();
+    }
+
+    /// Drop every cached page, so the next reads hit the disk.
+    pub fn clear_buffer(&self) {
+        self.inner.buffer.borrow_mut().clear();
+    }
+
+    /// Buffer hit/miss counters.
+    pub fn buffer_stats(&self) -> (u64, u64) {
+        let b = self.inner.buffer.borrow();
+        (b.hits(), b.misses())
+    }
+
+    /// Read a page through the buffer pool.
+    pub fn read_page(&self, id: PageId) -> Rc<Page> {
+        self.inner.buffer.borrow_mut().get(id)
+    }
+
+    /// Read a page directly from disk, bypassing (and not populating) the
+    /// buffer. Sort passes use this so their I/O pattern matches the
+    /// analytical model exactly.
+    pub fn read_page_direct(&self, id: PageId) -> Rc<Page> {
+        self.inner.disk.read(id)
+    }
+
+    /// Allocate and write a fresh page directly to disk (write-around:
+    /// freshly written pages are not cached).
+    pub fn write_new_page(&self, tuples: Vec<Tuple>) -> PageId {
+        let id = self.inner.disk.alloc();
+        self.inner.disk.write(id, Page::new(tuples));
+        id
+    }
+
+    /// Free a page (drops it from the buffer too). Freeing counts no I/O.
+    pub fn free_page(&self, id: PageId) {
+        self.inner.buffer.borrow_mut().evict(id);
+        self.inner.disk.free(id);
+    }
+
+    /// Number of tuples of `width` bytes that fit in one page (at least 1,
+    /// so oversized tuples still make progress).
+    pub fn tuples_per_page(&self, width: usize) -> usize {
+        (self.inner.page_size / width.max(1)).max(1)
+    }
+
+    /// Materialize an in-memory [`Relation`] as a heap file, packing tuples
+    /// into pages by byte budget. Costs one write per page.
+    pub fn store_relation(&self, rel: &Relation) -> HeapFile {
+        HeapFile::from_tuples(self, rel.schema().clone(), rel.tuples().iter().cloned())
+    }
+
+    /// Load a heap file fully into an in-memory [`Relation`] (costs reads
+    /// through the buffer).
+    pub fn load_relation(&self, file: &HeapFile) -> Relation {
+        let mut rel = Relation::empty(file.schema().clone());
+        for t in file.scan(self) {
+            rel.push(t).expect("heap tuples match heap schema");
+        }
+        rel
+    }
+}
+
+/// A named stored relation: schema + heap file.
+#[derive(Clone)]
+pub struct StoredRelation {
+    /// Relation name (catalog key).
+    pub name: String,
+    /// The heap file holding the rows.
+    pub file: HeapFile,
+}
+
+impl StoredRelation {
+    /// Construct from a name and file.
+    pub fn new(name: impl Into<String>, file: HeapFile) -> StoredRelation {
+        StoredRelation { name: name.into().to_ascii_uppercase(), file }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        self.file.schema()
+    }
+
+    /// Page count (the paper's `Pk`).
+    pub fn pages(&self) -> usize {
+        self.file.page_count()
+    }
+
+    /// Tuple count (the paper's `Nk`).
+    pub fn tuples(&self) -> usize {
+        self.file.tuple_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsql_types::{Column, ColumnType, Value};
+
+    fn int_relation(n: i64) -> Relation {
+        let schema = Schema::new(vec![
+            Column::qualified("T", "A", ColumnType::Int),
+            Column::qualified("T", "B", ColumnType::Int),
+        ]);
+        let mut rel = Relation::empty(schema);
+        for i in 0..n {
+            rel.push(Tuple::new(vec![Value::Int(i), Value::Int(i * 10)])).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn store_and_load_roundtrip() {
+        let st = Storage::with_defaults();
+        let rel = int_relation(100);
+        let file = st.store_relation(&rel);
+        assert!(file.page_count() > 1, "100 tuples should span several pages");
+        let back = st.load_relation(&file);
+        assert!(back.same_bag(&rel));
+    }
+
+    #[test]
+    fn writing_costs_one_io_per_page() {
+        let st = Storage::with_defaults();
+        let rel = int_relation(200);
+        st.reset_stats();
+        let file = st.store_relation(&rel);
+        let io = st.io_stats();
+        assert_eq!(io.writes, file.page_count() as u64);
+        assert_eq!(io.reads, 0);
+    }
+
+    #[test]
+    fn rereading_within_buffer_is_free() {
+        let st = Storage::new(16, 512);
+        let rel = int_relation(50);
+        let file = st.store_relation(&rel);
+        assert!(file.page_count() <= 16);
+        st.reset_stats();
+        let _ = st.load_relation(&file);
+        let cold = st.io_stats().reads;
+        assert_eq!(cold, file.page_count() as u64);
+        let _ = st.load_relation(&file);
+        assert_eq!(st.io_stats().reads, cold, "second scan must be all buffer hits");
+    }
+
+    #[test]
+    fn sequential_rescan_larger_than_buffer_thrashes() {
+        // The System R pathology the paper describes: cyclic rescans of a
+        // relation larger than the buffer get no reuse from LRU.
+        let st = Storage::new(4, 512);
+        let rel = int_relation(400);
+        let file = st.store_relation(&rel);
+        assert!(file.page_count() > 4);
+        st.reset_stats();
+        let _ = st.load_relation(&file);
+        let _ = st.load_relation(&file);
+        assert_eq!(st.io_stats().reads, 2 * file.page_count() as u64);
+    }
+
+    #[test]
+    fn page_packing_respects_width() {
+        let st = Storage::new(4, 128);
+        let rel = int_relation(10);
+        let width = rel.tuples()[0].storage_width();
+        let per_page = st.tuples_per_page(width);
+        let file = st.store_relation(&rel);
+        assert_eq!(file.page_count(), 10usize.div_ceil(per_page));
+    }
+
+    #[test]
+    fn clear_buffer_makes_reads_cold() {
+        let st = Storage::with_defaults();
+        let file = st.store_relation(&int_relation(20));
+        let _ = st.load_relation(&file);
+        st.clear_buffer();
+        st.reset_stats();
+        let _ = st.load_relation(&file);
+        assert_eq!(st.io_stats().reads, file.page_count() as u64);
+    }
+}

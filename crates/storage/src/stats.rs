@@ -1,0 +1,94 @@
+//! Shared I/O counters.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Snapshot of disk activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Pages read from disk.
+    pub reads: u64,
+    /// Pages written to disk.
+    pub writes: u64,
+}
+
+impl IoStats {
+    /// Total page I/Os (the paper's metric).
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+        }
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} page I/Os ({} reads, {} writes)", self.total(), self.reads, self.writes)
+    }
+}
+
+/// Interior-mutable counter shared by the disk and anything observing it.
+#[derive(Debug, Default)]
+pub struct IoCounter {
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+}
+
+impl IoCounter {
+    /// Fresh shared counter.
+    pub fn shared() -> Rc<IoCounter> {
+        Rc::new(IoCounter::default())
+    }
+
+    /// Record a page read.
+    pub fn count_read(&self) {
+        self.reads.set(self.reads.get() + 1);
+    }
+
+    /// Record a page write.
+    pub fn count_write(&self) {
+        self.writes.set(self.writes.get() + 1);
+    }
+
+    /// Snapshot.
+    pub fn snapshot(&self) -> IoStats {
+        IoStats { reads: self.reads.get(), writes: self.writes.get() }
+    }
+
+    /// Zero the counters.
+    pub fn reset(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_snapshots() {
+        let c = IoCounter::shared();
+        c.count_read();
+        c.count_read();
+        c.count_write();
+        let s = c.snapshot();
+        assert_eq!((s.reads, s.writes, s.total()), (2, 1, 3));
+        c.reset();
+        assert_eq!(c.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = IoStats { reads: 10, writes: 5 };
+        let b = IoStats { reads: 25, writes: 9 };
+        assert_eq!(b.since(&a), IoStats { reads: 15, writes: 4 });
+    }
+}

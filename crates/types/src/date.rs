@@ -1,0 +1,206 @@
+//! Calendar dates with the literal syntaxes used by the paper.
+//!
+//! The paper writes dates three ways: `7-3-79` (month-day-two-digit-year,
+//! Kiessling's SUPPLY data), `8/14/77` (Section 5.4), and the comparison
+//! bound `1-1-80`. Two-digit years are 19xx throughout, consistent with the
+//! 1987 publication date. We also accept ISO `1979-07-03` for convenience.
+
+use crate::error::TypeError;
+use std::fmt;
+
+/// A calendar date. Ordering is chronological.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl Date {
+    /// Construct a date, validating month and day ranges.
+    ///
+    /// Day validity is checked against the month length (with leap years).
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, TypeError> {
+        if !(1..=12).contains(&month) {
+            return Err(TypeError::BadDate(format!("{year}-{month}-{day}")));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(TypeError::BadDate(format!("{year}-{month}-{day}")));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// The year component.
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// The month component (1–12).
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    /// The day-of-month component (1–31).
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Parse the paper's literal forms.
+    ///
+    /// Accepted shapes:
+    /// * `M-D-YY` or `M/D/YY` — two-digit year mapped to 19xx (`7-3-79`).
+    /// * `M-D-YYYY` or `M/D/YYYY` — explicit four-digit year.
+    /// * `YYYY-MM-DD` — ISO form (first component has four digits).
+    pub fn parse(s: &str) -> Result<Self, TypeError> {
+        let sep = if s.contains('/') { '/' } else { '-' };
+        let parts: Vec<&str> = s.split(sep).collect();
+        if parts.len() != 3 {
+            return Err(TypeError::BadDate(s.to_string()));
+        }
+        let nums: Vec<i64> = parts
+            .iter()
+            .map(|p| p.trim().parse::<i64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| TypeError::BadDate(s.to_string()))?;
+        // ISO when the first component is four digits wide.
+        if parts[0].len() == 4 {
+            return Date::new(nums[0] as i32, nums[1] as u8, nums[2] as u8);
+        }
+        let (m, d, y) = (nums[0], nums[1], nums[2]);
+        let year = if parts[2].len() <= 2 { 1900 + y } else { y };
+        if !(0..=9999).contains(&year) || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+            return Err(TypeError::BadDate(s.to_string()));
+        }
+        Date::new(year as i32, m as u8, d as u8)
+    }
+
+    /// Days since a fixed epoch (0001-01-01, proleptic Gregorian).
+    /// Useful for arithmetic and for synthetic workload generation.
+    pub fn to_ordinal(&self) -> i64 {
+        let y = i64::from(self.year) - 1;
+        let mut days = y * 365 + y / 4 - y / 100 + y / 400;
+        for m in 1..self.month {
+            days += i64::from(days_in_month(self.year, m));
+        }
+        days + i64::from(self.day)
+    }
+
+    /// Inverse of [`Date::to_ordinal`].
+    pub fn from_ordinal(mut ord: i64) -> Result<Self, TypeError> {
+        if ord < 1 {
+            return Err(TypeError::BadDate(format!("ordinal {ord}")));
+        }
+        // Find the year by stepping in 400-year cycles then refining.
+        let mut year: i32 = 1;
+        const CYCLE: i64 = 146_097; // days per 400 years
+        year += ((ord - 1) / CYCLE) as i32 * 400;
+        ord -= (ord - 1) / CYCLE * CYCLE;
+        loop {
+            let ylen = if is_leap(year) { 366 } else { 365 };
+            if ord <= ylen {
+                break;
+            }
+            ord -= ylen;
+            year += 1;
+        }
+        let mut month: u8 = 1;
+        loop {
+            let mlen = i64::from(days_in_month(year, month));
+            if ord <= mlen {
+                break;
+            }
+            ord -= mlen;
+            month += 1;
+        }
+        Date::new(year, month, ord as u8)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_dash_form() {
+        let d = Date::parse("7-3-79").unwrap();
+        assert_eq!((d.year(), d.month(), d.day()), (1979, 7, 3));
+    }
+
+    #[test]
+    fn parses_paper_slash_form() {
+        let d = Date::parse("8/14/77").unwrap();
+        assert_eq!((d.year(), d.month(), d.day()), (1977, 8, 14));
+    }
+
+    #[test]
+    fn parses_iso_form() {
+        let d = Date::parse("1980-01-01").unwrap();
+        assert_eq!((d.year(), d.month(), d.day()), (1980, 1, 1));
+    }
+
+    #[test]
+    fn kiessling_shipdates_order_correctly() {
+        // SUPPLY shipdates from [KIE 84]: the ones before 1-1-80 matter.
+        let bound = Date::parse("1-1-80").unwrap();
+        let before = ["7-3-79", "10-1-78", "6-8-78"];
+        let after = ["8-10-81", "5-7-83"];
+        for s in before {
+            assert!(Date::parse(s).unwrap() < bound, "{s} should precede 1-1-80");
+        }
+        for s in after {
+            assert!(Date::parse(s).unwrap() > bound, "{s} should follow 1-1-80");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_dates() {
+        assert!(Date::parse("13-1-80").is_err());
+        assert!(Date::parse("2-30-80").is_err());
+        assert!(Date::parse("garbage").is_err());
+        assert!(Date::parse("1-2").is_err());
+        assert!(Date::new(1980, 2, 30).is_err());
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(Date::new(2000, 2, 29).is_ok());
+        assert!(Date::new(1900, 2, 29).is_err());
+        assert!(Date::new(1980, 2, 29).is_ok());
+        assert!(Date::new(1981, 2, 29).is_err());
+    }
+
+    #[test]
+    fn ordinal_roundtrip() {
+        for s in ["7-3-79", "1-1-80", "8/14/77", "2000-02-29", "1-1-01"] {
+            let d = Date::parse(s).unwrap();
+            assert_eq!(Date::from_ordinal(d.to_ordinal()).unwrap(), d, "{s}");
+        }
+    }
+
+    #[test]
+    fn ordinal_is_monotonic() {
+        let a = Date::parse("12-31-79").unwrap();
+        let b = Date::parse("1-1-80").unwrap();
+        assert_eq!(a.to_ordinal() + 1, b.to_ordinal());
+    }
+}

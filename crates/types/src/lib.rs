@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Value, schema, tuple, and relation types shared by every layer of the
+//! `nested-query-opt` workspace.
+//!
+//! This crate is the bottom of the dependency stack. It defines:
+//!
+//! * [`Value`] — the runtime datum type, with SQL three-valued comparison
+//!   semantics (`NULL` compares as *unknown*) and a separate total order used
+//!   for sorting and grouping.
+//! * [`Date`] — a calendar date type able to parse the paper's literal forms
+//!   (`1-1-80`, `8/14/77`, `1979-07-03`).
+//! * [`Schema`] / [`Column`] / [`ColumnType`] — tuple layout descriptions
+//!   with optional table qualifiers, supporting the qualified-name resolution
+//!   that correlated subqueries require.
+//! * [`Tuple`] and [`Relation`] — in-memory rows and tables, including the
+//!   pretty-printer used to render the paper's example tables and the
+//!   multiset comparison used by the equivalence test oracles.
+//!
+//! The semantics here deliberately mirror System R-era SQL as the paper
+//! assumes it: aggregates ignore `NULL`s, `MAX` of an empty set is `NULL`,
+//! `COUNT` never returns `NULL`, and `WHERE` keeps only rows whose predicate
+//! is *true* (not merely non-false).
+
+pub mod date;
+pub mod error;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use date::Date;
+pub use error::TypeError;
+pub use relation::Relation;
+pub use schema::{Column, ColumnType, Schema};
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, TypeError>;

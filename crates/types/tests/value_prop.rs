@@ -1,0 +1,87 @@
+//! Property tests for the value layer: the total order is a genuine total
+//! order, SQL comparison agrees with it on non-null comparable values,
+//! grouping equality is consistent with hashing, and date ordinals are
+//! order-isomorphic to dates.
+
+use nsql_types::{Date, Value};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i32>().prop_map(|v| Value::Int(v.into())),
+        (-1_000_000i32..1_000_000).prop_map(|v| Value::Float(f64::from(v) / 100.0)),
+        "[a-z]{0,6}".prop_map(Value::str),
+        (1900i32..2100, 1u8..13, 1u8..29)
+            .prop_map(|(y, m, d)| Value::Date(Date::new(y, m, d).expect("valid"))),
+    ]
+}
+
+fn hash_of(v: &Value) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn total_order_is_total_and_antisymmetric(a in value(), b in value()) {
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Equal {
+            prop_assert_eq!(hash_of(&a), hash_of(&b), "equal values must hash alike");
+        }
+    }
+
+    #[test]
+    fn total_order_is_transitive(a in value(), b in value(), c in value()) {
+        let mut v = [a, b, c];
+        v.sort_by(|x, y| x.total_cmp(y));
+        prop_assert!(v[0].total_cmp(&v[2]) != Ordering::Greater);
+    }
+
+    #[test]
+    fn sql_cmp_agrees_with_total_order_on_comparables(a in value(), b in value()) {
+        if let Ok(Some(ord)) = a.sql_cmp(&b) {
+            prop_assert_eq!(ord, a.total_cmp(&b));
+        }
+    }
+
+    #[test]
+    fn null_comparison_is_always_unknown(a in value()) {
+        prop_assert_eq!(Value::Null.sql_cmp(&a).unwrap(), None);
+        prop_assert_eq!(a.sql_cmp(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn date_ordinal_is_order_isomorphic(
+        a in (1900i32..2100, 1u8..13, 1u8..29),
+        b in (1900i32..2100, 1u8..13, 1u8..29),
+    ) {
+        let da = Date::new(a.0, a.1, a.2).expect("valid");
+        let db = Date::new(b.0, b.1, b.2).expect("valid");
+        prop_assert_eq!(da.cmp(&db), da.to_ordinal().cmp(&db.to_ordinal()));
+        prop_assert_eq!(Date::from_ordinal(da.to_ordinal()).expect("roundtrip"), da);
+    }
+
+    #[test]
+    fn display_of_date_parses_back(y in 1900i32..2100, m in 1u8..13, d in 1u8..29) {
+        let date = Date::new(y, m, d).expect("valid");
+        let printed = date.to_string();
+        prop_assert_eq!(Date::parse(&printed).expect("ISO form"), date);
+    }
+
+    #[test]
+    fn int_float_numeric_tower_consistency(i in -1_000_000i64..1_000_000) {
+        let int = Value::Int(i);
+        let float = Value::Float(i as f64);
+        prop_assert_eq!(int.total_cmp(&float), Ordering::Equal);
+        prop_assert_eq!(int.sql_eq(&float).unwrap(), Some(true));
+        prop_assert_eq!(hash_of(&int), hash_of(&float));
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build a tiny database, run one nested query under both
+//! evaluation strategies, and compare results and page I/Os.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use nested_query_opt::db::{Database, QueryOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Create a database (B = 6 buffer pages, 512-byte pages — the
+    //    Section-7.4 configuration) and load Kiessling's example data.
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE PARTS (PNUM INT, QOH INT);
+         CREATE TABLE SUPPLY (PNUM INT, QUAN INT, SHIPDATE DATE);
+         INSERT INTO PARTS VALUES (3, 6), (10, 1), (8, 0);
+         INSERT INTO SUPPLY VALUES
+           (3, 4, 7-3-79), (3, 2, 10-1-78), (10, 1, 6-8-78),
+           (10, 2, 8-10-81), (8, 5, 5-7-83);",
+    )?;
+
+    // 2. Kiessling's query Q2: parts whose quantity-on-hand equals the
+    //    number of shipments before 1980. A type-JA nested query — the
+    //    COUNT-bug minefield.
+    let q2 = "SELECT PNUM FROM PARTS WHERE QOH = \
+              (SELECT COUNT(SHIPDATE) FROM SUPPLY \
+               WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)";
+
+    // 3. Evaluate with System R nested iteration (the reference).
+    let ni = db.query_with(q2, &QueryOptions::nested_iteration())?;
+    println!("— nested iteration ({}):\n{}\n", ni.io, ni.relation);
+
+    // 4. Evaluate after NEST-JA2 transformation with merge joins.
+    let tr = db.query_with(q2, &QueryOptions::transformed_merge())?;
+    println!("— NEST-JA2 + merge joins ({}):\n{}\n", tr.io, tr.relation);
+
+    assert!(tr.relation.same_bag(&ni.relation), "strategies must agree");
+
+    // 5. Inspect what the transformation did.
+    println!("— transformation pipeline:");
+    for line in &tr.explain {
+        println!("    {line}");
+    }
+
+    // 6. And the Figure-2 style query tree.
+    println!("\n— query tree:\n{}", db.query_tree(q2)?.render());
+    Ok(())
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the Ganski–Wong (SIGMOD 1987) nested-query
+//! optimization reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can use a single dependency. See `README.md` for a
+//! tour and `DESIGN.md` for the system inventory.
+
+pub use nsql_analyzer as analyzer;
+pub use nsql_core as core;
+pub use nsql_db as db;
+pub use nsql_engine as engine;
+pub use nsql_sql as sql;
+pub use nsql_storage as storage;
+pub use nsql_types as types;

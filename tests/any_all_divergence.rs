@@ -1,0 +1,79 @@
+//! The paper's own fidelity caveat (Section 8.2): the ANY/ALL rewrites are
+//! "logically (but not necessarily semantically) equivalent".
+//!
+//! Over an **empty** inner result, SQL's quantifier semantics and the
+//! MIN/MAX rewrite disagree:
+//!
+//! * `x < ALL (∅)` is TRUE (vacuous), but `x < (SELECT MIN …)` compares
+//!   against `NULL` → UNKNOWN → row dropped.
+//! * `x < ANY (∅)` is FALSE, and `x < MAX(∅) = NULL` is UNKNOWN — both
+//!   reject the row, so ANY over an empty set happens to agree.
+//!
+//! These tests pin the divergence as *documented behaviour* of the faithful
+//! implementation.
+
+use nested_query_opt::db::{Database, QueryOptions};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE S (SNO CHAR(4), STATUS INT);
+         CREATE TABLE SP (SNO CHAR(4), QTY INT);
+         INSERT INTO S VALUES ('S1', 20), ('S2', 10);
+         INSERT INTO SP VALUES ('S1', 300);",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn all_over_empty_set_diverges_exactly_as_documented() {
+    let db = db();
+    // Inner is empty: no shipments above 9000.
+    let sql = "SELECT SNO FROM S WHERE STATUS < ALL (SELECT QTY FROM SP WHERE QTY > 9000)";
+    let ni = db.query_with(sql, &QueryOptions::nested_iteration()).unwrap();
+    assert_eq!(ni.relation.len(), 2, "SQL: ALL over empty set is TRUE");
+    let tr = db.query_with(sql, &QueryOptions::transformed_merge()).unwrap();
+    assert_eq!(
+        tr.relation.len(),
+        0,
+        "paper rewrite: STATUS < MIN(empty) = NULL is UNKNOWN — rows dropped"
+    );
+}
+
+#[test]
+fn any_over_empty_set_agrees_by_accident() {
+    let db = db();
+    let sql = "SELECT SNO FROM S WHERE STATUS < ANY (SELECT QTY FROM SP WHERE QTY > 9000)";
+    let ni = db.query_with(sql, &QueryOptions::nested_iteration()).unwrap();
+    let tr = db.query_with(sql, &QueryOptions::transformed_merge()).unwrap();
+    assert!(ni.relation.is_empty());
+    assert!(tr.relation.is_empty());
+}
+
+#[test]
+fn all_over_nonempty_set_agrees() {
+    let db = db();
+    let sql = "SELECT SNO FROM S WHERE STATUS < ALL (SELECT QTY FROM SP)";
+    let ni = db.query_with(sql, &QueryOptions::nested_iteration()).unwrap();
+    let tr = db.query_with(sql, &QueryOptions::transformed_merge()).unwrap();
+    assert_eq!(ni.relation.len(), 2);
+    assert!(tr.relation.same_bag(&ni.relation));
+}
+
+#[test]
+fn unrewritable_quantifiers_fall_back_with_clear_error() {
+    // `= ALL` has no Section-8 rewrite: nested iteration evaluates it, the
+    // transformation refuses with Unsupported.
+    let db = db();
+    let sql = "SELECT SNO FROM S WHERE STATUS = ALL (SELECT QTY FROM SP WHERE QTY < 0)";
+    let ni = db.query_with(sql, &QueryOptions::nested_iteration()).unwrap();
+    assert_eq!(ni.relation.len(), 2, "= ALL over empty set is TRUE");
+    let tr = db.query_with(sql, &QueryOptions::transformed_merge());
+    assert!(matches!(
+        tr,
+        Err(nested_query_opt::db::DbError::Transform(
+            nested_query_opt::core::TransformError::Unsupported(_)
+        ))
+    ));
+}

@@ -1,0 +1,111 @@
+//! Property-based equivalence for *multi-level* nested queries: randomized
+//! two-level shapes drive the Section-9 recursion — NEST-N-J merges of the
+//! leaf into the middle block, upward inheritance of correlated
+//! predicates, and type-JA detection at the middle level.
+
+use nested_query_opt::core::UnnestOptions;
+use nested_query_opt::db::{Database, QueryOptions};
+use proptest::prelude::*;
+
+fn rows(n: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..6, 0i64..5), 1..n)
+}
+
+fn build_db(a: &[(i64, i64)], b: &[(i64, i64)], c: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    let mut script = String::from(
+        "CREATE TABLE TA (K INT, V INT);\
+         CREATE TABLE TB (K INT, V INT);\
+         CREATE TABLE TC (K INT, V INT);",
+    );
+    for (name, data) in [("TA", a), ("TB", b), ("TC", c)] {
+        let vals: Vec<String> = data.iter().map(|(k, v)| format!("({k}, {v})")).collect();
+        script.push_str(&format!("INSERT INTO {name} VALUES {};", vals.join(", ")));
+    }
+    db.execute_script(&script).unwrap();
+    db
+}
+
+/// The two-level query family. `leaf_corr_to` picks whether the innermost
+/// block correlates to the middle table (TB) or spans up to the outer
+/// table (TA) — the Figure-2 "trans-aggregate" case.
+fn two_level_query(agg: &str, leaf_corr_to: &str, middle_is_agg: bool) -> String {
+    if middle_is_agg {
+        // outer TA — aggregate middle TB — membership leaf TC.
+        format!(
+            "SELECT K, V FROM TA WHERE V = \
+               (SELECT {agg}(V) FROM TB WHERE TB.K = TA.K AND K IN \
+                  (SELECT K FROM TC WHERE TC.V = {leaf_corr_to}.V))"
+        )
+    } else {
+        // outer TA — membership middle TB — aggregate leaf TC.
+        format!(
+            "SELECT K, V FROM TA WHERE K IN \
+               (SELECT K FROM TB WHERE TB.V = \
+                  (SELECT {agg}(V) FROM TC WHERE TC.K = {leaf_corr_to}.K))"
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn two_level_queries_transform_correctly(
+        a in rows(6),
+        b in rows(8),
+        c in rows(8),
+        agg in prop::sample::select(vec!["COUNT", "MAX", "MIN", "SUM"]),
+        corr_up in any::<bool>(),
+        middle_is_agg in any::<bool>(),
+    ) {
+        let db = build_db(&a, &b, &c);
+        // corr_up spans the correlation past the middle block to the root
+        // (the "trans-aggregate" reference of Section 9); otherwise the
+        // leaf correlates to the middle block's own table.
+        let corr_to = if corr_up { "TA" } else { "TB" };
+        let sql = two_level_query(agg, corr_to, middle_is_agg);
+        let ni = db.query_with(&sql, &QueryOptions::nested_iteration()).unwrap();
+        let opts = QueryOptions {
+            unnest: UnnestOptions { preserve_duplicates: true, ..Default::default() },
+            ..QueryOptions::transformed_merge()
+        };
+        let tr = db.query_with(&sql, &opts).unwrap();
+        prop_assert!(
+            tr.relation.same_set(&ni.relation),
+            "{sql}\nNI:\n{}\nTR:\n{}",
+            ni.relation,
+            tr.relation
+        );
+    }
+
+    #[test]
+    fn trans_aggregate_correlation_to_the_root(
+        a in rows(5),
+        b in rows(7),
+        c in rows(7),
+        agg in prop::sample::select(vec!["COUNT", "MAX", "SUM"]),
+    ) {
+        // The leaf references TA directly across the aggregate middle block
+        // — after the leaf merges into the middle, the middle becomes
+        // type-JA w.r.t. the root (the Section-9.1 walkthrough).
+        let db = build_db(&a, &b, &c);
+        let sql = format!(
+            "SELECT K, V FROM TA WHERE V = \
+               (SELECT {agg}(V) FROM TB WHERE K IN \
+                  (SELECT K FROM TC WHERE TC.V = TA.V))"
+        );
+        let ni = db.query_with(&sql, &QueryOptions::nested_iteration()).unwrap();
+        let opts = QueryOptions {
+            unnest: UnnestOptions { preserve_duplicates: true, ..Default::default() },
+            ..QueryOptions::transformed_merge()
+        };
+        let tr = db.query_with(&sql, &opts).unwrap();
+        prop_assert!(
+            tr.relation.same_set(&ni.relation),
+            "{sql}\nNI:\n{}\nTR:\n{}",
+            ni.relation,
+            tr.relation
+        );
+    }
+}

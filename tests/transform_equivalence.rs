@@ -1,0 +1,178 @@
+//! Equivalence oracle: for a catalog of queries in the supported dialect,
+//! the transformed execution must produce the same bag of rows as the
+//! nested-iteration reference, across every join policy.
+//!
+//! Queries whose inner join column is not a key are run in
+//! duplicate-preserving mode and compared as sets (the NEST-N-J caveat;
+//! see DESIGN.md).
+
+use nested_query_opt::core::UnnestOptions;
+use nested_query_opt::db::{Database, JoinPolicy, QueryOptions, Strategy};
+
+fn paper_db() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE S (SNO CHAR(4), SNAME CHAR(10), STATUS INT, CITY CHAR(10));
+         CREATE TABLE P (PNO CHAR(4), PNAME CHAR(10), COLOR CHAR(8), WEIGHT INT, CITY CHAR(10));
+         CREATE TABLE SP (SNO CHAR(4), PNO CHAR(4), QTY INT, ORIGIN CHAR(10));
+         INSERT INTO S VALUES
+           ('S1','SMITH',20,'LONDON'), ('S2','JONES',10,'PARIS'),
+           ('S3','BLAKE',30,'PARIS'),  ('S4','CLARK',20,'LONDON'),
+           ('S5','ADAMS',30,'ATHENS');
+         INSERT INTO P VALUES
+           ('P1','NUT','RED',12,'LONDON'),  ('P2','BOLT','GREEN',17,'PARIS'),
+           ('P3','SCREW','BLUE',17,'ROME'), ('P4','SCREW','RED',14,'LONDON'),
+           ('P5','CAM','BLUE',12,'PARIS'),  ('P6','COG','RED',19,'LONDON');
+         INSERT INTO SP VALUES
+           ('S1','P1',300,'LONDON'), ('S1','P2',200,'PARIS'),
+           ('S1','P3',400,'ROME'),   ('S1','P4',200,'LONDON'),
+           ('S1','P5',100,'PARIS'),  ('S1','P6',100,'LONDON'),
+           ('S2','P1',300,'PARIS'),  ('S2','P2',400,'PARIS'),
+           ('S3','P2',200,'PARIS'),  ('S4','P2',200,'LONDON'),
+           ('S4','P4',300,'LONDON'), ('S4','P5',400,'LONDON');",
+    )
+    .unwrap();
+    db
+}
+
+const POLICIES: [JoinPolicy; 4] = [
+    JoinPolicy::ForceNestedLoop,
+    JoinPolicy::ForceMergeJoin,
+    JoinPolicy::ForceHashJoin,
+    JoinPolicy::CostBased,
+];
+
+/// Queries where the inner join column is unique (key) — bag equivalence.
+const KEYED_QUERIES: &[&str] = &[
+    // Type-A (Query 2 style).
+    "SELECT SNO FROM SP WHERE PNO = (SELECT MAX(PNO) FROM P)",
+    "SELECT SNO FROM SP WHERE QTY > (SELECT AVG(QTY) FROM SP X)",
+    "SELECT PNO FROM P WHERE WEIGHT = (SELECT MIN(WEIGHT) FROM P X)",
+    // Type-N over a key (P.PNO is unique).
+    "SELECT SNO, PNO FROM SP WHERE PNO IN (SELECT PNO FROM P WHERE WEIGHT > 15)",
+    "SELECT SNAME FROM S WHERE CITY IN (SELECT CITY FROM P WHERE COLOR = 'BLUE')",
+    // Type-JA (Query 5 style).
+    "SELECT PNAME FROM P WHERE PNO = (SELECT MAX(PNO) FROM SP WHERE SP.ORIGIN = P.CITY)",
+    "SELECT PNO FROM P WHERE WEIGHT > (SELECT AVG(QTY) FROM SP WHERE SP.PNO = P.PNO)",
+    "SELECT SNO FROM S WHERE STATUS = (SELECT COUNT(PNO) FROM SP WHERE SP.SNO = S.SNO)",
+    // Correlated COUNT against a constant-ish column.
+    "SELECT SNAME FROM S WHERE 2 < (SELECT COUNT(PNO) FROM SP WHERE SP.SNO = S.SNO)",
+    // Non-equality correlation with MAX.
+    "SELECT PNO FROM P WHERE WEIGHT = (SELECT MAX(WEIGHT) FROM P X WHERE X.PNO < P.PNO)",
+    // Multi-column equality correlation.
+    "SELECT SNO FROM SP WHERE QTY = (SELECT MAX(QTY) FROM SP X \
+       WHERE X.SNO = SP.SNO AND X.PNO = SP.PNO)",
+    // Simple outer predicates restrict the projection (Section 6 step 1).
+    "SELECT SNAME FROM S WHERE STATUS > 10 AND \
+       STATUS = (SELECT COUNT(PNO) FROM SP WHERE SP.SNO = S.SNO)",
+];
+
+/// Queries where the inner join column has duplicates — set equivalence in
+/// duplicate-preserving mode.
+const UNKEYED_QUERIES: &[&str] = &[
+    "SELECT SNAME FROM S WHERE SNO IS IN (SELECT SNO FROM SP WHERE QTY > 100 AND SP.ORIGIN = S.CITY)",
+    "SELECT SNAME FROM S WHERE CITY IN (SELECT ORIGIN FROM SP WHERE QTY >= 300)",
+    "SELECT PNAME FROM P WHERE PNO IN (SELECT PNO FROM SP WHERE QTY > 250)",
+    "SELECT SNO FROM S WHERE SNO IN (SELECT SNO FROM SP WHERE PNO IN \
+       (SELECT PNO FROM P WHERE WEIGHT > 15))",
+];
+
+#[test]
+fn keyed_queries_bag_equivalent_across_policies() {
+    let db = paper_db();
+    for sql in KEYED_QUERIES {
+        let ni = db.query_with(sql, &QueryOptions::nested_iteration()).unwrap();
+        for policy in POLICIES {
+            let opts = QueryOptions {
+                strategy: Strategy::Transform,
+                join_policy: policy,
+                cold_start: true,
+                ..Default::default()
+            };
+            let tr = db.query_with(sql, &opts).unwrap();
+            assert!(
+                tr.relation.same_bag(&ni.relation),
+                "{sql}\npolicy {policy:?}\nNI:\n{}\nTR:\n{}\nexplain:\n{}",
+                ni.relation,
+                tr.relation,
+                tr.explain.join("\n")
+            );
+        }
+    }
+}
+
+#[test]
+fn unkeyed_queries_set_equivalent_in_preserving_mode() {
+    let db = paper_db();
+    for sql in UNKEYED_QUERIES {
+        let ni = db.query_with(sql, &QueryOptions::nested_iteration()).unwrap();
+        for policy in POLICIES {
+            let opts = QueryOptions {
+                strategy: Strategy::Transform,
+                join_policy: policy,
+                unnest: UnnestOptions { preserve_duplicates: true, ..Default::default() },
+                cold_start: true,
+                ..Default::default()
+            };
+            let tr = db.query_with(sql, &opts).unwrap();
+            assert!(
+                tr.relation.same_set(&ni.relation),
+                "{sql}\npolicy {policy:?}\nNI:\n{}\nTR:\n{}",
+                ni.relation,
+                tr.relation
+            );
+        }
+    }
+}
+
+#[test]
+fn faithful_mode_can_duplicate_outer_tuples() {
+    // The documented NEST-N-J caveat: without duplicate preservation, the
+    // canonical join multiplies outer tuples by matching inner tuples.
+    let db = paper_db();
+    let sql = "SELECT SNAME FROM S WHERE CITY IN (SELECT ORIGIN FROM SP WHERE QTY >= 300)";
+    let ni = db.query_with(sql, &QueryOptions::nested_iteration()).unwrap();
+    let faithful = db.query_with(sql, &QueryOptions::transformed_merge()).unwrap();
+    assert!(faithful.relation.len() > ni.relation.len());
+    assert!(faithful.relation.same_set(&ni.relation));
+}
+
+#[test]
+fn flat_queries_identical_under_both_strategies() {
+    let db = paper_db();
+    for sql in [
+        "SELECT SNO FROM SP WHERE QTY > 150",
+        "SELECT DISTINCT CITY FROM S",
+        "SELECT SNO, COUNT(PNO), MAX(QTY) FROM SP GROUP BY SNO",
+        "SELECT SNAME FROM S, SP WHERE S.SNO = SP.SNO AND QTY = 400",
+        "SELECT COUNT(*) FROM SP",
+        "SELECT SNO, PNO FROM SP ORDER BY SNO DESC, PNO",
+    ] {
+        let ni = db.query_with(sql, &QueryOptions::nested_iteration()).unwrap();
+        let tr = db.query_with(sql, &QueryOptions::transformed()).unwrap();
+        assert!(
+            tr.relation.same_bag(&ni.relation),
+            "{sql}\nNI:\n{}\nTR:\n{}",
+            ni.relation,
+            tr.relation
+        );
+    }
+}
+
+#[test]
+fn order_by_is_respected_in_transformed_path() {
+    let db = paper_db();
+    let r = db
+        .query_with(
+            "SELECT SNO, QTY FROM SP WHERE PNO IN (SELECT PNO FROM P WHERE WEIGHT > 15) \
+             ORDER BY QTY DESC, SNO",
+            &QueryOptions::transformed(),
+        )
+        .unwrap()
+        .relation;
+    let qtys: Vec<String> = r.tuples().iter().map(|t| t.get(1).to_string()).collect();
+    let mut sorted = qtys.clone();
+    sorted.sort_by(|a, b| b.cmp(a));
+    assert_eq!(qtys.len(), 6);
+    assert!(qtys[0] >= qtys[qtys.len() - 1]);
+}
