@@ -1,19 +1,22 @@
 //! Wall-clock companion to experiment E11: the NEST-JA2 evaluation
 //! variants (join-method ablation) plus the transformation itself.
 //!
+//! Timing uses the in-tree `nsql_testkit::bench` harness: warmup then
+//! median-of-N, `NSQL_BENCH_JSON=<path>` for machine-readable output.
+//!
 //! ```sh
 //! cargo bench -p nsql-bench --bench ja2_variants
 //! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use nsql_bench::workload::{ja_workload, queries, WorkloadSpec};
+use nsql_bench::workload::{ja_workload, queries, seed_from_env, WorkloadSpec};
 use nsql_db::{JoinPolicy, QueryOptions, Strategy};
-use std::hint::black_box;
+use nsql_testkit::bench::{black_box, Bench};
+use nsql_testkit::bench_main;
 
-fn variants(c: &mut Criterion) {
-    let w = ja_workload(WorkloadSpec::small());
+fn variants(c: &mut Bench) {
+    let w = ja_workload(WorkloadSpec::small(), seed_from_env());
     let sql = queries::TYPE_JA_MAX;
-    let mut group = c.benchmark_group("ja2_join_policy");
+    let mut group = c.group("ja2_join_policy");
     group.sample_size(10);
     for policy in [
         JoinPolicy::ForceNestedLoop,
@@ -36,10 +39,10 @@ fn variants(c: &mut Criterion) {
     group.finish();
 }
 
-fn transform_only(c: &mut Criterion) {
+fn transform_only(c: &mut Bench) {
     // How long does the *transformation* itself take (no execution)?
-    let w = ja_workload(WorkloadSpec::small());
-    let mut group = c.benchmark_group("transform_only");
+    let w = ja_workload(WorkloadSpec::small(), seed_from_env());
+    let mut group = c.group("transform_only");
     for (name, sql) in [
         ("type_ja", queries::TYPE_JA_COUNT),
         ("type_j", queries::TYPE_J),
@@ -52,5 +55,4 @@ fn transform_only(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(e11_wall_clock, variants, transform_only);
-criterion_main!(e11_wall_clock);
+bench_main!(variants, transform_only);

@@ -1,26 +1,28 @@
 //! Wall-clock companion to experiment E1: nested iteration vs transformed
-//! execution, one Criterion group per nesting type.
+//! execution, one timer group per nesting type.
 //!
 //! The paper's metric is page I/Os (see `--bin figure1`); these benches
 //! confirm the same ordering holds for real elapsed time in our engine.
+//! Timing uses the in-tree `nsql_testkit::bench` harness: warmup then
+//! median-of-N, `NSQL_BENCH_JSON=<path>` for machine-readable output.
 //!
 //! ```sh
 //! cargo bench -p nsql-bench --bench nested_vs_transformed
 //! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use nsql_bench::workload::{ja_workload, queries, Workload, WorkloadSpec};
+use nsql_bench::workload::{ja_workload, queries, seed_from_env, Workload, WorkloadSpec};
 use nsql_core::UnnestOptions;
 use nsql_db::QueryOptions;
-use std::hint::black_box;
+use nsql_testkit::bench::{black_box, Bench};
+use nsql_testkit::bench_main;
 
 fn small_workload() -> Workload {
-    ja_workload(WorkloadSpec::small())
+    ja_workload(WorkloadSpec::small(), seed_from_env())
 }
 
-fn bench_query(c: &mut Criterion, group_name: &str, sql: &'static str, set_semantics: bool) {
+fn bench_query(c: &mut Bench, group_name: &str, sql: &'static str, set_semantics: bool) {
     let w = small_workload();
-    let mut group = c.benchmark_group(group_name);
+    let mut group = c.group(group_name);
     group.sample_size(10);
 
     group.bench_function("nested_iteration", |b| {
@@ -63,12 +65,11 @@ fn bench_query(c: &mut Criterion, group_name: &str, sql: &'static str, set_seman
     group.finish();
 }
 
-fn benches(c: &mut Criterion) {
+fn benches(c: &mut Bench) {
     bench_query(c, "type_n", queries::TYPE_N, true);
     bench_query(c, "type_j", queries::TYPE_J, true);
     bench_query(c, "type_ja_count", queries::TYPE_JA_COUNT, false);
     bench_query(c, "type_ja_max", queries::TYPE_JA_MAX, false);
 }
 
-criterion_group!(e1_wall_clock, benches);
-criterion_main!(e1_wall_clock);
+bench_main!(benches);

@@ -6,14 +6,14 @@
 //! cargo run --release -p nsql-bench --bin ablation
 //! ```
 
-use nsql_bench::workload::{ja_workload, queries, WorkloadSpec};
+use nsql_bench::workload::{ja_workload, queries, seed_from_env, WorkloadSpec};
 use nsql_bench::{measure, print_table};
 use nsql_db::plan_exec::PlanExecutor;
 use nsql_db::{JoinPolicy, QueryOptions};
 use nsql_engine::Exec;
 
 fn main() {
-    let w = ja_workload(WorkloadSpec::kim_scale_ja());
+    let w = ja_workload(WorkloadSpec::kim_scale_ja(), seed_from_env());
     let sql = queries::TYPE_JA_MAX;
     println!(
         "workload: Pi = {} pages, Pj = {} pages, B = {}; query: Q3-with-MAX\n",

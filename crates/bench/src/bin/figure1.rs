@@ -21,17 +21,18 @@
 //! cargo run --release -p nsql-bench --bin figure1
 //! ```
 
-use nsql_bench::workload::{ja_workload, queries, WorkloadSpec};
+use nsql_bench::workload::{ja_workload, queries, seed_from_env, WorkloadSpec};
 use nsql_bench::{measure, print_table, savings};
 use nsql_core::cost::{nested_iteration_cost_j, nested_iteration_cost_n};
 use nsql_core::UnnestOptions;
 use nsql_db::QueryOptions;
 
 fn main() {
+    let seed = seed_from_env();
     let spec = WorkloadSpec::kim_scale();
-    let w = ja_workload(spec);
+    let w = ja_workload(spec, seed);
     let ja_spec = WorkloadSpec::kim_scale_ja();
-    let w_ja = ja_workload(ja_spec);
+    let w_ja = ja_workload(ja_spec, seed);
     println!(
         "workloads: N/J rows — Pi = {} pages, Pj = {} pages; JA row — Pj = {} pages; \
          B = {}, f(i)·Ni ≈ {}\n",

@@ -12,7 +12,7 @@
 //! cargo run --release -p nsql-bench --bin section7
 //! ```
 
-use nsql_bench::workload::{ja_workload, queries, WorkloadSpec};
+use nsql_bench::workload::{ja_workload, queries, seed_from_env, WorkloadSpec};
 use nsql_bench::{measure, print_table};
 use nsql_core::cost::{ja2_cost, nested_iteration_cost_j, Ja2Params, JoinMethod};
 use nsql_db::QueryOptions;
@@ -69,7 +69,7 @@ fn main() {
     // A workload whose parameters approximate the example: Pj ≈ 30,
     // f(i)·Ni = 100, B = 6; Pi comes out at ≈67 pages (vs the paper's 50) —
     // reported alongside.
-    let w = ja_workload(WorkloadSpec::kim_scale_ja());
+    let w = ja_workload(WorkloadSpec::kim_scale_ja(), seed_from_env());
     println!(
         "measured companion workload: Pi = {} pages, Pj = {} pages, B = {}",
         w.outer_pages(),

@@ -10,18 +10,22 @@
 //! cargo run --release -p nsql-bench --bin sweep
 //! ```
 
-use nsql_bench::workload::{ja_workload, queries, WorkloadSpec};
+use nsql_bench::workload::{ja_workload, queries, seed_from_env, WorkloadSpec};
 use nsql_bench::{measure, print_table};
 use nsql_db::QueryOptions;
 
 fn main() {
+    let seed = seed_from_env();
     // ---- sweep 1: inner relation size at fixed B = 6 -------------------
     let mut rows = Vec::new();
     for inner_tuples in [30usize, 75, 150, 450, 1500, 4500] {
-        let w = ja_workload(WorkloadSpec {
-            inner_tuples,
-            ..WorkloadSpec::kim_scale()
-        });
+        let w = ja_workload(
+            WorkloadSpec {
+                inner_tuples,
+                ..WorkloadSpec::kim_scale()
+            },
+            seed,
+        );
         let ni = measure(
             &w.db,
             queries::TYPE_JA_COUNT,
@@ -54,11 +58,14 @@ fn main() {
     // ---- sweep 2: buffer size at fixed inner = 450 tuples --------------
     let mut rows = Vec::new();
     for buffer_pages in [4usize, 6, 12, 24, 48] {
-        let w = ja_workload(WorkloadSpec {
-            inner_tuples: 450,
-            buffer_pages,
-            ..WorkloadSpec::kim_scale()
-        });
+        let w = ja_workload(
+            WorkloadSpec {
+                inner_tuples: 450,
+                buffer_pages,
+                ..WorkloadSpec::kim_scale()
+            },
+            seed,
+        );
         let ni = measure(
             &w.db,
             queries::TYPE_JA_COUNT,
@@ -90,11 +97,14 @@ fn main() {
     // ---- sweep 3: outer selectivity f(i) --------------------------------
     let mut rows = Vec::new();
     for sel in [0.02f64, 0.05, 0.1, 0.25, 0.5, 1.0] {
-        let w = ja_workload(WorkloadSpec {
-            inner_tuples: 450,
-            outer_selectivity: sel,
-            ..WorkloadSpec::kim_scale()
-        });
+        let w = ja_workload(
+            WorkloadSpec {
+                inner_tuples: 450,
+                outer_selectivity: sel,
+                ..WorkloadSpec::kim_scale()
+            },
+            seed,
+        );
         let ni = measure(
             &w.db,
             queries::TYPE_JA_COUNT,

@@ -15,9 +15,22 @@
 //! transformed cells. See DESIGN.md ("Faithfulness notes").
 
 use nsql_db::Database;
+use nsql_testkit::Rng;
 use nsql_types::{Column, ColumnType, Relation, Schema, Tuple, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// The default workload seed. Every figure/table binary uses this unless
+/// `NSQL_WORKLOAD_SEED` overrides it, so published numbers (EXPERIMENTS.md)
+/// are bit-reproducible run-to-run and machine-to-machine.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// The workload seed to use: `NSQL_WORKLOAD_SEED` if set, else
+/// [`DEFAULT_SEED`].
+pub fn seed_from_env() -> u64 {
+    match std::env::var("NSQL_WORKLOAD_SEED") {
+        Ok(v) => v.parse().unwrap_or_else(|_| panic!("bad NSQL_WORKLOAD_SEED: {v}")),
+        Err(_) => DEFAULT_SEED,
+    }
+}
 
 /// Parameters of a generated workload.
 #[derive(Debug, Clone, Copy)]
@@ -35,8 +48,6 @@ pub struct WorkloadSpec {
     pub buffer_pages: usize,
     /// Page size in bytes.
     pub page_size: usize,
-    /// RNG seed (workloads are deterministic per seed).
-    pub seed: u64,
 }
 
 impl Default for WorkloadSpec {
@@ -48,7 +59,6 @@ impl Default for WorkloadSpec {
             match_fraction: 0.8,
             buffer_pages: 6,
             page_size: 512,
-            seed: 42,
         }
     }
 }
@@ -120,8 +130,10 @@ fn schemas() -> (Schema, Schema) {
 }
 
 /// Generate the workload; all four benchmark queries run against it.
-pub fn ja_workload(spec: WorkloadSpec) -> Workload {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+/// Workloads are a pure function of `(spec, seed)` — same inputs, same
+/// database, bit for bit.
+pub fn ja_workload(spec: WorkloadSpec, seed: u64) -> Workload {
+    let mut rng = Rng::from_seed(seed);
     let (parts_schema, supply_schema) = schemas();
     let grp_mod = (1.0 / spec.outer_selectivity).round().max(1.0) as i64;
     // Wide range for the membership columns: matches are rare, so the
@@ -159,8 +171,8 @@ pub fn ja_workload(spec: WorkloadSpec) -> Workload {
 }
 
 /// Alias kept for readability at call sites that only run type-N queries.
-pub fn n_workload(spec: WorkloadSpec) -> Workload {
-    ja_workload(spec)
+pub fn n_workload(spec: WorkloadSpec, seed: u64) -> Workload {
+    ja_workload(spec, seed)
 }
 
 /// The benchmark queries, one per nesting type (`GRP = 0` is the outer
@@ -191,16 +203,22 @@ mod tests {
 
     #[test]
     fn workload_is_deterministic_per_seed() {
-        let a = ja_workload(WorkloadSpec { outer_tuples: 50, inner_tuples: 80, ..Default::default() });
-        let b = ja_workload(WorkloadSpec { outer_tuples: 50, inner_tuples: 80, ..Default::default() });
+        let spec = WorkloadSpec { outer_tuples: 50, inner_tuples: 80, ..Default::default() };
+        let a = ja_workload(spec, DEFAULT_SEED);
+        let b = ja_workload(spec, DEFAULT_SEED);
         let ra = a.db.query("SELECT PNUM, QOH FROM PARTS WHERE GRP = 0").unwrap();
         let rb = b.db.query("SELECT PNUM, QOH FROM PARTS WHERE GRP = 0").unwrap();
         assert!(ra.same_bag(&rb));
+        // A different seed produces a genuinely different database.
+        let c = ja_workload(spec, DEFAULT_SEED + 1);
+        let rc = c.db.query("SELECT PNUM, QOH FROM PARTS").unwrap();
+        let ra_all = a.db.query("SELECT PNUM, QOH FROM PARTS").unwrap();
+        assert!(!ra_all.same_bag(&rc), "seed must steer the generator");
     }
 
     #[test]
     fn kim_scale_hits_target_shape() {
-        let w = ja_workload(WorkloadSpec::kim_scale());
+        let w = ja_workload(WorkloadSpec::kim_scale(), DEFAULT_SEED);
         assert!(
             (85..=115).contains(&w.inner_pages()),
             "inner should be ≈100 pages, got {}",
@@ -215,17 +233,16 @@ mod tests {
         let f = w.db.query("SELECT PNUM FROM PARTS WHERE GRP = 0").unwrap();
         assert!((80..=120).contains(&f.len()), "f(i)·Ni = {}", f.len());
         // And the JA spec lands near Pj = 30.
-        let ja = ja_workload(WorkloadSpec::kim_scale_ja());
+        let ja = ja_workload(WorkloadSpec::kim_scale_ja(), DEFAULT_SEED);
         assert!((24..=36).contains(&ja.inner_pages()), "Pj = {}", ja.inner_pages());
     }
 
     #[test]
     fn queries_parse_and_run_on_small_workload() {
-        let w = ja_workload(WorkloadSpec {
-            outer_tuples: 40,
-            inner_tuples: 60,
-            ..WorkloadSpec::default()
-        });
+        let w = ja_workload(
+            WorkloadSpec { outer_tuples: 40, inner_tuples: 60, ..WorkloadSpec::default() },
+            DEFAULT_SEED,
+        );
         for sql in [
             queries::TYPE_N,
             queries::TYPE_J,

@@ -3,10 +3,10 @@
 //! both inner and left-outer joins.
 
 use nsql_engine::{CPred, Exec, JoinKind};
-use nsql_storage::{HeapFile, Storage};
 use nsql_sql::parse_query;
+use nsql_storage::{HeapFile, Storage};
+use nsql_testkit::{forall, prop_assert, prop_assert_eq, Rng};
 use nsql_types::{Column, ColumnType, Schema, Tuple, Value};
-use proptest::prelude::*;
 
 fn file_of(st: &Storage, table: &str, rows: &[(Option<i64>, i64)]) -> HeapFile {
     let schema = Schema::new(vec![
@@ -29,94 +29,107 @@ fn eq_pred(l: &HeapFile, r: &HeapFile) -> CPred {
 }
 
 /// Keys: mostly small ints (forcing duplicates and matches), some NULLs.
-fn side() -> impl Strategy<Value = Vec<(Option<i64>, i64)>> {
-    prop::collection::vec(
-        (prop::option::weighted(0.9, 0i64..6), 0i64..100),
-        0..25,
-    )
+fn side(rng: &mut Rng) -> Vec<(Option<i64>, i64)> {
+    let n = rng.gen_range(0usize..25);
+    (0..n)
+        .map(|_| {
+            let k = if rng.gen_bool(0.9) { Some(rng.gen_range(0i64..6)) } else { None };
+            (k, rng.gen_range(0i64..100))
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+#[test]
+fn all_join_algorithms_agree() {
+    forall(
+        128,
+        "all_join_algorithms_agree",
+        |rng| (side(rng), side(rng), rng.gen_bool(0.5)),
+        |(left, right, outer)| {
+            let st = Storage::with_defaults();
+            let e = Exec::new(st.clone());
+            let l = file_of(&st, "L", left);
+            let r = file_of(&st, "R", right);
+            let kind = if *outer { JoinKind::LeftOuter } else { JoinKind::Inner };
 
-    #[test]
-    fn all_join_algorithms_agree(
-        left in side(),
-        right in side(),
-        outer in any::<bool>(),
-    ) {
-        let st = Storage::with_defaults();
-        let e = Exec::new(st.clone());
-        let l = file_of(&st, "L", &left);
-        let r = file_of(&st, "R", &right);
-        let kind = if outer { JoinKind::LeftOuter } else { JoinKind::Inner };
+            let nl = e.nl_join(&l, &r, &eq_pred(&l, &r), kind).unwrap();
+            let mj = e
+                .merge_join(&l, &r, &[0], &[0], None, kind, false, false)
+                .unwrap();
+            let hj = e.hash_join(&l, &r, &[0], &[0], None, kind).unwrap();
 
-        let nl = e.nl_join(&l, &r, &eq_pred(&l, &r), kind).unwrap();
-        let mj = e
-            .merge_join(&l, &r, &[0], &[0], None, kind, false, false)
-            .unwrap();
-        let hj = e.hash_join(&l, &r, &[0], &[0], None, kind).unwrap();
+            let nl_rel = e.collect(&nl);
+            let mj_rel = e.collect(&mj);
+            let hj_rel = e.collect(&hj);
+            prop_assert!(
+                nl_rel.same_bag(&mj_rel),
+                "{kind:?} NL vs MJ\nNL:\n{nl_rel}\nMJ:\n{mj_rel}"
+            );
+            prop_assert!(
+                nl_rel.same_bag(&hj_rel),
+                "{kind:?} NL vs HJ\nNL:\n{nl_rel}\nHJ:\n{hj_rel}"
+            );
+            Ok(())
+        },
+    );
+}
 
-        let nl_rel = e.collect(&nl);
-        let mj_rel = e.collect(&mj);
-        let hj_rel = e.collect(&hj);
-        prop_assert!(
-            nl_rel.same_bag(&mj_rel),
-            "{kind:?} NL vs MJ\nNL:\n{nl_rel}\nMJ:\n{mj_rel}"
-        );
-        prop_assert!(
-            nl_rel.same_bag(&hj_rel),
-            "{kind:?} NL vs HJ\nNL:\n{nl_rel}\nHJ:\n{hj_rel}"
-        );
-    }
+#[test]
+fn outer_join_covers_every_left_tuple_exactly_once_or_more() {
+    forall(
+        128,
+        "outer_join_covers_every_left_tuple_exactly_once_or_more",
+        |rng| (side(rng), side(rng)),
+        |(left, right)| {
+            let st = Storage::with_defaults();
+            let e = Exec::new(st.clone());
+            let l = file_of(&st, "L", left);
+            let r = file_of(&st, "R", right);
+            let mj = e
+                .merge_join(&l, &r, &[0], &[0], None, JoinKind::LeftOuter, false, false)
+                .unwrap();
+            let rel = e.collect(&mj);
+            // Every left tuple appears at least once (padded or matched), and
+            // left tuples with NULL keys appear exactly once (padded).
+            prop_assert!(rel.len() >= l.tuple_count());
+            let null_key_count = left.iter().filter(|(k, _)| k.is_none()).count();
+            let padded_nulls = rel
+                .tuples()
+                .iter()
+                .filter(|t| t.get(0).is_null() && t.get(2).is_null())
+                .count();
+            prop_assert_eq!(padded_nulls, null_key_count);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn outer_join_covers_every_left_tuple_exactly_once_or_more(
-        left in side(),
-        right in side(),
-    ) {
-        let st = Storage::with_defaults();
-        let e = Exec::new(st.clone());
-        let l = file_of(&st, "L", &left);
-        let r = file_of(&st, "R", &right);
-        let mj = e
-            .merge_join(&l, &r, &[0], &[0], None, JoinKind::LeftOuter, false, false)
-            .unwrap();
-        let rel = e.collect(&mj);
-        // Every left tuple appears at least once (padded or matched), and
-        // left tuples with NULL keys appear exactly once (padded).
-        prop_assert!(rel.len() >= l.tuple_count());
-        let null_key_count = left.iter().filter(|(k, _)| k.is_none()).count();
-        let padded_nulls = rel
-            .tuples()
-            .iter()
-            .filter(|t| t.get(0).is_null() && t.get(2).is_null())
-            .count();
-        prop_assert_eq!(padded_nulls, null_key_count);
-    }
-
-    #[test]
-    fn inner_join_cardinality_matches_key_histogram(
-        left in side(),
-        right in side(),
-    ) {
-        use std::collections::HashMap;
-        let st = Storage::with_defaults();
-        let e = Exec::new(st.clone());
-        let l = file_of(&st, "L", &left);
-        let r = file_of(&st, "R", &right);
-        let hj = e.hash_join(&l, &r, &[0], &[0], None, JoinKind::Inner).unwrap();
-        let mut hist: HashMap<i64, usize> = HashMap::new();
-        for (k, _) in &right {
-            if let Some(k) = k {
-                *hist.entry(*k).or_default() += 1;
+#[test]
+fn inner_join_cardinality_matches_key_histogram() {
+    forall(
+        128,
+        "inner_join_cardinality_matches_key_histogram",
+        |rng| (side(rng), side(rng)),
+        |(left, right)| {
+            use std::collections::HashMap;
+            let st = Storage::with_defaults();
+            let e = Exec::new(st.clone());
+            let l = file_of(&st, "L", left);
+            let r = file_of(&st, "R", right);
+            let hj = e.hash_join(&l, &r, &[0], &[0], None, JoinKind::Inner).unwrap();
+            let mut hist: HashMap<i64, usize> = HashMap::new();
+            for (k, _) in right {
+                if let Some(k) = k {
+                    *hist.entry(*k).or_default() += 1;
+                }
             }
-        }
-        let expected: usize = left
-            .iter()
-            .filter_map(|(k, _)| k.as_ref())
-            .map(|k| hist.get(k).copied().unwrap_or(0))
-            .sum();
-        prop_assert_eq!(hj.tuple_count(), expected);
-    }
+            let expected: usize = left
+                .iter()
+                .filter_map(|(k, _)| k.as_ref())
+                .map(|k| hist.get(k).copied().unwrap_or(0))
+                .sum();
+            prop_assert_eq!(hj.tuple_count(), expected);
+            Ok(())
+        },
+    );
 }

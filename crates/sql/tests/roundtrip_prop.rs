@@ -1,160 +1,27 @@
 //! Property test: printing any generated AST and re-parsing it yields the
 //! same AST (the printer and parser are mutual inverses over the dialect).
+//!
+//! The AST generator and its grammar-preserving shrinkers live in
+//! `nsql_testkit::gen`, so a failure here shrinks to a minimal *valid*
+//! query block, not to a grammar fragment.
 
-use nsql_sql::{
-    parse_query, print_query, AggArg, AggFunc, ColumnRef, CompareOp, InRhs, Operand, Predicate,
-    QueryBlock, Quantifier, ScalarExpr, SelectItem, TableRef,
-};
-use nsql_types::Value;
-use proptest::prelude::*;
+use nsql_sql::{parse_query, print_query};
+use nsql_testkit::{forall, gen, prop_assert_eq};
 
-fn ident() -> impl Strategy<Value = String> {
-    "[A-Z][A-Z0-9_]{0,6}".prop_filter("not a keyword", |s| {
-        nsql_sql::token::Keyword::from_ident(s).is_none()
-    })
-}
-
-fn column_ref() -> impl Strategy<Value = ColumnRef> {
-    (proptest::option::of(ident()), ident())
-        .prop_map(|(t, c)| ColumnRef { table: t, column: c })
-}
-
-fn literal() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<i32>().prop_map(|v| Value::Int(v.into())),
-        (-1000i32..1000, 0u8..100).prop_map(|(a, b)| Value::Float(f64::from(a) + f64::from(b) / 100.0)),
-        "[a-zA-Z0-9 ]{0,8}".prop_map(Value::str),
-        Just(Value::Null),
-        (1970i32..2030, 1u8..13, 1u8..28)
-            .prop_map(|(y, m, d)| Value::Date(nsql_types::Date::new(y, m, d).expect("valid"))),
-    ]
-}
-
-fn operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        column_ref().prop_map(Operand::Column),
-        literal().prop_map(Operand::Literal),
-    ]
-}
-
-fn compare_op() -> impl Strategy<Value = CompareOp> {
-    prop::sample::select(vec![
-        CompareOp::Eq,
-        CompareOp::Ne,
-        CompareOp::Lt,
-        CompareOp::Le,
-        CompareOp::Gt,
-        CompareOp::Ge,
-    ])
-}
-
-fn select_item() -> impl Strategy<Value = SelectItem> {
-    let expr = prop_oneof![
-        column_ref().prop_map(ScalarExpr::Column),
-        (
-            prop::sample::select(vec![
-                AggFunc::Count,
-                AggFunc::Sum,
-                AggFunc::Avg,
-                AggFunc::Max,
-                AggFunc::Min
-            ]),
-            column_ref()
-        )
-            .prop_map(|(f, c)| ScalarExpr::Aggregate(f, AggArg::Column(c))),
-        Just(ScalarExpr::Aggregate(AggFunc::Count, AggArg::Star)),
-    ];
-    (expr, proptest::option::of(ident()))
-        .prop_map(|(expr, alias)| SelectItem { expr, alias })
-}
-
-fn table_ref() -> impl Strategy<Value = TableRef> {
-    (ident(), proptest::option::of(ident()))
-        .prop_map(|(table, alias)| TableRef { table, alias })
-}
-
-/// Predicates with up to one level of subquery nesting.
-fn predicate(depth: u32) -> BoxedStrategy<Predicate> {
-    let leaf = prop_oneof![
-        (operand(), compare_op(), operand()).prop_map(|(left, op, right)| Predicate::Compare {
-            left,
-            op,
-            right
-        }),
-        (operand(), any::<bool>(), proptest::collection::vec(literal(), 1..4)).prop_map(
-            |(operand, negated, list)| Predicate::In {
-                operand,
-                negated,
-                rhs: InRhs::List(list)
-            }
-        ),
-        (operand(), any::<bool>()).prop_map(|(operand, negated)| Predicate::IsNull {
-            operand,
-            negated
-        }),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
-    }
-    let with_sub = prop_oneof![
-        leaf.clone(),
-        (any::<bool>(), query_block(depth - 1))
-            .prop_map(|(negated, q)| Predicate::Exists { negated, query: Box::new(q) }),
-        (operand(), query_block(depth - 1)).prop_map(|(operand, q)| Predicate::In {
-            operand,
-            negated: false,
-            rhs: InRhs::Subquery(Box::new(q))
-        }),
-        (
-            operand(),
-            compare_op(),
-            prop::sample::select(vec![Quantifier::Any, Quantifier::All]),
-            query_block(depth - 1)
-        )
-            .prop_map(|(left, op, quantifier, q)| Predicate::Quantified {
-                left,
-                op,
-                quantifier,
-                query: Box::new(q)
-            }),
-    ];
-    let inner = with_sub.clone();
-    prop_oneof![
-        with_sub,
-        proptest::collection::vec(inner.clone(), 2..4).prop_map(Predicate::And),
-        proptest::collection::vec(inner.clone(), 2..4).prop_map(Predicate::Or),
-        inner.prop_map(|p| Predicate::Not(Box::new(p))),
-    ]
-    .boxed()
-}
-
-fn query_block(depth: u32) -> BoxedStrategy<QueryBlock> {
-    (
-        any::<bool>(),
-        proptest::collection::vec(select_item(), 1..4),
-        proptest::collection::vec(table_ref(), 1..3),
-        proptest::option::of(predicate(depth)),
-        proptest::collection::vec(column_ref(), 0..3),
-    )
-        .prop_map(|(distinct, select, from, where_clause, group_by)| QueryBlock {
-            distinct,
-            select,
-            from,
-            where_clause,
-            group_by,
-            order_by: vec![],
-        })
-        .boxed()
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    #[test]
-    fn print_then_parse_is_identity(q in query_block(1)) {
-        let printed = print_query(&q);
-        let reparsed = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\nSQL: {printed}"));
-        prop_assert_eq!(&reparsed, &q, "printed as {}", printed);
-    }
+#[test]
+fn print_then_parse_is_identity() {
+    forall(
+        256,
+        "print_then_parse_is_identity",
+        |rng| gen::query_block(rng, 1),
+        |q| {
+            let printed = print_query(q);
+            let reparsed = match parse_query(&printed) {
+                Ok(r) => r,
+                Err(e) => return Err(format!("reparse failed: {e}\nSQL: {printed}")),
+            };
+            prop_assert_eq!(&reparsed, q, "printed as {}", printed);
+            Ok(())
+        },
+    );
 }

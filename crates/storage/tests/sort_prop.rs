@@ -5,8 +5,8 @@
 
 use nsql_storage::sort::{compare, SortKey};
 use nsql_storage::{external_sort, HeapFile, Storage};
+use nsql_testkit::{forall, prop_assert, prop_assert_eq, Rng};
 use nsql_types::{Column, ColumnType, Schema, Tuple, Value};
-use proptest::prelude::*;
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -24,66 +24,89 @@ fn file_of(st: &Storage, rows: &[(i64, i64)]) -> HeapFile {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+fn rows_of(rng: &mut Rng, max_len: usize, a_span: i64, b_span: i64) -> Vec<(i64, i64)> {
+    let n = rng.gen_range(0usize..max_len);
+    (0..n)
+        .map(|_| (rng.gen_range(0i64..a_span), rng.gen_range(0i64..b_span)))
+        .collect()
+}
 
-    #[test]
-    fn sort_is_a_sorted_permutation(
-        rows in prop::collection::vec((0i64..50, 0i64..50), 0..400),
-        buffer in 3usize..10,
-        page_size in prop::sample::select(vec![64usize, 128, 512]),
-    ) {
-        let st = Storage::new(buffer, page_size);
-        let f = file_of(&st, &rows);
-        let keys = [SortKey::asc(0), SortKey::desc(1)];
-        let sorted = external_sort(&st, &f, &keys, false);
-        let got: Vec<Tuple> = sorted.scan(&st).collect();
-        // Sorted?
-        for w in got.windows(2) {
-            prop_assert!(compare(&w[0], &w[1], &keys) != std::cmp::Ordering::Greater);
-        }
-        // Permutation?
-        let mut want: Vec<Tuple> = f.scan(&st).collect();
-        let mut have = got.clone();
-        want.sort_by(Tuple::total_cmp);
-        have.sort_by(Tuple::total_cmp);
-        prop_assert_eq!(want, have);
-    }
+#[test]
+fn sort_is_a_sorted_permutation() {
+    forall(
+        64,
+        "sort_is_a_sorted_permutation",
+        |rng| {
+            (
+                rows_of(rng, 400, 50, 50),
+                rng.gen_range(3usize..10),
+                *rng.choose(&[64usize, 128, 512]),
+            )
+        },
+        |(rows, buffer, page_size)| {
+            let st = Storage::new(*buffer, *page_size);
+            let f = file_of(&st, rows);
+            let keys = [SortKey::asc(0), SortKey::desc(1)];
+            let sorted = external_sort(&st, &f, &keys, false);
+            let got: Vec<Tuple> = sorted.scan(&st).collect();
+            // Sorted?
+            for w in got.windows(2) {
+                prop_assert!(compare(&w[0], &w[1], &keys) != std::cmp::Ordering::Greater);
+            }
+            // Permutation?
+            let mut want: Vec<Tuple> = f.scan(&st).collect();
+            let mut have = got.clone();
+            want.sort_by(Tuple::total_cmp);
+            have.sort_by(Tuple::total_cmp);
+            prop_assert_eq!(want, have);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn unique_sort_matches_in_memory_dedup(
-        rows in prop::collection::vec((0i64..8, 0i64..4), 0..200),
-        buffer in 3usize..8,
-    ) {
-        let st = Storage::new(buffer, 64);
-        let f = file_of(&st, &rows);
-        let sorted = external_sort(&st, &f, &[], true);
-        let got = sorted.tuple_count();
-        let mut want = rows.clone();
-        want.sort_unstable();
-        want.dedup();
-        prop_assert_eq!(got, want.len());
-    }
+#[test]
+fn unique_sort_matches_in_memory_dedup() {
+    forall(
+        64,
+        "unique_sort_matches_in_memory_dedup",
+        |rng| (rows_of(rng, 200, 8, 4), rng.gen_range(3usize..8)),
+        |(rows, buffer)| {
+            let st = Storage::new(*buffer, 64);
+            let f = file_of(&st, rows);
+            let sorted = external_sort(&st, &f, &[], true);
+            let got = sorted.tuple_count();
+            let mut want = rows.clone();
+            want.sort_unstable();
+            want.dedup();
+            prop_assert_eq!(got, want.len());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sort_io_within_model_envelope(
-        n in 50usize..600,
-        buffer in 4usize..8,
-    ) {
-        let st = Storage::new(buffer, 64);
-        let rows: Vec<(i64, i64)> = (0..n as i64).map(|i| ((i * 7919) % 601, i)).collect();
-        let f = file_of(&st, &rows);
-        let p = f.page_count() as f64;
-        let before = st.io_stats();
-        let _ = external_sort(&st, &f, &[SortKey::asc(0)], false);
-        let used = st.io_stats().since(&before).total() as f64;
-        // Upper bound: 2P per pass, passes ≤ 1 + ceil(log_{B-1}(runs)) + 1 slack.
-        let b = buffer as f64;
-        let runs = (p / b).ceil().max(1.0);
-        let passes = 1.0 + if runs > 1.0 { runs.log(b - 1.0).ceil() } else { 0.0 };
-        prop_assert!(
-            used <= 2.0 * p * (passes + 1.0) + 4.0,
-            "sort of {p} pages with B={buffer} used {used} I/Os (≈{passes} passes expected)"
-        );
-    }
+#[test]
+fn sort_io_within_model_envelope() {
+    forall(
+        64,
+        "sort_io_within_model_envelope",
+        |rng| (rng.gen_range(50usize..600), rng.gen_range(4usize..8)),
+        |&(n, buffer)| {
+            let st = Storage::new(buffer, 64);
+            let rows: Vec<(i64, i64)> = (0..n as i64).map(|i| ((i * 7919) % 601, i)).collect();
+            let f = file_of(&st, &rows);
+            let p = f.page_count() as f64;
+            let before = st.io_stats();
+            let _ = external_sort(&st, &f, &[SortKey::asc(0)], false);
+            let used = st.io_stats().since(&before).total() as f64;
+            // Upper bound: 2P per pass, passes ≤ 1 + ceil(log_{B-1}(runs)) + 1 slack.
+            let b = buffer as f64;
+            let runs = (p / b).ceil().max(1.0);
+            let passes = 1.0 + if runs > 1.0 { runs.log(b - 1.0).ceil() } else { 0.0 };
+            prop_assert!(
+                used <= 2.0 * p * (passes + 1.0) + 4.0,
+                "sort of {p} pages with B={buffer} used {used} I/Os (≈{passes} passes expected)"
+            );
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,37 @@
+#![deny(warnings)]
+#![warn(missing_docs)]
+
+//! Hermetic test infrastructure for the nested-query-opt workspace.
+//!
+//! The workspace builds and tests **offline**: no crates-io dependency is
+//! allowed anywhere. This crate supplies, in-tree, the three things the
+//! test layer previously pulled from the registry:
+//!
+//! * [`rng`] — a seedable xoshiro256++ PRNG (SplitMix64-seeded) with
+//!   `gen_range`, `choose`, and `shuffle` (replaces `rand`);
+//! * [`prop`] + [`shrink`] + [`gen`] — a minimal property-testing harness:
+//!   generators are plain `Fn(&mut Rng) -> T` closures, the [`prop::forall`]
+//!   runner reports a **replayable seed** on failure and greedily shrinks
+//!   the counterexample (replaces `proptest`);
+//! * [`bench`] — a tiny `harness = false` micro-benchmark timer with
+//!   warmup, median-of-N reporting, and optional JSON output (replaces
+//!   `criterion`).
+//!
+//! Every randomized test in the workspace is deterministic by default and
+//! replayable via two environment variables:
+//!
+//! * `NSQL_TEST_CASES` — number of cases per property (harness default
+//!   picks a per-property count);
+//! * `NSQL_TEST_SEED` — run case 0 with exactly this seed (accepts decimal
+//!   or `0x…` hex), which is what a failure report prints.
+
+pub mod bench;
+pub mod gen;
+pub mod prop;
+pub mod rng;
+pub mod shrink;
+
+pub use bench::{black_box, Bench};
+pub use prop::{forall, forall_cfg, run_property, Config, Failure, PropResult};
+pub use rng::Rng;
+pub use shrink::Shrink;

@@ -1,0 +1,342 @@
+//! The property runner: generate, check, and on failure shrink + report a
+//! replayable seed.
+//!
+//! A property test is three plain pieces:
+//!
+//! * a generator `Fn(&mut Rng) -> T`;
+//! * a property `Fn(&T) -> PropResult` (use [`prop_assert!`] /
+//!   [`prop_assert_eq!`] / [`prop_assert_ne!`] inside, and end with
+//!   `Ok(())`);
+//! * a call to [`forall`], which panics with a full report — seed, case
+//!   number, original and shrunk counterexample — if any case fails.
+//!
+//! Replaying a failure: the report prints `NSQL_TEST_SEED=0x…`; with that
+//! variable set, case 0 regenerates exactly the reported input
+//! (`NSQL_TEST_CASES=1` stops after it).
+
+use crate::rng::{splitmix64, Rng};
+use crate::shrink::Shrink;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result of one property evaluation: `Err` carries the assertion message.
+pub type PropResult = Result<(), String>;
+
+/// Default base seed (ASCII "nsqltest" truncated); every run is
+/// deterministic unless `NSQL_TEST_SEED` overrides it.
+pub const DEFAULT_SEED: u64 = 0x6e73_716c_7465_7374;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Seed for case 0 when pinned by the environment, else `None`.
+    pub env_seed: Option<u64>,
+    /// Cap on accepted shrink steps (and, ×8, on candidate evaluations).
+    pub max_shrink_steps: u32,
+}
+
+impl Config {
+    /// `cases` cases, honouring `NSQL_TEST_CASES` and `NSQL_TEST_SEED`.
+    pub fn cases(cases: u32) -> Config {
+        let cases = match std::env::var("NSQL_TEST_CASES") {
+            Ok(v) => v.parse().unwrap_or_else(|_| panic!("bad NSQL_TEST_CASES: {v}")),
+            Err(_) => cases,
+        };
+        let env_seed = std::env::var("NSQL_TEST_SEED").ok().map(|v| parse_seed(&v));
+        Config { cases, env_seed, max_shrink_steps: 2048 }
+    }
+}
+
+fn parse_seed(v: &str) -> u64 {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.unwrap_or_else(|_| panic!("bad NSQL_TEST_SEED: {v}"))
+}
+
+/// A failing case, after shrinking.
+#[derive(Debug, Clone)]
+pub struct Failure<T> {
+    /// Property name as passed to the runner.
+    pub name: String,
+    /// Seed that regenerates `original` as case 0.
+    pub seed: u64,
+    /// Which case (0-based) failed first.
+    pub case: u32,
+    /// The input as generated.
+    pub original: T,
+    /// The input after greedy shrinking (== `original` if nothing smaller fails).
+    pub shrunk: T,
+    /// Number of accepted shrink steps.
+    pub shrink_steps: u32,
+    /// The failure message of the *shrunk* input.
+    pub message: String,
+}
+
+impl<T: fmt::Debug> Failure<T> {
+    /// The full human-readable report.
+    pub fn render(&self) -> String {
+        format!(
+            "property '{}' failed at case {} (seed {:#018x})\n\
+             replay: NSQL_TEST_SEED={:#x} NSQL_TEST_CASES=1\n\
+             original input: {:?}\n\
+             shrunk input ({} steps): {:?}\n\
+             error: {}",
+            self.name, self.case, self.seed, self.seed, self.original, self.shrink_steps,
+            self.shrunk, self.message
+        )
+    }
+}
+
+/// Evaluate the property, converting a panic into a failure message so the
+/// shrinker can keep working through `unwrap`-style crashes.
+fn eval<T, P: Fn(&T) -> PropResult>(prop: &P, input: &T) -> PropResult {
+    match catch_unwind(AssertUnwindSafe(|| prop(input))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "property panicked (non-string payload)".to_string());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Run `prop` on `cfg.cases` random inputs; return the (shrunk) first
+/// failure, or `None` if every case passed. [`forall`] wraps this in a
+/// panic; tests that *expect* a failure call it directly.
+pub fn run_property<T, G, P>(cfg: &Config, name: &str, generate: G, prop: P) -> Option<Failure<T>>
+where
+    T: Shrink + Clone + fmt::Debug,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> PropResult,
+{
+    // Without an env override, the per-case seed stream is derived from the
+    // property name so distinct properties explore distinct inputs.
+    let mut stream = DEFAULT_SEED ^ fnv1a(name.as_bytes());
+    for case in 0..cfg.cases {
+        let case_seed = match (case, cfg.env_seed) {
+            (0, Some(s)) => s,
+            _ => splitmix64(&mut stream),
+        };
+        let mut rng = Rng::from_seed(case_seed);
+        let input = generate(&mut rng);
+        if let Err(first_message) = eval(&prop, &input) {
+            let (shrunk, shrink_steps, message) =
+                shrink_failure(cfg, &prop, input.clone(), first_message);
+            return Some(Failure {
+                name: name.to_string(),
+                seed: case_seed,
+                case,
+                original: input,
+                shrunk,
+                shrink_steps,
+                message,
+            });
+        }
+    }
+    None
+}
+
+/// Greedy descent: take the first shrink candidate that still fails,
+/// repeat until none does (or the step/evaluation budget runs out).
+fn shrink_failure<T, P>(cfg: &Config, prop: &P, mut current: T, mut message: String) -> (T, u32, String)
+where
+    T: Shrink + Clone + fmt::Debug,
+    P: Fn(&T) -> PropResult,
+{
+    let mut steps = 0u32;
+    let mut evals = 0u64;
+    let eval_budget = u64::from(cfg.max_shrink_steps) * 8;
+    'outer: while steps < cfg.max_shrink_steps {
+        for candidate in current.shrink() {
+            evals += 1;
+            if evals > eval_budget {
+                break 'outer;
+            }
+            if let Err(m) = eval(prop, &candidate) {
+                current = candidate;
+                message = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // local minimum: every simpler candidate passes
+    }
+    (current, steps, message)
+}
+
+/// Run a property over `cases` random inputs and panic with a replayable
+/// report on the first (shrunk) failure.
+pub fn forall<T, G, P>(cases: u32, name: &str, generate: G, prop: P)
+where
+    T: Shrink + Clone + fmt::Debug,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> PropResult,
+{
+    forall_cfg(&Config::cases(cases), name, generate, prop);
+}
+
+/// [`forall`] with an explicit [`Config`].
+pub fn forall_cfg<T, G, P>(cfg: &Config, name: &str, generate: G, prop: P)
+where
+    T: Shrink + Clone + fmt::Debug,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> PropResult,
+{
+    if let Some(failure) = run_property(cfg, name, generate, prop) {
+        panic!("{}", failure.render());
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fail the surrounding property unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}\n{}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the surrounding property unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Fail the surrounding property unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err(format!("assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), l));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err(format!("assertion failed: {} != {}\n  both: {:?}\n{}",
+                stringify!($left), stringify!($right), l, format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(cases: u32) -> Config {
+        // Ignore the ambient environment so these meta-tests are stable.
+        Config { cases, env_seed: None, max_shrink_steps: 2048 }
+    }
+
+    #[test]
+    fn passing_property_reports_no_failure() {
+        let f = run_property(
+            &cfg(200),
+            "sum_commutes",
+            |rng| (rng.gen_range(-100i64..100), rng.gen_range(-100i64..100)),
+            |&(a, b)| {
+                prop_assert_eq!(a + b, b + a);
+                Ok(())
+            },
+        );
+        assert!(f.is_none());
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_counterexample() {
+        // "No vector sums to ≥ 10" is false. At any greedy local minimum
+        // the sum is *exactly* 10 (one more decrement would pass) and no
+        // element is 0 (removing it would still fail).
+        let f = run_property(
+            &cfg(200),
+            "sums_stay_small",
+            |rng| {
+                let n = rng.gen_range(0usize..12);
+                (0..n).map(|_| rng.gen_range(0i64..50)).collect::<Vec<i64>>()
+            },
+            |v| {
+                prop_assert!(v.iter().sum::<i64>() < 10, "sum = {}", v.iter().sum::<i64>());
+                Ok(())
+            },
+        )
+        .expect("property is false");
+        assert_eq!(f.shrunk.iter().sum::<i64>(), 10, "local minimum sums to exactly 10: {:?}", f.shrunk);
+        assert!(!f.shrunk.contains(&0), "zero elements are removable: {:?}", f.shrunk);
+        assert!(f.render().contains("NSQL_TEST_SEED="), "report must be replayable");
+    }
+
+    #[test]
+    fn reported_seed_replays_the_original_input() {
+        let generate = |rng: &mut Rng| {
+            let n = rng.gen_range(1usize..8);
+            (0..n).map(|_| rng.gen_range(0i64..100)).collect::<Vec<i64>>()
+        };
+        let f = run_property(&cfg(500), "has_no_big_element", generate, |v| {
+            prop_assert!(v.iter().all(|&x| x < 90));
+            Ok(())
+        })
+        .expect("property is false");
+        // Replay: env-pinned seed regenerates the same input as case 0.
+        let replay = Config { cases: 1, env_seed: Some(f.seed), max_shrink_steps: 0 };
+        let again = run_property(&replay, "has_no_big_element", generate, |v| {
+            prop_assert!(v.iter().all(|&x| x < 90));
+            Ok(())
+        })
+        .expect("still fails");
+        assert_eq!(again.original, f.original);
+    }
+
+    #[test]
+    fn panics_inside_properties_are_shrinkable_failures() {
+        let f = run_property(
+            &cfg(100),
+            "index_in_bounds",
+            |rng| rng.gen_range(0usize..20),
+            |&n| {
+                let v = [0u8; 10];
+                let _ = v[n]; // panics for n >= 10
+                Ok(())
+            },
+        )
+        .expect("out-of-bounds indices occur");
+        assert_eq!(f.shrunk, 10, "minimal out-of-bounds index");
+        assert!(f.message.contains("panic"));
+    }
+}

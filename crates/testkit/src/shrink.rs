@@ -1,0 +1,204 @@
+//! Greedy input shrinking.
+//!
+//! [`Shrink::shrink`] proposes a finite list of *strictly simpler*
+//! candidates for a value; the runner keeps the first candidate that still
+//! fails the property and repeats until no candidate fails. Greedy
+//! first-fail descent (rather than proptest's lazily explored tree) is
+//! simple, deterministic, and in practice lands on near-minimal
+//! counterexamples for the tuple/relation inputs used in this workspace.
+
+/// Values that can propose simpler versions of themselves.
+///
+/// The default implementation proposes nothing, so opaque test enums can
+/// opt in with an empty `impl Shrink for MyEnum {}`.
+pub trait Shrink: Sized {
+    /// Strictly simpler candidate values, most aggressive first.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let x = *self;
+                if x == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, x / 2];
+                // Step toward zero by one: catches off-by-one boundaries
+                // that halving jumps over.
+                out.push(if x > 0 { x - 1 } else { x + 1 });
+                out.dedup();
+                out.retain(|&c| c != x);
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self { vec![false] } else { Vec::new() }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let x = *self;
+        if x == 0.0 {
+            return Vec::new();
+        }
+        let mut out = vec![0.0, x / 2.0, x.trunc()];
+        out.retain(|&c| c != x);
+        out
+    }
+}
+
+impl Shrink for char {
+    fn shrink(&self) -> Vec<Self> {
+        // Pull toward the canonical smallest member of the value's class.
+        let target = match self {
+            'a'..='z' => 'a',
+            'A'..='Z' => 'A',
+            '0'..='9' => '0',
+            _ => return Vec::new(),
+        };
+        if *self == target { Vec::new() } else { vec![target] }
+    }
+}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = Vec::new();
+        // Drop one character at a time (keeps regex-shaped inputs valid
+        // more often than chunk removal on short strings).
+        for i in 0..chars.len() {
+            let mut c = chars.clone();
+            c.remove(i);
+            out.push(c.into_iter().collect());
+        }
+        // Simplify one character in place.
+        for i in 0..chars.len() {
+            for repl in chars[i].shrink() {
+                let mut c = chars.clone();
+                c[i] = repl;
+                out.push(c.iter().collect());
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(x) => {
+                let mut out = vec![None];
+                out.extend(x.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.is_empty() {
+            return out;
+        }
+        // Remove progressively smaller chunks: empty, halves, then single
+        // elements, so long vectors collapse in O(log n) rounds.
+        out.push(Vec::new());
+        let mut chunk = self.len() / 2;
+        while chunk >= 1 {
+            let mut start = 0;
+            while start + chunk <= self.len() {
+                let mut v = self.clone();
+                v.drain(start..start + chunk);
+                out.push(v);
+                start += chunk;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        // Then shrink elements in place.
+        for i in 0..self.len() {
+            for repl in self[i].shrink() {
+                let mut v = self.clone();
+                v[i] = repl;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($n:tt $T:ident),+))*) => {$(
+        impl<$($T: Shrink + Clone),+> Shrink for ($($T,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$n.shrink() {
+                        let mut t = self.clone();
+                        t.$n = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+impl Shrink for &'static str {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_shrink_toward_zero() {
+        assert!(100i64.shrink().contains(&0));
+        assert!(100i64.shrink().contains(&50));
+        assert!(100i64.shrink().contains(&99));
+        assert!((-7i64).shrink().contains(&-6));
+        assert!(0i64.shrink().is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_proposes_empty_and_element_removal() {
+        let v = vec![3i64, 1, 4];
+        let cands = v.shrink();
+        assert!(cands.contains(&vec![]));
+        assert!(cands.contains(&vec![1, 4]), "single-element removal");
+        assert!(cands.iter().any(|c| c == &vec![0, 1, 4]), "element shrink");
+    }
+
+    #[test]
+    fn tuple_shrink_is_componentwise() {
+        let cands = (4i64, true).shrink();
+        assert!(cands.contains(&(0, true)));
+        assert!(cands.contains(&(4, false)));
+    }
+}

@@ -3,19 +3,17 @@
 //! grouping equality is consistent with hashing, and date ordinals are
 //! order-isomorphic to dates.
 
+use nsql_testkit::gen;
+use nsql_testkit::{forall, prop_assert, prop_assert_eq, Rng};
 use nsql_types::{Date, Value};
-use proptest::prelude::*;
 use std::cmp::Ordering;
 
-fn value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i32>().prop_map(|v| Value::Int(v.into())),
-        (-1_000_000i32..1_000_000).prop_map(|v| Value::Float(f64::from(v) / 100.0)),
-        "[a-z]{0,6}".prop_map(Value::str),
-        (1900i32..2100, 1u8..13, 1u8..29)
-            .prop_map(|(y, m, d)| Value::Date(Date::new(y, m, d).expect("valid"))),
-    ]
+fn value(rng: &mut Rng) -> Value {
+    gen::value(rng)
+}
+
+fn ymd(rng: &mut Rng) -> (i32, u8, u8) {
+    (rng.gen_range(1900i32..2100), rng.gen_range(1u8..13), rng.gen_range(1u8..29))
 }
 
 fn hash_of(v: &Value) -> u64 {
@@ -25,63 +23,102 @@ fn hash_of(v: &Value) -> u64 {
     h.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+#[test]
+fn total_order_is_total_and_antisymmetric() {
+    forall(
+        512,
+        "total_order_is_total_and_antisymmetric",
+        |rng| (value(rng), value(rng)),
+        |(a, b)| {
+            let ab = a.total_cmp(b);
+            let ba = b.total_cmp(a);
+            prop_assert_eq!(ab, ba.reverse());
+            if ab == Ordering::Equal {
+                prop_assert_eq!(hash_of(a), hash_of(b), "equal values must hash alike");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn total_order_is_total_and_antisymmetric(a in value(), b in value()) {
-        let ab = a.total_cmp(&b);
-        let ba = b.total_cmp(&a);
-        prop_assert_eq!(ab, ba.reverse());
-        if ab == Ordering::Equal {
-            prop_assert_eq!(hash_of(&a), hash_of(&b), "equal values must hash alike");
-        }
-    }
+#[test]
+fn total_order_is_transitive() {
+    forall(
+        512,
+        "total_order_is_transitive",
+        |rng| (value(rng), value(rng), value(rng)),
+        |(a, b, c)| {
+            let mut v = [a.clone(), b.clone(), c.clone()];
+            v.sort_by(|x, y| x.total_cmp(y));
+            prop_assert!(v[0].total_cmp(&v[2]) != Ordering::Greater);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn total_order_is_transitive(a in value(), b in value(), c in value()) {
-        let mut v = [a, b, c];
-        v.sort_by(|x, y| x.total_cmp(y));
-        prop_assert!(v[0].total_cmp(&v[2]) != Ordering::Greater);
-    }
+#[test]
+fn sql_cmp_agrees_with_total_order_on_comparables() {
+    forall(
+        512,
+        "sql_cmp_agrees_with_total_order_on_comparables",
+        |rng| (value(rng), value(rng)),
+        |(a, b)| {
+            if let Ok(Some(ord)) = a.sql_cmp(b) {
+                prop_assert_eq!(ord, a.total_cmp(b));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sql_cmp_agrees_with_total_order_on_comparables(a in value(), b in value()) {
-        if let Ok(Some(ord)) = a.sql_cmp(&b) {
-            prop_assert_eq!(ord, a.total_cmp(&b));
-        }
-    }
-
-    #[test]
-    fn null_comparison_is_always_unknown(a in value()) {
-        prop_assert_eq!(Value::Null.sql_cmp(&a).unwrap(), None);
+#[test]
+fn null_comparison_is_always_unknown() {
+    forall(512, "null_comparison_is_always_unknown", value, |a| {
+        prop_assert_eq!(Value::Null.sql_cmp(a).unwrap(), None);
         prop_assert_eq!(a.sql_cmp(&Value::Null).unwrap(), None);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn date_ordinal_is_order_isomorphic(
-        a in (1900i32..2100, 1u8..13, 1u8..29),
-        b in (1900i32..2100, 1u8..13, 1u8..29),
-    ) {
-        let da = Date::new(a.0, a.1, a.2).expect("valid");
-        let db = Date::new(b.0, b.1, b.2).expect("valid");
-        prop_assert_eq!(da.cmp(&db), da.to_ordinal().cmp(&db.to_ordinal()));
-        prop_assert_eq!(Date::from_ordinal(da.to_ordinal()).expect("roundtrip"), da);
-    }
+#[test]
+fn date_ordinal_is_order_isomorphic() {
+    forall(
+        512,
+        "date_ordinal_is_order_isomorphic",
+        |rng| (ymd(rng), ymd(rng)),
+        |&(a, b)| {
+            let da = Date::new(a.0, a.1, a.2).expect("valid");
+            let db = Date::new(b.0, b.1, b.2).expect("valid");
+            prop_assert_eq!(da.cmp(&db), da.to_ordinal().cmp(&db.to_ordinal()));
+            prop_assert_eq!(Date::from_ordinal(da.to_ordinal()).expect("roundtrip"), da);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn display_of_date_parses_back(y in 1900i32..2100, m in 1u8..13, d in 1u8..29) {
+#[test]
+fn display_of_date_parses_back() {
+    forall(512, "display_of_date_parses_back", ymd, |&(y, m, d)| {
         let date = Date::new(y, m, d).expect("valid");
         let printed = date.to_string();
         prop_assert_eq!(Date::parse(&printed).expect("ISO form"), date);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn int_float_numeric_tower_consistency(i in -1_000_000i64..1_000_000) {
-        let int = Value::Int(i);
-        let float = Value::Float(i as f64);
-        prop_assert_eq!(int.total_cmp(&float), Ordering::Equal);
-        prop_assert_eq!(int.sql_eq(&float).unwrap(), Some(true));
-        prop_assert_eq!(hash_of(&int), hash_of(&float));
-    }
+#[test]
+fn int_float_numeric_tower_consistency() {
+    forall(
+        512,
+        "int_float_numeric_tower_consistency",
+        |rng| rng.gen_range(-1_000_000i64..1_000_000),
+        |&i| {
+            let int = Value::Int(i);
+            let float = Value::Float(i as f64);
+            prop_assert_eq!(int.total_cmp(&float), Ordering::Equal);
+            prop_assert_eq!(int.sql_eq(&float).unwrap(), Some(true));
+            prop_assert_eq!(hash_of(&int), hash_of(&float));
+            Ok(())
+        },
+    );
 }

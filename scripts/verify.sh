@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full offline verification gate. Everything here must pass with no
+# network access: the workspace has zero crates-io dependencies.
+#
+#   ./scripts/verify.sh
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (tier-1, step 1)"
+cargo build --release --offline
+
+echo "==> cargo test -q (tier-1, step 2)"
+cargo test -q --offline
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace --offline
+
+echo "==> cargo bench --no-run (bench targets compile offline)"
+cargo bench -p nsql-bench --no-run --offline
+
+echo "==> testkit is warnings-clean across all targets"
+RUSTFLAGS="-D warnings" cargo check -p nsql-testkit --all-targets --offline
+
+echo "verify: OK"

@@ -308,6 +308,108 @@ fn bug_demos_are_policy_independent() {
     }
 }
 
+// ------------------------------------------------------- edge-case demos
+
+#[test]
+fn count_bug_with_empty_inner_relation() {
+    // The COUNT bug in its purest form: SUPPLY has no rows at all, so
+    // *every* group is empty and every count is 0. Kim's NEST-JA produces
+    // an empty temporary, and the join against it returns nothing — the
+    // whole answer is lost, not just one row.
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE PARTS (PNUM INT, QOH INT);
+         CREATE TABLE SUPPLY (PNUM INT, QUAN INT, SHIPDATE DATE);
+         INSERT INTO PARTS VALUES (3, 6), (10, 0), (8, 0);",
+    )
+    .unwrap();
+    // Ground truth: the parts with QOH = 0.
+    assert_eq!(ints(&db, Q2, &QueryOptions::nested_iteration()), vec![8, 10]);
+    // Kim's NEST-JA: empty TEMP ⇒ empty result.
+    assert_eq!(ints(&db, Q2, &kim_opts()), Vec::<i64>::new());
+    // NEST-JA2's outer join pads every projected part with COUNT 0.
+    assert_eq!(ints(&db, Q2, &QueryOptions::transformed_merge()), vec![8, 10]);
+}
+
+#[test]
+fn null_outer_join_key_survives_the_outer_join_but_not_the_back_join() {
+    // Companion to robustness.rs's documented divergence: with a NULL in
+    // the outer join column, where exactly does NEST-JA2 lose the row?
+    // Not at the outer join — TEMP3 carries the NULL-keyed group with
+    // COUNT 0, exactly as the padding rule dictates — but at the final
+    // back-join, whose equality predicate never matches a NULL key.
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE PARTS (PNUM INT, QOH INT);
+         CREATE TABLE SUPPLY (PNUM INT, QUAN INT, SHIPDATE DATE);
+         INSERT INTO PARTS VALUES (NULL, 0), (10, 1);
+         INSERT INTO SUPPLY VALUES (10, 7, 6-8-78);",
+    )
+    .unwrap();
+    // Nested iteration keeps the NULL-keyed part (its COUNT is 0 = QOH).
+    let ni = db.query_with(Q2, &QueryOptions::nested_iteration()).unwrap();
+    assert_eq!(ni.relation.len(), 2, "{}", ni.relation);
+
+    let plan = db.plan(Q2).unwrap();
+    let exec = nested_query_opt::engine::Exec::new(db.storage().clone());
+    let mut pe = nested_query_opt::db::plan_exec::PlanExecutor::new(
+        exec,
+        db.catalog(),
+        nested_query_opt::db::JoinPolicy::ForceMergeJoin,
+    );
+    let rel = pe.execute_transform_plan(&plan, false).unwrap();
+    let temp3 = pe.temp("TEMP3").expect("TEMP3");
+    let mut rows: Vec<(Option<i64>, i64)> = temp3
+        .file
+        .scan(db.storage())
+        .map(|t| {
+            let p = match t.get(0) {
+                Value::Int(i) => Some(*i),
+                Value::Null => None,
+                other => panic!("unexpected key {other}"),
+            };
+            let Value::Int(c) = t.get(1) else { panic!() };
+            (p, *c)
+        })
+        .collect();
+    rows.sort_unstable();
+    assert_eq!(
+        rows,
+        vec![(None, 0), (Some(10), 1)],
+        "the outer join must pad the NULL-keyed group with COUNT 0"
+    );
+    // …and yet the final answer has only part 10: the back-join's
+    // PARTS.PNUM = TEMP3.PNUM is unknown for NULL = NULL.
+    assert_eq!(rel.len(), 1, "{rel}");
+}
+
+#[test]
+fn duplicate_outer_tuples_survive_the_back_join() {
+    // The flip side of the Section-5.4 duplicates problem: the DISTINCT
+    // projection that fixes the counts must not *lose* duplicates in the
+    // final answer. The back-join runs against the original PARTS, so two
+    // identical qualifying parts both appear — bag-equal to nested
+    // iteration.
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE PARTS (PNUM INT, QOH INT);
+         CREATE TABLE SUPPLY (PNUM INT, QUAN INT, SHIPDATE DATE);
+         INSERT INTO PARTS VALUES (3, 2), (3, 2), (10, 0);
+         INSERT INTO SUPPLY VALUES (3, 4, 7-3-79), (3, 2, 10-1-78);",
+    )
+    .unwrap();
+    let ni = db.query_with(Q2, &QueryOptions::nested_iteration()).unwrap();
+    let tr = db.query_with(Q2, &QueryOptions::transformed_merge()).unwrap();
+    assert!(
+        tr.relation.same_bag(&ni.relation),
+        "NI:\n{}\nTR:\n{}",
+        ni.relation,
+        tr.relation
+    );
+    // Part 3 (COUNT = 2 = QOH) twice, part 10 (COUNT = 0 = QOH) once.
+    assert_eq!(ints(&db, Q2, &QueryOptions::transformed_merge()), vec![3, 3, 10]);
+}
+
 // --------------------------------------------------------------------- §5.2 ordering warning
 
 #[test]

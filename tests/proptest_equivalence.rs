@@ -5,24 +5,34 @@
 //! This is the workspace's strongest correctness evidence: every generated
 //! case exercises NEST-JA2's outer join, COUNT(*) rewrite, non-equality
 //! handling, and duplicate projection against the System R semantics.
+//!
+//! The suite also *demonstrates the harness* the way the paper
+//! demonstrates the bug: a deliberately false property — "Kim's NEST-JA
+//! agrees with nested iteration on COUNT" — must fail with a replayable
+//! seed and shrink to a counterexample of at most 3 outer and 3 inner
+//! tuples (`kim_count_bug_is_found_and_shrunk_to_a_tiny_database`).
 
 use nested_query_opt::db::{Database, JoinPolicy, QueryOptions, Strategy as DbStrategy};
-use proptest::prelude::*;
+use nsql_testkit::{forall, prop_assert, run_property, Config, Rng, Shrink};
 
 /// Random PARTS rows: keys may repeat (duplicates problem territory) and
 /// QOH values are small so COUNT/SUM collisions actually happen.
-fn parts_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
-    prop::collection::vec((0i64..8, 0i64..5), 1..8)
+fn parts(rng: &mut Rng) -> Vec<(i64, i64)> {
+    let n = rng.gen_range(1usize..8);
+    (0..n).map(|_| (rng.gen_range(0i64..8), rng.gen_range(0i64..5))).collect()
 }
 
 /// Random SUPPLY rows: PNUM overlaps the PARTS key range only partially so
 /// empty groups (the COUNT bug trigger) are common; dates straddle the
 /// 1-1-80 boundary.
-fn supply_strategy() -> impl Strategy<Value = Vec<(i64, i64, bool)>> {
-    prop::collection::vec((0i64..10, 0i64..6, any::<bool>()), 0..12)
+fn supply(rng: &mut Rng) -> Vec<(i64, i64, bool)> {
+    let n = rng.gen_range(0usize..12);
+    (0..n)
+        .map(|_| (rng.gen_range(0i64..10), rng.gen_range(0i64..6), rng.gen_bool(0.5)))
+        .collect()
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Agg {
     Count,
     CountStar,
@@ -45,19 +55,15 @@ impl Agg {
     }
 }
 
-fn agg_strategy() -> impl Strategy<Value = Agg> {
-    prop::sample::select(vec![
-        Agg::Count,
-        Agg::CountStar,
-        Agg::Sum,
-        Agg::Avg,
-        Agg::Max,
-        Agg::Min,
-    ])
+// Opaque test enums take the default (empty) shrinker.
+impl Shrink for Agg {}
+
+fn any_agg(rng: &mut Rng) -> Agg {
+    *rng.choose(&[Agg::Count, Agg::CountStar, Agg::Sum, Agg::Avg, Agg::Max, Agg::Min])
 }
 
-fn op_strategy() -> impl Strategy<Value = &'static str> {
-    prop::sample::select(vec!["=", "<", ">", "<=", ">=", "!="])
+fn any_op(rng: &mut Rng) -> &'static str {
+    *rng.choose(&["=", "<", ">", "<=", ">=", "!="])
 }
 
 fn build_db(parts: &[(i64, i64)], supply: &[(i64, i64, bool)]) -> Database {
@@ -66,9 +72,13 @@ fn build_db(parts: &[(i64, i64)], supply: &[(i64, i64, bool)]) -> Database {
         "CREATE TABLE PARTS (PNUM INT, QOH INT);\
          CREATE TABLE SUPPLY (PNUM INT, QUAN INT, SHIPDATE DATE);",
     );
-    let part_rows: Vec<String> =
-        parts.iter().map(|(p, q)| format!("({p}, {q})")).collect();
-    script.push_str(&format!("INSERT INTO PARTS VALUES {};", part_rows.join(", ")));
+    // Shrinking may empty either table; an absent INSERT is simply an
+    // empty relation.
+    if !parts.is_empty() {
+        let part_rows: Vec<String> =
+            parts.iter().map(|(p, q)| format!("({p}, {q})")).collect();
+        script.push_str(&format!("INSERT INTO PARTS VALUES {};", part_rows.join(", ")));
+    }
     if !supply.is_empty() {
         let supply_rows: Vec<String> = supply
             .iter()
@@ -83,138 +93,215 @@ fn build_db(parts: &[(i64, i64)], supply: &[(i64, i64, bool)]) -> Database {
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// Type-JA queries over random data: every aggregate × join operator ×
+/// outer operator, with the date restriction as the inner simple
+/// predicate — the full Q2/Q5 family.
+#[test]
+fn type_ja_transform_equals_nested_iteration() {
+    forall(
+        64,
+        "type_ja_transform_equals_nested_iteration",
+        |rng| {
+            (
+                parts(rng),
+                supply(rng),
+                any_agg(rng),
+                any_op(rng),
+                *rng.choose(&["=", "<", ">"]),
+                rng.gen_bool(0.5),
+                rng.gen_bool(0.5),
+            )
+        },
+        |(parts, supply, agg, join_op, outer_op, restrict_dates, restrict_outer)| {
+            let db = build_db(parts, supply);
+            let date_pred = if *restrict_dates { " AND SHIPDATE < 1-1-80" } else { "" };
+            let outer_pred = if *restrict_outer { "QOH >= 0 AND " } else { "" };
+            let sql = format!(
+                "SELECT PNUM, QOH FROM PARTS WHERE {outer_pred}QOH {outer_op} \
+                 (SELECT {} FROM SUPPLY WHERE SUPPLY.PNUM {join_op} PARTS.PNUM{date_pred})",
+                agg.sql()
+            );
+            let ni = db.query_with(&sql, &QueryOptions::nested_iteration()).unwrap();
+            for policy in [
+                JoinPolicy::ForceNestedLoop,
+                JoinPolicy::ForceMergeJoin,
+                JoinPolicy::ForceHashJoin,
+                JoinPolicy::CostBased,
+            ] {
+                let opts = QueryOptions {
+                    strategy: DbStrategy::Transform,
+                    join_policy: policy,
+                    cold_start: true,
+                    ..Default::default()
+                };
+                let tr = db.query_with(&sql, &opts).unwrap();
+                prop_assert!(
+                    tr.relation.same_bag(&ni.relation),
+                    "{sql}\npolicy {policy:?}\nNI:\n{}\nTR:\n{}",
+                    ni.relation,
+                    tr.relation
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Type-JA queries over random data: every aggregate × join operator ×
-    /// outer operator, with the date restriction as the inner simple
-    /// predicate — the full Q2/Q5 family.
-    #[test]
-    fn type_ja_transform_equals_nested_iteration(
-        parts in parts_strategy(),
-        supply in supply_strategy(),
-        agg in agg_strategy(),
-        join_op in op_strategy(),
-        outer_op in prop::sample::select(vec!["=", "<", ">"]),
-        restrict_dates in any::<bool>(),
-        restrict_outer in any::<bool>(),
-    ) {
-        let db = build_db(&parts, &supply);
-        let date_pred = if restrict_dates { " AND SHIPDATE < 1-1-80" } else { "" };
-        let outer_pred = if restrict_outer { "QOH >= 0 AND " } else { "" };
-        let sql = format!(
-            "SELECT PNUM, QOH FROM PARTS WHERE {outer_pred}QOH {outer_op} \
-             (SELECT {} FROM SUPPLY WHERE SUPPLY.PNUM {join_op} PARTS.PNUM{date_pred})",
-            agg.sql()
-        );
-        let ni = db.query_with(&sql, &QueryOptions::nested_iteration()).unwrap();
-        for policy in [JoinPolicy::ForceNestedLoop, JoinPolicy::ForceMergeJoin, JoinPolicy::ForceHashJoin, JoinPolicy::CostBased] {
+/// Type-N membership over random data, duplicate-preserving mode, set
+/// comparison (the documented NEST-N-J caveat).
+#[test]
+fn type_n_membership_set_equal() {
+    forall(
+        64,
+        "type_n_membership_set_equal",
+        |rng| (parts(rng), supply(rng), rng.gen_bool(0.5)),
+        |(parts, supply, restrict)| {
+            let db = build_db(parts, supply);
+            let inner_pred = if *restrict { " WHERE QUAN > 2" } else { "" };
+            let sql = format!(
+                "SELECT PNUM FROM PARTS WHERE PNUM IN (SELECT PNUM FROM SUPPLY{inner_pred})"
+            );
+            let ni = db.query_with(&sql, &QueryOptions::nested_iteration()).unwrap();
             let opts = QueryOptions {
                 strategy: DbStrategy::Transform,
-                join_policy: policy,
+                unnest: nested_query_opt::core::UnnestOptions {
+                    preserve_duplicates: true,
+                    ..Default::default()
+                },
                 cold_start: true,
                 ..Default::default()
             };
             let tr = db.query_with(&sql, &opts).unwrap();
             prop_assert!(
-                tr.relation.same_bag(&ni.relation),
-                "{sql}\npolicy {policy:?}\nNI:\n{}\nTR:\n{}",
+                tr.relation.same_set(&ni.relation),
+                "{sql}\nNI:\n{}\nTR:\n{}",
                 ni.relation,
                 tr.relation
             );
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Type-N membership over random data, duplicate-preserving mode, set
-    /// comparison (the documented NEST-N-J caveat).
-    #[test]
-    fn type_n_membership_set_equal(
-        parts in parts_strategy(),
-        supply in supply_strategy(),
-        restrict in any::<bool>(),
-    ) {
-        let db = build_db(&parts, &supply);
-        let inner_pred = if restrict { " WHERE QUAN > 2" } else { "" };
-        let sql = format!(
-            "SELECT PNUM FROM PARTS WHERE PNUM IN (SELECT PNUM FROM SUPPLY{inner_pred})"
-        );
-        let ni = db.query_with(&sql, &QueryOptions::nested_iteration()).unwrap();
-        let opts = QueryOptions {
-            strategy: DbStrategy::Transform,
-            unnest: nested_query_opt::core::UnnestOptions {
-                preserve_duplicates: true,
-                ..Default::default()
-            },
-            cold_start: true,
+/// EXISTS / NOT EXISTS over random data (zero counts via outer join).
+#[test]
+fn exists_family_equal() {
+    forall(
+        64,
+        "exists_family_equal",
+        |rng| (parts(rng), supply(rng), rng.gen_bool(0.5)),
+        |(parts, supply, negate)| {
+            let db = build_db(parts, supply);
+            let kw = if *negate { "NOT EXISTS" } else { "EXISTS" };
+            let sql = format!(
+                "SELECT PNUM, QOH FROM PARTS WHERE {kw} \
+                 (SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)"
+            );
+            let ni = db.query_with(&sql, &QueryOptions::nested_iteration()).unwrap();
+            let tr = db.query_with(&sql, &QueryOptions::transformed_merge()).unwrap();
+            prop_assert!(
+                tr.relation.same_bag(&ni.relation),
+                "{sql}\nNI:\n{}\nTR:\n{}",
+                ni.relation,
+                tr.relation
+            );
+            Ok(())
+        },
+    );
+}
+
+fn kim_opts() -> QueryOptions {
+    QueryOptions {
+        strategy: DbStrategy::Transform,
+        unnest: nested_query_opt::core::UnnestOptions {
+            ja_variant: nested_query_opt::core::JaVariant::KimOriginal,
             ..Default::default()
-        };
-        let tr = db.query_with(&sql, &opts).unwrap();
-        prop_assert!(
-            tr.relation.same_set(&ni.relation),
-            "{sql}\nNI:\n{}\nTR:\n{}",
-            ni.relation,
-            tr.relation
-        );
+        },
+        cold_start: true,
+        ..Default::default()
     }
+}
 
-    /// EXISTS / NOT EXISTS over random data (zero counts via outer join).
-    #[test]
-    fn exists_family_equal(
-        parts in parts_strategy(),
-        supply in supply_strategy(),
-        negate in any::<bool>(),
-    ) {
-        let db = build_db(&parts, &supply);
-        let kw = if negate { "NOT EXISTS" } else { "EXISTS" };
-        let sql = format!(
-            "SELECT PNUM, QOH FROM PARTS WHERE {kw} \
-             (SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)"
-        );
-        let ni = db.query_with(&sql, &QueryOptions::nested_iteration()).unwrap();
-        let tr = db.query_with(&sql, &QueryOptions::transformed_merge()).unwrap();
-        prop_assert!(
-            tr.relation.same_bag(&ni.relation),
-            "{sql}\nNI:\n{}\nTR:\n{}",
-            ni.relation,
-            tr.relation
-        );
-    }
+/// Kim's buggy NEST-JA only ever *loses or keeps* COUNT rows relative
+/// to the reference when the join operator is equality — and the rows
+/// it returns with MAX/MIN on equality joins are always a subset
+/// property: on equality joins with non-COUNT aggregates it is correct
+/// (Section 5.3: "For aggregate functions other than COUNT Kim's
+/// algorithm NEST-JA works correctly for nested join predicates
+/// containing the equality operator").
+#[test]
+fn kim_is_correct_exactly_on_non_count_equality() {
+    forall(
+        64,
+        "kim_is_correct_exactly_on_non_count_equality",
+        |rng| (parts(rng), supply(rng), *rng.choose(&[Agg::Sum, Agg::Avg, Agg::Max, Agg::Min])),
+        |(parts, supply, agg)| {
+            let db = build_db(parts, supply);
+            let sql = format!(
+                "SELECT PNUM, QOH FROM PARTS WHERE QOH = \
+                 (SELECT {} FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)",
+                agg.sql()
+            );
+            let ni = db.query_with(&sql, &QueryOptions::nested_iteration()).unwrap();
+            let tr = db.query_with(&sql, &kim_opts()).unwrap();
+            prop_assert!(
+                tr.relation.same_bag(&ni.relation),
+                "{sql}\nNI:\n{}\nKIM:\n{}",
+                ni.relation,
+                tr.relation
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Kim's buggy NEST-JA only ever *loses or keeps* COUNT rows relative
-    /// to the reference when the join operator is equality — and the rows
-    /// it returns with MAX/MIN on equality joins are always a subset
-    /// property: on equality joins with non-COUNT aggregates it is correct
-    /// (Section 5.3: "For aggregate functions other than COUNT Kim's
-    /// algorithm NEST-JA works correctly for nested join predicates
-    /// containing the equality operator").
-    #[test]
-    fn kim_is_correct_exactly_on_non_count_equality(
-        parts in parts_strategy(),
-        supply in supply_strategy(),
-        agg in prop::sample::select(vec![Agg::Sum, Agg::Avg, Agg::Max, Agg::Min]),
-    ) {
-        let db = build_db(&parts, &supply);
-        let sql = format!(
-            "SELECT PNUM, QOH FROM PARTS WHERE QOH = \
-             (SELECT {} FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)",
-            agg.sql()
-        );
-        let ni = db.query_with(&sql, &QueryOptions::nested_iteration()).unwrap();
-        let kim = QueryOptions {
-            strategy: DbStrategy::Transform,
-            unnest: nested_query_opt::core::UnnestOptions {
-                ja_variant: nested_query_opt::core::JaVariant::KimOriginal,
-                ..Default::default()
-            },
-            cold_start: true,
-            ..Default::default()
-        };
-        let tr = db.query_with(&sql, &kim).unwrap();
-        prop_assert!(
-            tr.relation.same_bag(&ni.relation),
-            "{sql}\nNI:\n{}\nKIM:\n{}",
-            ni.relation,
-            tr.relation
-        );
-    }
+/// The harness demo required by this test layer's acceptance bar: assert
+/// the *false* claim that Kim's NEST-JA matches nested iteration on
+/// COUNT. The runner must find a counterexample, print a replayable seed,
+/// and greedily shrink the database to at most 3 outer and 3 inner tuples
+/// (the paper's own Section 5.1 counterexample uses 3 parts and 5
+/// shipments; the minimal one is a single QOH-0 part with no shipments).
+#[test]
+fn kim_count_bug_is_found_and_shrunk_to_a_tiny_database() {
+    let cfg = Config { cases: 256, env_seed: None, max_shrink_steps: 2048 };
+    let failure = run_property(
+        &cfg,
+        "kim_matches_reference_on_count (deliberately false)",
+        |rng| (parts(rng), supply(rng)),
+        |(parts, supply)| {
+            let db = build_db(parts, supply);
+            let sql = "SELECT PNUM, QOH FROM PARTS WHERE QOH = \
+                       (SELECT COUNT(QUAN) FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)";
+            let ni = db.query_with(sql, &QueryOptions::nested_iteration()).unwrap();
+            let kim = db.query_with(sql, &kim_opts()).unwrap();
+            prop_assert!(kim.relation.same_bag(&ni.relation), "COUNT bug");
+            Ok(())
+        },
+    )
+    .expect("the COUNT bug must surface within 256 random databases");
+
+    let report = failure.render();
+    assert!(
+        report.contains("NSQL_TEST_SEED="),
+        "failure report must print a replayable seed:\n{report}"
+    );
+    let (parts, supply) = &failure.shrunk;
+    assert!(
+        parts.len() <= 3 && supply.len() <= 3,
+        "shrinking must reach ≤3 outer / ≤3 inner tuples, got {} / {}:\n{report}",
+        parts.len(),
+        supply.len()
+    );
+    // The shrunk database must still exhibit the bug, by construction: a
+    // part whose COUNT-over-empty-or-matching group equals QOH under the
+    // reference but is dropped (or distorted) by Kim's transformation.
+    let db = build_db(parts, supply);
+    let sql = "SELECT PNUM, QOH FROM PARTS WHERE QOH = \
+               (SELECT COUNT(QUAN) FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)";
+    let ni = db.query_with(sql, &QueryOptions::nested_iteration()).unwrap();
+    let kim = db.query_with(sql, &kim_opts()).unwrap();
+    assert!(
+        !kim.relation.same_bag(&ni.relation),
+        "shrunk counterexample still demonstrates the divergence"
+    );
 }
