@@ -16,7 +16,7 @@ use crate::options::JoinPolicy;
 use crate::Result;
 use nsql_core::cost::sort_cost;
 use nsql_core::{JoinPred, LogicalJoinKind, LogicalPlan, TransformPlan};
-use nsql_engine::{AggSpec, CExpr, CPred, Exec, JoinKind, TableProvider};
+use nsql_engine::{AggSpec, CExpr, CPred, Exec, JoinKind, Projector, TableProvider};
 use nsql_storage::sort::SortKey;
 use nsql_storage::HeapFile;
 use nsql_sql::{
@@ -583,11 +583,9 @@ impl<T: TableProvider> PlanExecutor<T> {
     ) -> Result<Relation> {
         let schema = rel.schema().clone();
         let (exprs, out_schema) = compile_projection(&schema, &q.select)?;
-        let mut rows: Vec<Tuple> = rel
-            .tuples()
-            .iter()
-            .map(|t| exprs.iter().map(|e| e.eval(t).clone()).collect())
-            .collect();
+        let projector = Projector::new(&exprs);
+        let mut rows: Vec<Tuple> =
+            rel.into_tuples().into_iter().map(|t| projector.apply(t)).collect();
         if q.distinct || force_distinct {
             rows.sort_by(Tuple::total_cmp);
             rows.dedup();
@@ -685,11 +683,10 @@ impl<T: TableProvider> PlanExecutor<T> {
             let name = item.alias.clone().unwrap_or_else(|| base.name.clone());
             final_cols.push(Column::new(name, base.ty));
         }
-        let mut rows: Vec<Tuple> = grouped
-            .tuples()
-            .iter()
-            .map(|t| select_slots.iter().map(|&s| t.get(s).clone()).collect())
-            .collect();
+        let slot_exprs: Vec<CExpr> = select_slots.iter().map(|&s| CExpr::Col(s)).collect();
+        let projector = Projector::new(&slot_exprs);
+        let mut rows: Vec<Tuple> =
+            grouped.into_tuples().into_iter().map(|t| projector.apply(t)).collect();
         if q.distinct || force_distinct {
             rows.sort_by(Tuple::total_cmp);
             rows.dedup();

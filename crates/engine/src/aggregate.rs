@@ -164,7 +164,7 @@ mod tests {
     fn max_min_work_on_dates_and_strings() {
         let d1 = Value::date("7-3-79").unwrap();
         let d2 = Value::date("1-1-80").unwrap();
-        assert_eq!(run(AggFunc::Max, &[d1.clone(), d2.clone()]), d2);
+        assert_eq!(run(AggFunc::Max, &[d1, d2.clone()]), d2);
         assert_eq!(run(AggFunc::Min, &[Value::str("b"), Value::str("a")]), Value::str("a"));
     }
 

@@ -31,7 +31,7 @@ pub mod pred;
 pub mod provider;
 
 pub use error::EngineError;
-pub use expr::CExpr;
+pub use expr::{CExpr, Joined, Projector, Row};
 pub use nested_iter::NestedIter;
 pub use ops::{AggSpec, Exec, JoinKind};
 pub use pred::CPred;

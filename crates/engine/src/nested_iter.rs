@@ -33,9 +33,9 @@ use nsql_sql::{
     ScalarExpr, SortDir,
 };
 use nsql_storage::{HeapFile, Storage};
-use nsql_types::{Column, ColumnType, Relation, Schema, Tuple, Value};
+use nsql_types::{Column, ColumnType, FxHashMap, Relation, Schema, Tuple, Value};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Cached result of an uncorrelated inner block.
 enum Cached {
@@ -43,32 +43,45 @@ enum Cached {
     List(HeapFile),
 }
 
-/// One enclosing binding: the scope's schema and the current tuple.
-#[derive(Clone)]
-struct Scope {
+/// Resolved FROM clause of a block: the (requalified) files and the scope
+/// schema they jointly define. Computed once per block per query — a
+/// correlated inner block is *evaluated* per outer tuple, but its name
+/// resolution never changes, so re-deriving schemas each time is pure
+/// allocation churn.
+struct BlockInfo {
+    files: Vec<HeapFile>,
     schema: Schema,
-    tuple: Tuple,
 }
 
-/// The scope chain during evaluation, innermost first.
+/// The scope chain during evaluation, innermost first. Holds borrowed
+/// `(schema, tuple)` pairs: pushing a child scope copies a handful of
+/// references instead of deep-cloning every enclosing schema and binding
+/// (the dominant CPU cost of correlated-subquery evaluation before this
+/// representation).
 #[derive(Clone, Default)]
-struct Env {
-    scopes: Vec<Scope>,
+struct Env<'e> {
+    scopes: Vec<(&'e Schema, &'e Tuple)>,
 }
 
-impl Env {
-    fn child(&self, schema: Schema, tuple: Tuple) -> Env {
+impl<'e> Env<'e> {
+    /// The chain extended with an innermost scope. The result lives as long
+    /// as the shortest borrow (`'s`), which is all a per-binding evaluation
+    /// needs.
+    fn child<'s>(&self, schema: &'s Schema, tuple: &'s Tuple) -> Env<'s>
+    where
+        'e: 's,
+    {
         let mut scopes = Vec::with_capacity(self.scopes.len() + 1);
-        scopes.push(Scope { schema, tuple });
-        scopes.extend(self.scopes.iter().cloned());
+        scopes.push((schema, tuple));
+        scopes.extend(self.scopes.iter().copied());
         Env { scopes }
     }
 
     /// Resolve a column against the chain (nearest scope wins).
     fn lookup(&self, c: &ColumnRef) -> Result<Value> {
-        for scope in &self.scopes {
-            match scope.schema.resolve(c.table.as_deref(), &c.column) {
-                Ok(i) => return Ok(scope.tuple.get(i).clone()),
+        for (schema, tuple) in &self.scopes {
+            match schema.resolve(c.table.as_deref(), &c.column) {
+                Ok(i) => return Ok(tuple.get(i).clone()),
                 Err(nsql_types::TypeError::AmbiguousColumn(n)) => {
                     return Err(EngineError::Type(nsql_types::TypeError::AmbiguousColumn(n)))
                 }
@@ -83,31 +96,51 @@ impl Env {
 pub struct NestedIter<'a, T: TableProvider + ?Sized> {
     tables: &'a T,
     storage: Storage,
-    cache: RefCell<HashMap<usize, Cached>>,
+    cache: RefCell<FxHashMap<usize, Cached>>,
+    /// Per-query memo of each block's resolved FROM clause, keyed by block
+    /// address (valid while the AST is borrowed; cleared after each query).
+    blocks: RefCell<FxHashMap<usize, Rc<BlockInfo>>>,
+    /// Per-query memo of [`is_correlated`](NestedIter::is_correlated),
+    /// which is re-consulted for every outer binding.
+    correlated: RefCell<FxHashMap<usize, bool>>,
 }
 
 impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
     /// Evaluator over `tables`, counting I/O against `storage`.
     pub fn new(tables: &'a T, storage: Storage) -> Self {
-        NestedIter { tables, storage, cache: RefCell::new(HashMap::new()) }
+        NestedIter {
+            tables,
+            storage,
+            cache: RefCell::new(FxHashMap::default()),
+            blocks: RefCell::new(FxHashMap::default()),
+            correlated: RefCell::new(FxHashMap::default()),
+        }
     }
 
     /// Evaluate a top-level query.
     pub fn eval_query(&self, q: &QueryBlock) -> Result<Relation> {
         let result = self.eval_block(q, &Env::default());
-        // Cached temporaries are per-query; drop their pages.
+        // Cached temporaries are per-query; drop their pages. The memo maps
+        // are keyed by AST addresses, which are only stable within one
+        // query's borrow — clear them too.
         for (_, cached) in self.cache.borrow_mut().drain() {
             if let Cached::List(f) = cached {
                 f.drop_pages(&self.storage);
             }
         }
+        self.blocks.borrow_mut().clear();
+        self.correlated.borrow_mut().clear();
         result
     }
 
     // ------------------------------------------------------------- blocks
 
-    fn eval_block(&self, q: &QueryBlock, env: &Env) -> Result<Relation> {
-        // Resolve FROM files and build the block scope schema.
+    /// Resolve (or recall) a block's FROM files and scope schema.
+    fn block_info(&self, q: &QueryBlock) -> Result<Rc<BlockInfo>> {
+        let key = q as *const QueryBlock as usize;
+        if let Some(info) = self.blocks.borrow().get(&key) {
+            return Ok(Rc::clone(info));
+        }
         let mut files: Vec<HeapFile> = Vec::new();
         let mut scope_schema = Schema::default();
         let mut seen = std::collections::HashSet::new();
@@ -126,6 +159,14 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
             scope_schema = scope_schema.join(&qualified);
             files.push(file.with_schema(qualified));
         }
+        let info = Rc::new(BlockInfo { files, schema: scope_schema });
+        self.blocks.borrow_mut().insert(key, Rc::clone(&info));
+        Ok(info)
+    }
+
+    fn eval_block(&self, q: &QueryBlock, env: &Env<'_>) -> Result<Relation> {
+        let info = self.block_info(q)?;
+        let scope_schema = &info.schema;
 
         // Partition top-level conjuncts: simple predicates first.
         let conjuncts: Vec<&Predicate> = match &q.where_clause {
@@ -138,8 +179,8 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
 
         // Nested-iteration enumeration of the FROM product.
         let mut survivors: Vec<Tuple> = Vec::new();
-        self.enumerate(&files, 0, Tuple::default(), &mut |binding| {
-            let here = env.child(scope_schema.clone(), binding.clone());
+        self.enumerate(&info.files, 0, Tuple::default(), &mut |binding| {
+            let here = env.child(scope_schema, &binding);
             for p in &simple {
                 if self.eval_pred(p, &here)? != Some(true) {
                     return Ok(());
@@ -150,16 +191,19 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
                     return Ok(());
                 }
             }
+            drop(here);
             survivors.push(binding);
             Ok(())
         })?;
 
         // SELECT phase.
-        self.eval_select(q, &scope_schema, survivors, env)
+        self.eval_select(q, scope_schema, survivors, env)
     }
 
     /// Depth-first enumeration of the FROM product: rescans inner files per
-    /// outer tuple, exactly like System R's nested iteration.
+    /// outer tuple, exactly like System R's nested iteration. Candidate
+    /// bindings are joined directly off the buffered page (no intermediate
+    /// per-tuple clone).
     fn enumerate(
         &self,
         files: &[HeapFile],
@@ -170,8 +214,8 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
         if depth == files.len() {
             return visit(prefix);
         }
-        for t in files[depth].scan(&self.storage) {
-            self.enumerate(files, depth + 1, prefix.join(&t), visit)?;
+        for joined in files[depth].scan_with(&self.storage, |t| Some(prefix.join(t))) {
+            self.enumerate(files, depth + 1, joined, visit)?;
         }
         Ok(())
     }
@@ -183,7 +227,7 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
         q: &QueryBlock,
         scope_schema: &Schema,
         survivors: Vec<Tuple>,
-        env: &Env,
+        env: &Env<'_>,
     ) -> Result<Relation> {
         let grouped = !q.group_by.is_empty();
         let has_agg = q.has_aggregate_select();
@@ -193,11 +237,12 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
             self.eval_grouped(q, scope_schema, &survivors, env)?
         } else if has_agg {
             // Global aggregate: one row, even over zero survivors.
-            vec![self.eval_aggregate_row(q, scope_schema, &survivors, env)?]
+            let members: Vec<&Tuple> = survivors.iter().collect();
+            vec![self.eval_aggregate_row(q, scope_schema, &members, env)?]
         } else {
             let mut rows = Vec::with_capacity(survivors.len());
             for s in &survivors {
-                let here = env.child(scope_schema.clone(), s.clone());
+                let here = env.child(scope_schema, s);
                 let mut vals = Vec::with_capacity(q.select.len());
                 for item in &q.select {
                     vals.push(self.eval_scalar(&item.expr, &here)?);
@@ -236,7 +281,7 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
         q: &QueryBlock,
         scope_schema: &Schema,
         survivors: &[Tuple],
-        env: &Env,
+        env: &Env<'_>,
     ) -> Result<Vec<Tuple>> {
         // Validate select items: group columns or aggregates only.
         let group_indices: Vec<usize> = q
@@ -244,15 +289,15 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
             .iter()
             .map(|c| scope_schema.resolve(c.table.as_deref(), &c.column))
             .collect::<std::result::Result<_, _>>()?;
-        let mut groups: Vec<(Tuple, Vec<Tuple>)> = Vec::new();
-        let mut index: HashMap<Tuple, usize> = HashMap::new();
+        let mut groups: Vec<(Tuple, Vec<&Tuple>)> = Vec::new();
+        let mut index: FxHashMap<Tuple, usize> = FxHashMap::default();
         for s in survivors {
             let key = s.project(&group_indices);
             match index.get(&key) {
-                Some(&i) => groups[i].1.push(s.clone()),
+                Some(&i) => groups[i].1.push(s),
                 None => {
                     index.insert(key.clone(), groups.len());
-                    groups.push((key, vec![s.clone()]));
+                    groups.push((key, vec![s]));
                 }
             }
         }
@@ -286,8 +331,8 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
         &self,
         q: &QueryBlock,
         scope_schema: &Schema,
-        survivors: &[Tuple],
-        env: &Env,
+        survivors: &[&Tuple],
+        env: &Env<'_>,
     ) -> Result<Tuple> {
         let mut vals = Vec::with_capacity(q.select.len());
         for item in &q.select {
@@ -310,9 +355,9 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
         &self,
         func: AggFunc,
         arg: &AggArg,
-        members: &[Tuple],
+        members: &[&Tuple],
         scope_schema: &Schema,
-        env: &Env,
+        env: &Env<'_>,
     ) -> Result<Value> {
         let mut state = AggState::new(func);
         match arg {
@@ -323,7 +368,7 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
             }
             AggArg::Column(c) => {
                 for m in members {
-                    let here = env.child(scope_schema.clone(), m.clone());
+                    let here = env.child(scope_schema, m);
                     let v = here.lookup(c)?;
                     state.accumulate(&v)?;
                 }
@@ -334,7 +379,7 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
 
     // --------------------------------------------------------- predicates
 
-    fn eval_pred(&self, p: &Predicate, env: &Env) -> Result<Option<bool>> {
+    fn eval_pred(&self, p: &Predicate, env: &Env<'_>) -> Result<Option<bool>> {
         match p {
             Predicate::And(ps) => {
                 let mut unknown = false;
@@ -388,7 +433,7 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
         }
     }
 
-    fn eval_operand(&self, o: &Operand, env: &Env) -> Result<Value> {
+    fn eval_operand(&self, o: &Operand, env: &Env<'_>) -> Result<Value> {
         match o {
             Operand::Column(c) => env.lookup(c),
             Operand::Literal(v) => Ok(v.clone()),
@@ -396,7 +441,7 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
         }
     }
 
-    fn eval_scalar(&self, e: &ScalarExpr, env: &Env) -> Result<Value> {
+    fn eval_scalar(&self, e: &ScalarExpr, env: &Env<'_>) -> Result<Value> {
         match e {
             ScalarExpr::Column(c) => env.lookup(c),
             ScalarExpr::Literal(v) => Ok(v.clone()),
@@ -407,7 +452,7 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
     }
 
     /// Scalar subquery: at most one row, one column; empty ⇒ NULL.
-    fn eval_scalar_subquery(&self, q: &QueryBlock, env: &Env) -> Result<Value> {
+    fn eval_scalar_subquery(&self, q: &QueryBlock, env: &Env<'_>) -> Result<Value> {
         if !self.is_correlated(q)? {
             let key = q as *const QueryBlock as usize;
             if let Some(Cached::Scalar(v)) = self.cache.borrow().get(&key) {
@@ -432,7 +477,7 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
     /// `v IN (subquery)` with System R's materialize-once strategy for
     /// uncorrelated inners: the list is stored as a temporary file and
     /// re-scanned per membership test.
-    fn eval_membership(&self, v: &Value, q: &QueryBlock, env: &Env) -> Result<Option<bool>> {
+    fn eval_membership(&self, v: &Value, q: &QueryBlock, env: &Env<'_>) -> Result<Option<bool>> {
         if !self.is_correlated(q)? {
             let key = q as *const QueryBlock as usize;
             if !self.cache.borrow().contains_key(&key) {
@@ -445,13 +490,33 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
                 return Err(EngineError::Internal("membership cache corrupted".into()));
             };
             // Scan the stored list per test (bounded memory, real I/O).
+            // Tuples are compared in place on their buffered pages; the scan
+            // stops at the first decisive match, reading exactly the pages
+            // the old clone-per-tuple loop read.
             let mut unknown = false;
-            for t in file.scan(&self.storage) {
-                match v.sql_eq(t.get(0))? {
-                    Some(true) => return Ok(Some(true)),
-                    None => unknown = true,
-                    Some(false) => {}
+            let mut found = false;
+            let mut err = None;
+            file.scan_with(&self.storage, |t| match v.sql_eq(t.get(0)) {
+                Ok(Some(true)) => {
+                    found = true;
+                    Some(Tuple::new(Vec::new())) // sentinel: stop scanning
                 }
+                Ok(None) => {
+                    unknown = true;
+                    None
+                }
+                Ok(Some(false)) => None,
+                Err(e) => {
+                    err = Some(e);
+                    Some(Tuple::new(Vec::new()))
+                }
+            })
+            .next();
+            if let Some(e) = err {
+                return Err(e.into());
+            }
+            if found {
+                return Ok(Some(true));
             }
             return Ok(if unknown { None } else { Some(false) });
         }
@@ -462,7 +527,7 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
 
     /// Rows of an inner block (for EXISTS / quantified), with caching for
     /// uncorrelated blocks.
-    fn eval_inner_rows(&self, q: &QueryBlock, env: &Env) -> Result<Vec<Value>> {
+    fn eval_inner_rows(&self, q: &QueryBlock, env: &Env<'_>) -> Result<Vec<Value>> {
         if !self.is_correlated(q)? {
             let key = q as *const QueryBlock as usize;
             if !self.cache.borrow().contains_key(&key) {
@@ -474,7 +539,12 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
             let Some(Cached::List(file)) = cache.get(&key) else {
                 return Err(EngineError::Internal("rows cache corrupted".into()));
             };
-            return Ok(file.scan(&self.storage).map(|t| t.get(0).clone()).collect());
+            let mut out = Vec::with_capacity(file.tuple_count());
+            file.try_for_each(&self.storage, |t| -> Result<()> {
+                out.push(t.get(0).clone());
+                Ok(())
+            })?;
+            return Ok(out);
         }
         let rel = self.eval_block(q, env)?;
         Ok(rel.tuples().iter().map(|t| t.get(0).clone()).collect())
@@ -512,10 +582,17 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
 
     /// Whether any column reference in `q`'s subtree fails to resolve
     /// within the subtree's own scopes (i.e. the block depends on enclosing
-    /// bindings).
+    /// bindings). Memoized per query — correlation is a static property of
+    /// the AST, but this test runs once per outer binding.
     fn is_correlated(&self, q: &QueryBlock) -> Result<bool> {
+        let key = q as *const QueryBlock as usize;
+        if let Some(&v) = self.correlated.borrow().get(&key) {
+            return Ok(v);
+        }
         let mut scopes: Vec<Schema> = Vec::new();
-        self.subtree_has_free_refs(q, &mut scopes)
+        let v = self.subtree_has_free_refs(q, &mut scopes)?;
+        self.correlated.borrow_mut().insert(key, v);
+        Ok(v)
     }
 
     fn subtree_has_free_refs(&self, q: &QueryBlock, scopes: &mut Vec<Schema>) -> Result<bool> {

@@ -101,11 +101,17 @@ impl Exec {
                     out.push(Tuple::new(vals));
                 }
             };
-        for t in file.scan(&self.storage) {
-            let key = t.project(group);
-            if current_key.as_ref() != Some(&key) {
+        // Fold tuples in place on their buffered pages: the group key is
+        // compared field-by-field against the current key and only projected
+        // out when the group actually changes, so steady-state rows cost no
+        // allocation at all.
+        file.try_for_each(&self.storage, |t: &Tuple| -> Result<()> {
+            let same_group = current_key
+                .as_ref()
+                .is_some_and(|k| group.iter().enumerate().all(|(j, &i)| k.get(j) == t.get(i)));
+            if !same_group {
                 flush(&current_key, &states, &mut out);
-                current_key = Some(key);
+                current_key = Some(t.project(group));
                 states = aggs.iter().map(|a| AggState::new(a.func)).collect();
             }
             for (state, spec) in states.iter_mut().zip(aggs) {
@@ -114,7 +120,8 @@ impl Exec {
                     None => state.accumulate_row(),
                 }
             }
-        }
+            Ok(())
+        })?;
         flush(&current_key, &states, &mut out);
 
         // Global aggregate over an empty input still yields one row.

@@ -9,11 +9,11 @@
 //! hash join approaches when the build side fits.
 
 use super::{Exec, JoinKind};
+use crate::expr::Joined;
 use crate::pred::CPred;
 use crate::Result;
 use nsql_storage::HeapFile;
-use nsql_types::{Relation, Tuple, Value};
-use std::collections::HashMap;
+use nsql_types::{FxHashMap, Relation, Tuple};
 
 impl Exec {
     /// Hash equi-join on positionally-paired keys, with optional residual.
@@ -61,32 +61,29 @@ impl Exec {
         kind: JoinKind,
     ) -> Result<Vec<Tuple>> {
         assert_eq!(left_keys.len(), right_keys.len(), "key lists must pair up");
-        // Build on the right side.
-        let mut table: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
+        // Build on the right side, under the deterministic fast hasher.
+        let mut table: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
         for rt in right.scan(&self.storage) {
-            let key = rt.project(right_keys);
-            if key.values().iter().any(Value::is_null) {
+            if right_keys.iter().any(|&i| rt.get(i).is_null()) {
                 continue; // NULL keys never join
             }
-            table.entry(key).or_default().push(rt);
+            table.entry(rt.project(right_keys)).or_default().push(rt);
         }
         // Probe with the left side.
         let right_arity = right.schema().arity();
         let mut out = Vec::new();
         for lt in left.scan(&self.storage) {
-            let key = lt.project(left_keys);
             let mut matched = false;
-            if !key.values().iter().any(Value::is_null) {
-                if let Some(group) = table.get(&key) {
+            if !left_keys.iter().any(|&i| lt.get(i).is_null()) {
+                if let Some(group) = table.get(&lt.project(left_keys)) {
                     for rt in group {
-                        let combined = lt.join(rt);
                         let ok = match residual {
-                            Some(p) => p.accepts(&combined)?,
+                            Some(p) => p.accepts_row(&Joined::new(&lt, rt))?,
                             None => true,
                         };
                         if ok {
                             matched = true;
-                            out.push(combined);
+                            out.push(lt.join(rt));
                         }
                     }
                 }
@@ -105,6 +102,7 @@ mod tests {
     use super::*;
     use nsql_storage::Storage;
     use nsql_sql::parse_query;
+    use nsql_types::Value;
 
     fn exec() -> Exec {
         Exec::new(Storage::with_defaults())

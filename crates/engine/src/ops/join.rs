@@ -1,9 +1,10 @@
 //! Join operators: nested-loop and sort-merge, inner and left outer.
 
 use super::{Exec, JoinKind};
+use crate::expr::Joined;
 use crate::pred::CPred;
 use crate::Result;
-use nsql_storage::sort::{compare, SortKey};
+use nsql_storage::sort::SortKey;
 use nsql_storage::HeapFile;
 use nsql_types::{Relation, Tuple};
 use std::cmp::Ordering;
@@ -53,12 +54,27 @@ impl Exec {
         let mut out = Vec::new();
         for lt in left.scan(&self.storage) {
             let mut matched = false;
-            for rt in right.scan(&self.storage) {
-                let combined = lt.join(&rt);
-                if on.accepts(&combined)? {
-                    matched = true;
-                    out.push(combined);
+            // The ON predicate is evaluated on the virtual pair; the
+            // concatenated tuple is only built for pairs that pass, and
+            // right tuples are never cloned off their buffered page. The
+            // rescan of `right` per left tuple (through the buffer pool)
+            // is unchanged — that cost cliff is the paper's subject.
+            let mut err = None;
+            for combined in right.scan_with(&self.storage, |rt| {
+                match on.accepts_row(&Joined::new(&lt, rt)) {
+                    Ok(true) => Some(lt.join(rt)),
+                    Ok(false) => None,
+                    Err(e) => {
+                        err = Some(e);
+                        None
+                    }
                 }
+            }) {
+                matched = true;
+                out.push(combined);
+            }
+            if let Some(e) = err {
+                return Err(e);
             }
             if !matched && kind == JoinKind::LeftOuter {
                 out.push(lt.join_nulls(right_arity));
@@ -159,7 +175,12 @@ impl Exec {
         let right_arity = right.schema().arity();
         let mut out = Vec::new();
         let liter = lfile.scan(&self.storage).peekable();
-        let mut riter = rfile.scan(&self.storage).peekable();
+        // Decorate–merge: extract each right tuple's key exactly once as it
+        // comes off the scan, instead of re-projecting on every comparison.
+        let mut riter = rfile
+            .scan(&self.storage)
+            .map(|rt| (rt.project(right_keys), rt))
+            .peekable();
         // Current right group: consecutive right tuples sharing a key.
         let mut group: Vec<Tuple> = Vec::new();
         let mut group_key: Option<Tuple> = None;
@@ -169,13 +190,13 @@ impl Exec {
             // the buffered group when we land on equality.
             let lkey = lt.project(left_keys);
             let need_new_group = match &group_key {
-                Some(k) => cmp_keys(k, &lkey) != Ordering::Equal,
+                Some(k) => k.total_cmp(&lkey) != Ordering::Equal,
                 None => true,
             };
             if need_new_group {
                 // Skip right tuples with smaller keys.
-                while let Some(rt) = riter.peek() {
-                    if cmp_keys(&rt.project(right_keys), &lkey) == Ordering::Less {
+                while let Some((rkey, _)) = riter.peek() {
+                    if rkey.total_cmp(&lkey) == Ordering::Less {
                         riter.next();
                     } else {
                         break;
@@ -183,15 +204,16 @@ impl Exec {
                 }
                 group.clear();
                 group_key = None;
-                if let Some(rt) = riter.peek() {
-                    if cmp_keys(&rt.project(right_keys), &lkey) == Ordering::Equal {
-                        group_key = Some(lkey.clone());
-                        while let Some(rt) = riter.peek() {
-                            if cmp_keys(&rt.project(right_keys), &lkey) == Ordering::Equal {
-                                group.push(riter.next().expect("peeked"));
-                            } else {
-                                break;
-                            }
+                if riter
+                    .peek()
+                    .is_some_and(|(rkey, _)| rkey.total_cmp(&lkey) == Ordering::Equal)
+                {
+                    group_key = Some(lkey.clone());
+                    while let Some((rkey, _)) = riter.peek() {
+                        if rkey.total_cmp(&lkey) == Ordering::Equal {
+                            group.push(riter.next().expect("peeked").1);
+                        } else {
+                            break;
                         }
                     }
                 }
@@ -199,17 +221,17 @@ impl Exec {
             // NULL keys never join (SQL equality is unknown on NULL).
             let key_has_null = lkey.values().iter().any(nsql_types::Value::is_null);
             let mut matched = false;
-            if !key_has_null && group_key.as_ref().is_some_and(|k| cmp_keys(k, &lkey) == Ordering::Equal)
+            if !key_has_null
+                && group_key.as_ref().is_some_and(|k| k.total_cmp(&lkey) == Ordering::Equal)
             {
                 for rt in &group {
-                    let combined = lt.join(rt);
                     let ok = match residual {
-                        Some(p) => p.accepts(&combined)?,
+                        Some(p) => p.accepts_row(&Joined::new(&lt, rt))?,
                         None => true,
                     };
                     if ok {
                         matched = true;
-                        out.push(combined);
+                        out.push(lt.join(rt));
                     }
                 }
             }
@@ -226,11 +248,6 @@ impl Exec {
         }
         Ok(out)
     }
-}
-
-fn cmp_keys(a: &Tuple, b: &Tuple) -> Ordering {
-    let keys: Vec<SortKey> = (0..a.arity()).map(SortKey::asc).collect();
-    compare(a, b, &keys)
 }
 
 #[cfg(test)]

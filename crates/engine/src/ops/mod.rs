@@ -19,7 +19,7 @@ mod join;
 pub use agg::AggSpec;
 
 use crate::error::EngineError;
-use crate::expr::CExpr;
+use crate::expr::{CExpr, Projector};
 use crate::pred::CPred;
 use crate::Result;
 use nsql_storage::sort::SortKey;
@@ -54,18 +54,45 @@ impl Exec {
     }
 
     /// σ — keep tuples the predicate accepts (is `TRUE` for).
+    ///
+    /// Streams page-resident tuples straight into the output file: rejected
+    /// tuples are never cloned off their page, accepted ones are cloned
+    /// exactly once. Output writes are write-around (never enter the buffer
+    /// pool), so interleaving them with the input scan leaves counted I/O
+    /// identical to the old collect-then-write form.
     pub fn filter(&self, input: &HeapFile, pred: &CPred) -> Result<HeapFile> {
-        let mut out = Vec::new();
-        for t in input.scan(&self.storage) {
-            if pred.accepts(&t)? {
-                out.push(t);
+        let mut err = None;
+        let file = HeapFile::from_tuples(
+            &self.storage,
+            input.schema().clone(),
+            input.scan_with(&self.storage, |t| match pred.accepts(t) {
+                Ok(true) => Some(t.clone()),
+                Ok(false) => None,
+                Err(e) => {
+                    err = Some(e);
+                    None
+                }
+            }),
+        );
+        self.check_streamed(file, err)
+    }
+
+    /// If the streaming closure hit an error, free the partial output and
+    /// surface it; otherwise hand the file through.
+    fn check_streamed(&self, file: HeapFile, err: Option<EngineError>) -> Result<HeapFile> {
+        match err {
+            Some(e) => {
+                file.drop_pages(&self.storage);
+                Err(e)
             }
+            None => Ok(file),
         }
-        Ok(HeapFile::from_tuples(&self.storage, input.schema().clone(), out))
     }
 
     /// π — evaluate `exprs` per tuple; `distinct` eliminates duplicates via
-    /// an external sort of the projected file.
+    /// an external sort of the projected file. Clones only the projected
+    /// columns of each input tuple and streams the output directly into
+    /// pages (no intermediate `Vec<Tuple>`).
     pub fn project(
         &self,
         input: &HeapFile,
@@ -80,11 +107,12 @@ impl Exec {
                 exprs.len()
             )));
         }
-        let projected: Vec<Tuple> = input
-            .scan(&self.storage)
-            .map(|t| exprs.iter().map(|e| e.eval(&t).clone()).collect())
-            .collect();
-        let file = HeapFile::from_tuples(&self.storage, out_schema, projected);
+        let proj = Projector::new(exprs);
+        let file = HeapFile::from_tuples(
+            &self.storage,
+            out_schema,
+            input.scan_with(&self.storage, |t| Some(proj.apply_ref(t))),
+        );
         if distinct {
             let sorted = external_sort(&self.storage, &file, &[], true);
             file.drop_pages(&self.storage);
@@ -96,7 +124,9 @@ impl Exec {
 
     /// Combined σ then π in one pass over the input (the paper's
     /// "restriction and projection" of a relation, e.g. building `Rt2` and
-    /// `Rt3` in NEST-JA2).
+    /// `Rt3` in NEST-JA2). Streams like [`filter`](Exec::filter)/
+    /// [`project`](Exec::project): rejected tuples cost nothing, accepted
+    /// ones clone only their projected columns.
     pub fn restrict_project(
         &self,
         input: &HeapFile,
@@ -105,13 +135,21 @@ impl Exec {
         out_schema: Schema,
         distinct: bool,
     ) -> Result<HeapFile> {
-        let mut projected = Vec::new();
-        for t in input.scan(&self.storage) {
-            if pred.accepts(&t)? {
-                projected.push(exprs.iter().map(|e| e.eval(&t).clone()).collect());
-            }
-        }
-        let file = HeapFile::from_tuples(&self.storage, out_schema, projected);
+        let proj = Projector::new(exprs);
+        let mut err = None;
+        let file = HeapFile::from_tuples(
+            &self.storage,
+            out_schema,
+            input.scan_with(&self.storage, |t| match pred.accepts(t) {
+                Ok(true) => Some(proj.apply_ref(t)),
+                Ok(false) => None,
+                Err(e) => {
+                    err = Some(e);
+                    None
+                }
+            }),
+        );
+        let file = self.check_streamed(file, err)?;
         if distinct {
             let sorted = external_sort(&self.storage, &file, &[], true);
             file.drop_pages(&self.storage);
@@ -139,10 +177,9 @@ impl Exec {
         out_schema: Schema,
         distinct: bool,
     ) -> Result<Relation> {
-        let mut tuples: Vec<Tuple> = input
-            .scan(&self.storage)
-            .map(|t| exprs.iter().map(|e| e.eval(&t).clone()).collect())
-            .collect();
+        let proj = Projector::new(exprs);
+        let mut tuples: Vec<Tuple> =
+            input.scan_with(&self.storage, |t| Some(proj.apply_ref(t))).collect();
         if distinct {
             tuples.sort_by(Tuple::total_cmp);
             tuples.dedup();
@@ -255,6 +292,34 @@ mod tests {
         assert_eq!(r.len(), 3);
         let rd = e.project_collect(&f, &[CExpr::Col(0)], s, true).unwrap();
         assert_eq!(rd.len(), 2);
+    }
+
+    #[test]
+    fn distinct_projection_drops_presort_pages() {
+        // The distinct path materializes the projection, sorts it into a new
+        // file, and must free the pre-sort pages — only the input and the
+        // deduplicated output may remain live on disk.
+        let e = exec();
+        let rows: Vec<Vec<i64>> = (0..200).map(|i| vec![i % 5, i]).collect();
+        let row_refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        let f = int_file(e.storage(), "T", &["A", "B"], &row_refs);
+        let live_before = e.storage().live_pages();
+        let out_schema = Schema::new(vec![Column::qualified("O", "A", ColumnType::Int)]);
+        let out = e.project(&f, &[CExpr::Col(0)], out_schema, true).unwrap();
+        assert_eq!(out.tuple_count(), 5);
+        assert_eq!(
+            e.storage().live_pages(),
+            live_before + out.page_count(),
+            "pre-sort projection pages must be freed"
+        );
+
+        // Same invariant on the combined restrict+project path.
+        let p = pred_on(&f, "A >= 1");
+        let out_schema = Schema::new(vec![Column::qualified("O", "A", ColumnType::Int)]);
+        let live_before = e.storage().live_pages();
+        let out2 = e.restrict_project(&f, &p, &[CExpr::Col(0)], out_schema, true).unwrap();
+        assert_eq!(out2.tuple_count(), 4);
+        assert_eq!(e.storage().live_pages(), live_before + out2.page_count());
     }
 
     #[test]

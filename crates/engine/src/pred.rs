@@ -6,7 +6,7 @@
 //! paper's Q5 example and that outer-join `NULL` padding interacts with.
 
 use crate::error::EngineError;
-use crate::expr::CExpr;
+use crate::expr::{CExpr, Row};
 use crate::Result;
 use nsql_sql::{CompareOp, InRhs, Operand, Predicate};
 use nsql_types::{Schema, Tuple, Value};
@@ -91,12 +91,18 @@ pub enum CPred {
 impl CPred {
     /// Evaluate under three-valued logic.
     pub fn eval(&self, tuple: &Tuple) -> Result<Option<bool>> {
+        self.eval_row(tuple)
+    }
+
+    /// Evaluate against any [`Row`] — a tuple, or a join candidate viewed
+    /// through [`crate::expr::Joined`] without concatenating.
+    pub fn eval_row<R: Row>(&self, row: &R) -> Result<Option<bool>> {
         Ok(match self {
             CPred::Const(v) => *v,
             CPred::And(ps) => {
                 let mut unknown = false;
                 for p in ps {
-                    match p.eval(tuple)? {
+                    match p.eval_row(row)? {
                         Some(false) => return Ok(Some(false)),
                         None => unknown = true,
                         Some(true) => {}
@@ -111,7 +117,7 @@ impl CPred {
             CPred::Or(ps) => {
                 let mut unknown = false;
                 for p in ps {
-                    match p.eval(tuple)? {
+                    match p.eval_row(row)? {
                         Some(true) => return Ok(Some(true)),
                         None => unknown = true,
                         Some(false) => {}
@@ -123,12 +129,12 @@ impl CPred {
                     Some(false)
                 }
             }
-            CPred::Not(p) => not3(p.eval(tuple)?),
+            CPred::Not(p) => not3(p.eval_row(row)?),
             CPred::Cmp { left, op, right } => {
-                compare_values(left.eval(tuple), *op, right.eval(tuple))?
+                compare_values(left.eval_row(row), *op, right.eval_row(row))?
             }
             CPred::InList { expr, list, negated } => {
-                let v = in_list(expr.eval(tuple), list)?;
+                let v = in_list(expr.eval_row(row), list)?;
                 if *negated {
                     not3(v)
                 } else {
@@ -136,7 +142,7 @@ impl CPred {
                 }
             }
             CPred::IsNull { expr, negated } => {
-                let isnull = expr.eval(tuple).is_null();
+                let isnull = expr.eval_row(row).is_null();
                 Some(if *negated { !isnull } else { isnull })
             }
         })
@@ -145,7 +151,12 @@ impl CPred {
     /// True iff `eval` returns `Some(true)` — the WHERE-clause acceptance
     /// test.
     pub fn accepts(&self, tuple: &Tuple) -> Result<bool> {
-        Ok(self.eval(tuple)? == Some(true))
+        Ok(self.eval_row(tuple)? == Some(true))
+    }
+
+    /// [`accepts`](CPred::accepts) over any [`Row`].
+    pub fn accepts_row<R: Row>(&self, row: &R) -> Result<bool> {
+        Ok(self.eval_row(row)? == Some(true))
     }
 
     /// Compile an AST predicate against `schema`. Subqueries are rejected

@@ -74,6 +74,51 @@ fn all_join_algorithms_agree() {
     );
 }
 
+/// The missing residual coverage: all three algorithms must also agree when
+/// an extra non-equi predicate filters the key matches. NL evaluates the
+/// conjunction directly; MJ and HJ take the equi part as keys and `L.V < R.V`
+/// as a residual — three different code paths, one bag.
+#[test]
+fn all_join_algorithms_agree_with_residual_predicate() {
+    forall(
+        128,
+        "all_join_algorithms_agree_with_residual_predicate",
+        |rng| (side(rng), side(rng), rng.gen_bool(0.5)),
+        |(left, right, outer)| {
+            let st = Storage::with_defaults();
+            let e = Exec::new(st.clone());
+            let l = file_of(&st, "L", left);
+            let r = file_of(&st, "R", right);
+            let kind = if *outer { JoinKind::LeftOuter } else { JoinKind::Inner };
+
+            let combined = l.schema().join(r.schema());
+            let full = parse_query("SELECT L.V FROM L, R WHERE L.K = R.K AND L.V < R.V").unwrap();
+            let on = CPred::compile(&combined, full.where_clause.as_ref().unwrap()).unwrap();
+            let res_q = parse_query("SELECT L.V FROM L, R WHERE L.V < R.V").unwrap();
+            let residual = CPred::compile(&combined, res_q.where_clause.as_ref().unwrap()).unwrap();
+
+            let nl = e.nl_join(&l, &r, &on, kind).unwrap();
+            let mj = e
+                .merge_join(&l, &r, &[0], &[0], Some(&residual), kind, false, false)
+                .unwrap();
+            let hj = e.hash_join(&l, &r, &[0], &[0], Some(&residual), kind).unwrap();
+
+            let nl_rel = e.collect(&nl);
+            let mj_rel = e.collect(&mj);
+            let hj_rel = e.collect(&hj);
+            prop_assert!(
+                nl_rel.same_bag(&mj_rel),
+                "{kind:?} NL vs MJ (residual)\nNL:\n{nl_rel}\nMJ:\n{mj_rel}"
+            );
+            prop_assert!(
+                nl_rel.same_bag(&hj_rel),
+                "{kind:?} NL vs HJ (residual)\nNL:\n{nl_rel}\nHJ:\n{hj_rel}"
+            );
+            Ok(())
+        },
+    );
+}
+
 #[test]
 fn outer_join_covers_every_left_tuple_exactly_once_or_more() {
     forall(

@@ -108,6 +108,83 @@ impl HeapFile {
             storage.free_page(id);
         }
     }
+
+    /// Visit every tuple in place on its buffered page, stopping at the
+    /// first error. The zero-clone counterpart of `scan` for consumers that
+    /// fold rather than collect (e.g. sorted-stream aggregation).
+    pub fn try_for_each<E, F>(&self, storage: &Storage, mut f: F) -> std::result::Result<(), E>
+    where
+        F: FnMut(&Tuple) -> std::result::Result<(), E>,
+    {
+        for &id in self.pages.iter() {
+            let page = storage.read_page(id);
+            for t in page.tuples() {
+                f(t)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scan through the buffer pool, applying `f` to each tuple *in place*
+    /// on the buffered page and yielding only what `f` keeps. Unlike
+    /// [`scan`](HeapFile::scan)`.filter_map(..)`, tuples `f` rejects are
+    /// never cloned off the page — this is the zero-copy path for
+    /// filter/project operators, whose output iterator can stream straight
+    /// into [`HeapFile::from_tuples`]. Page reads happen in the same order
+    /// as a plain scan, so buffer-pool behaviour (and counted I/O) is
+    /// unchanged.
+    pub fn scan_with<F>(&self, storage: &Storage, f: F) -> ScanWith<F>
+    where
+        F: FnMut(&Tuple) -> Option<Tuple>,
+    {
+        ScanWith {
+            storage: storage.clone(),
+            pages: Rc::clone(&self.pages),
+            page_idx: 0,
+            tuple_idx: 0,
+            current: None,
+            f,
+        }
+    }
+}
+
+/// Streaming iterator created by [`HeapFile::scan_with`].
+pub struct ScanWith<F> {
+    storage: Storage,
+    pages: Rc<Vec<PageId>>,
+    page_idx: usize,
+    tuple_idx: usize,
+    current: Option<Rc<crate::disk::Page>>,
+    f: F,
+}
+
+impl<F> Iterator for ScanWith<F>
+where
+    F: FnMut(&Tuple) -> Option<Tuple>,
+{
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if let Some(page) = &self.current {
+                while self.tuple_idx < page.len() {
+                    let t = &page.tuples()[self.tuple_idx];
+                    self.tuple_idx += 1;
+                    if let Some(out) = (self.f)(t) {
+                        return Some(out);
+                    }
+                }
+                self.current = None;
+            }
+            if self.page_idx >= self.pages.len() {
+                return None;
+            }
+            let id = self.pages[self.page_idx];
+            self.page_idx += 1;
+            self.tuple_idx = 0;
+            self.current = Some(self.storage.read_page(id));
+        }
+    }
 }
 
 /// Streaming iterator over a heap file's tuples.

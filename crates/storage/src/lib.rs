@@ -136,6 +136,12 @@ impl Storage {
         self.inner.disk.free(id);
     }
 
+    /// Number of allocated, not-yet-freed disk pages. Temporary-file
+    /// leak checks assert on this after operators finish.
+    pub fn live_pages(&self) -> usize {
+        self.inner.disk.live_pages()
+    }
+
     /// Number of tuples of `width` bytes that fit in one page (at least 1,
     /// so oversized tuples still make progress).
     pub fn tuples_per_page(&self, width: usize) -> usize {

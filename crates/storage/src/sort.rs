@@ -44,6 +44,19 @@ pub fn compare(a: &Tuple, b: &Tuple, keys: &[SortKey]) -> Ordering {
     Ordering::Equal
 }
 
+/// Compare two already-extracted key tuples, position `j` reversed when
+/// `desc[j]`. The decorated counterpart of [`compare`].
+fn key_cmp(a: &Tuple, b: &Tuple, desc: &[bool]) -> Ordering {
+    for (j, &d) in desc.iter().enumerate() {
+        let o = a.get(j).total_cmp(b.get(j));
+        let o = if d { o.reverse() } else { o };
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    Ordering::Equal
+}
+
 /// Sort `input` into a new heap file using an external (B−1)-way merge sort.
 ///
 /// With `unique`, exact-duplicate tuples (whole-tuple comparison in the
@@ -60,13 +73,15 @@ pub fn external_sort(
     unique: bool,
 ) -> HeapFile {
     let b = storage.buffer_pages().max(2);
-    let full_keys: Vec<SortKey> = if unique {
-        // Whole-tuple ordering so equal rows become adjacent everywhere.
-        (0..input.schema().arity()).map(SortKey::asc).collect()
-    } else {
-        keys.to_vec()
-    };
-    let effective_keys: &[SortKey] = if unique { &full_keys } else { keys };
+    // Decorate–sort–undecorate: each tuple's key fields are extracted into a
+    // small key tuple exactly once (per pass), so comparisons — of which
+    // there are Θ(N·log N) — never re-index through the `SortKey` list. In
+    // `unique` mode the whole tuple is its own key (whole-tuple ordering so
+    // equal rows become adjacent everywhere) and no decoration is needed at
+    // all: runs compare via [`Tuple::total_cmp`], which is exactly the
+    // all-fields-ascending order the old key list spelled out.
+    let key_idx: Vec<usize> = keys.iter().map(|k| k.index).collect();
+    let desc: Vec<bool> = keys.iter().map(|k| k.desc).collect();
 
     // Pass 0: produce sorted runs of up to `b` pages each.
     let mut runs: Vec<HeapFile> = Vec::new();
@@ -76,15 +91,24 @@ pub fn external_sort(
         if chunk.is_empty() {
             return;
         }
-        chunk.sort_by(|x, y| compare(x, y, effective_keys));
         if unique {
+            chunk.sort_by(Tuple::total_cmp);
             chunk.dedup();
+            runs.push(HeapFile::from_tuples(
+                storage,
+                input.schema().clone(),
+                std::mem::take(chunk),
+            ));
+        } else {
+            let mut dec: Vec<(Tuple, Tuple)> =
+                chunk.drain(..).map(|t| (t.project(&key_idx), t)).collect();
+            dec.sort_by(|x, y| key_cmp(&x.0, &y.0, &desc));
+            runs.push(HeapFile::from_tuples(
+                storage,
+                input.schema().clone(),
+                dec.into_iter().map(|(_, t)| t),
+            ));
         }
-        runs.push(HeapFile::from_tuples(
-            storage,
-            input.schema().clone(),
-            std::mem::take(chunk),
-        ));
     };
     for &page_id in input.page_ids() {
         let page = storage.read_page_direct(page_id);
@@ -106,7 +130,11 @@ pub fn external_sort(
     while runs.len() > 1 {
         let mut next: Vec<HeapFile> = Vec::new();
         for group in runs.chunks(fan_in) {
-            let merged = merge_runs(storage, group, effective_keys, unique, input);
+            let merged = if unique {
+                merge_runs_unique(storage, group, input)
+            } else {
+                merge_runs(storage, group, &key_idx, &desc, input)
+            };
             for r in group {
                 r.drop_pages(storage);
             }
@@ -117,16 +145,21 @@ pub fn external_sort(
     runs.pop().expect("at least one run")
 }
 
+/// Merge sorted runs, heads decorated with their extracted key so the
+/// per-output linear scan over candidates compares pre-built key tuples.
 fn merge_runs(
     storage: &Storage,
     runs: &[HeapFile],
-    keys: &[SortKey],
-    unique: bool,
+    key_idx: &[usize],
+    desc: &[bool],
     input: &HeapFile,
 ) -> HeapFile {
     let mut iters: Vec<crate::heap::HeapScan> =
         runs.iter().map(|r| r.scan_direct(storage)).collect();
-    let mut heads: Vec<Option<Tuple>> = iters.iter_mut().map(Iterator::next).collect();
+    let mut heads: Vec<Option<(Tuple, Tuple)>> = iters
+        .iter_mut()
+        .map(|it| it.next().map(|t| (t.project(key_idx), t)))
+        .collect();
     let merged = std::iter::from_fn(move || {
         let mut best: Option<usize> = None;
         for i in 0..heads.len() {
@@ -136,11 +169,11 @@ fn merge_runs(
             best = match best {
                 None => Some(i),
                 Some(j) => {
-                    let (ti, tj) = (
-                        heads[i].as_ref().expect("checked above"),
-                        heads[j].as_ref().expect("best is non-empty"),
+                    let (ki, kj) = (
+                        &heads[i].as_ref().expect("checked above").0,
+                        &heads[j].as_ref().expect("best is non-empty").0,
                     );
-                    if compare(ti, tj, keys) == Ordering::Less {
+                    if key_cmp(ki, kj, desc) == Ordering::Less {
                         Some(i)
                     } else {
                         Some(j)
@@ -149,19 +182,59 @@ fn merge_runs(
             };
         }
         let i = best?;
-        let t = heads[i].take();
-        heads[i] = iters[i].next();
-        t
+        let (_, t) = heads[i].take().expect("best is non-empty");
+        heads[i] = iters[i].next().map(|t| (t.project(key_idx), t));
+        Some(t)
     });
-    let mut last: Option<Tuple> = None;
-    let deduped = merged.filter(move |t| {
-        if unique {
-            if last.as_ref() == Some(t) {
-                return false;
+    HeapFile::from_tuples(storage, input.schema().clone(), merged)
+}
+
+/// Merge sorted runs under whole-tuple order, dropping exact duplicates.
+///
+/// Dedup is a clone-free one-element delay line: the previous winner is
+/// *held back* rather than copied, each new winner is compared against it,
+/// and only on inequality is the held tuple released downstream.
+fn merge_runs_unique(storage: &Storage, runs: &[HeapFile], input: &HeapFile) -> HeapFile {
+    let mut iters: Vec<crate::heap::HeapScan> =
+        runs.iter().map(|r| r.scan_direct(storage)).collect();
+    let mut heads: Vec<Option<Tuple>> = iters.iter_mut().map(Iterator::next).collect();
+    let mut pending: Option<Tuple> = None;
+    let deduped = std::iter::from_fn(move || {
+        loop {
+            let mut best: Option<usize> = None;
+            for i in 0..heads.len() {
+                if heads[i].is_none() {
+                    continue;
+                }
+                best = match best {
+                    None => Some(i),
+                    Some(j) => {
+                        let (ti, tj) = (
+                            heads[i].as_ref().expect("checked above"),
+                            heads[j].as_ref().expect("best is non-empty"),
+                        );
+                        if ti.total_cmp(tj) == Ordering::Less {
+                            Some(i)
+                        } else {
+                            Some(j)
+                        }
+                    }
+                };
             }
-            last = Some(t.clone());
+            let Some(i) = best else {
+                return pending.take(); // release the final held tuple
+            };
+            let w = heads[i].take().expect("best is non-empty");
+            heads[i] = iters[i].next();
+            if pending.as_ref() == Some(&w) {
+                continue; // duplicate of the held tuple
+            }
+            let out = pending.replace(w);
+            if out.is_some() {
+                return out;
+            }
+            // First winner: hold it, keep looking for something to emit.
         }
-        true
     });
     HeapFile::from_tuples(storage, input.schema().clone(), deduped)
 }
@@ -247,7 +320,7 @@ mod tests {
         let s = external_sort(&st, &f, &[SortKey::asc(0)], true);
         // Distinct (a, b) pairs: 10 × 3, but only pairs consistent with
         // i mod 10 / i mod 3 co-occurrence — enumerate exactly.
-        let mut want: Vec<(i64, i64)> = rows.clone();
+        let mut want: Vec<(i64, i64)> = rows;
         want.sort();
         want.dedup();
         assert_eq!(s.tuple_count(), want.len());

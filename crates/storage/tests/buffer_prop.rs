@@ -1,0 +1,190 @@
+//! Trace-equivalence property test for the O(1) `BufferPool`.
+//!
+//! The pool used to pick eviction victims with a full-frame
+//! `min_by_key(last_used)` scan; it now maintains an intrusive recency
+//! list. Both disciplines must agree exactly: `get` bumps a (conceptual)
+//! clock on every access, so `last_used` timestamps are pairwise distinct
+//! and the LRU victim is *unique* — there is no tie the two
+//! implementations could break differently. This suite keeps the old
+//! timestamp-scan logic alive as a test-only oracle and replays
+//! randomized access/evict traces against it, demanding identical
+//! hit/miss sequences, identical resident sets after every step, and
+//! identical disk read counts. Any divergence would change counted page
+//! I/Os — the quantity the paper's experiments are stated in.
+
+use nsql_storage::{BufferPool, Disk, Page, PageId};
+use nsql_testkit::{forall, prop_assert, prop_assert_eq, Shrink};
+use nsql_types::{Tuple, Value};
+use std::rc::Rc;
+
+/// The pre-rewrite pool, reduced to its accounting skeleton: a timestamped
+/// frame table scanned with `min_by_key` on eviction.
+struct ReferenceLru {
+    capacity: usize,
+    frames: Vec<(PageId, u64)>,
+    clock: u64,
+}
+
+impl ReferenceLru {
+    fn new(capacity: usize) -> ReferenceLru {
+        ReferenceLru { capacity: capacity.max(1), frames: Vec::new(), clock: 0 }
+    }
+
+    /// Returns `true` on a cache hit.
+    fn access(&mut self, id: PageId) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(f) = self.frames.iter_mut().find(|(p, _)| *p == id) {
+            f.1 = clock;
+            return true;
+        }
+        if self.frames.len() >= self.capacity {
+            let victim = self
+                .frames
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty at capacity");
+            self.frames.remove(victim);
+        }
+        self.frames.push((id, clock));
+        false
+    }
+
+    fn evict(&mut self, id: PageId) {
+        self.frames.retain(|(p, _)| *p != id);
+    }
+
+    fn resident(&self) -> Vec<PageId> {
+        let mut ids: Vec<PageId> = self.frames.iter().map(|(p, _)| *p).collect();
+        ids.sort_by_key(|p| p.0);
+        ids
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Get(usize),
+    Evict(usize),
+}
+
+impl Shrink for Op {
+    fn shrink(&self) -> Vec<Self> {
+        match *self {
+            Op::Get(i) => i.shrink().into_iter().map(Op::Get).collect(),
+            // An eviction simplifies to a read of the same page first, then
+            // to reads/evictions of smaller page indices.
+            Op::Evict(i) => std::iter::once(Op::Get(i))
+                .chain(i.shrink().into_iter().map(Op::Evict))
+                .collect(),
+        }
+    }
+}
+
+fn disk_with_pages(n: u64) -> (Rc<Disk>, Vec<PageId>) {
+    let disk = Rc::new(Disk::new());
+    let ids: Vec<PageId> = (0..n)
+        .map(|i| {
+            let id = disk.alloc();
+            disk.write(id, Page::new(vec![Tuple::new(vec![Value::Int(i as i64)])]));
+            id
+        })
+        .collect();
+    disk.reset_stats();
+    (disk, ids)
+}
+
+#[test]
+fn pool_replays_traces_identically_to_min_by_key_oracle() {
+    forall(
+        128,
+        "pool_replays_traces_identically_to_min_by_key_oracle",
+        |rng| {
+            let pages = rng.gen_range(1u64..12);
+            let capacity = rng.gen_range(1usize..8);
+            let len = rng.gen_range(0usize..300);
+            let trace: Vec<Op> = (0..len)
+                .map(|_| {
+                    let idx = rng.gen_range(0usize..pages as usize);
+                    // Mostly reads; occasional explicit evictions (page frees).
+                    if rng.gen_bool(0.9) {
+                        Op::Get(idx)
+                    } else {
+                        Op::Evict(idx)
+                    }
+                })
+                .collect();
+            (pages, capacity, trace)
+        },
+        |(pages, capacity, trace)| {
+            let (disk, ids) = disk_with_pages(*pages);
+            let mut pool = BufferPool::new(Rc::clone(&disk), *capacity);
+            let mut oracle = ReferenceLru::new(*capacity);
+            for (step, op) in trace.iter().enumerate() {
+                match *op {
+                    Op::Get(idx) => {
+                        let hits_before = pool.hits();
+                        pool.get(ids[idx]);
+                        let pool_hit = pool.hits() > hits_before;
+                        let oracle_hit = oracle.access(ids[idx]);
+                        prop_assert_eq!(
+                            pool_hit, oracle_hit,
+                            "step {step}: hit/miss diverged on get({idx})"
+                        );
+                    }
+                    Op::Evict(idx) => {
+                        pool.evict(ids[idx]);
+                        oracle.evict(ids[idx]);
+                    }
+                }
+                let mut got = pool.resident_pages();
+                got.sort_by_key(|p| p.0);
+                prop_assert_eq!(
+                    &got,
+                    &oracle.resident(),
+                    "step {step}: resident sets diverged after {op:?}"
+                );
+                prop_assert!(pool.resident() <= *capacity, "step {step}: over capacity");
+            }
+            // Misses are the only source of reads: total disk reads must
+            // equal the oracle's miss count exactly.
+            let oracle_misses =
+                trace.iter().filter(|op| matches!(op, Op::Get(_))).count() as u64 - pool.hits();
+            prop_assert_eq!(pool.misses(), oracle_misses);
+            prop_assert_eq!(disk.stats().reads, pool.misses());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn recency_list_matches_timestamp_order() {
+    // Beyond set equality: the pool's MRU→LRU listing must equal the
+    // oracle's frames sorted by descending timestamp.
+    forall(
+        64,
+        "recency_list_matches_timestamp_order",
+        |rng| {
+            let pages = rng.gen_range(1u64..10);
+            let len = rng.gen_range(0usize..200);
+            let trace: Vec<usize> =
+                (0..len).map(|_| rng.gen_range(0usize..pages as usize)).collect();
+            (pages, rng.gen_range(1usize..6), trace)
+        },
+        |(pages, capacity, trace)| {
+            let (disk, ids) = disk_with_pages(*pages);
+            let mut pool = BufferPool::new(disk, *capacity);
+            let mut oracle = ReferenceLru::new(*capacity);
+            for &idx in trace {
+                pool.get(ids[idx]);
+                oracle.access(ids[idx]);
+                let mut by_recency = oracle.frames.clone();
+                by_recency.sort_by_key(|&(_, last_used)| std::cmp::Reverse(last_used));
+                let want: Vec<PageId> = by_recency.into_iter().map(|(p, _)| p).collect();
+                prop_assert_eq!(&pool.resident_pages(), &want);
+            }
+            Ok(())
+        },
+    );
+}

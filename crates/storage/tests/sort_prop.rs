@@ -55,7 +55,7 @@ fn sort_is_a_sorted_permutation() {
             }
             // Permutation?
             let mut want: Vec<Tuple> = f.scan(&st).collect();
-            let mut have = got.clone();
+            let mut have = got;
             want.sort_by(Tuple::total_cmp);
             have.sort_by(Tuple::total_cmp);
             prop_assert_eq!(want, have);

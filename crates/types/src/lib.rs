@@ -24,6 +24,7 @@
 
 pub mod date;
 pub mod error;
+pub mod hash;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
@@ -31,6 +32,7 @@ pub mod value;
 
 pub use date::Date;
 pub use error::TypeError;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use relation::Relation;
 pub use schema::{Column, ColumnType, Schema};
 pub use tuple::Tuple;

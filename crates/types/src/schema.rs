@@ -130,7 +130,7 @@ impl Schema {
             if found.is_some() {
                 let shown = match &table {
                     Some(t) => format!("{t}.{name}"),
-                    None => name.clone(),
+                    None => name,
                 };
                 return Err(TypeError::AmbiguousColumn(shown));
             }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Wall-clock bench runner: runs both `harness = false` bench targets with
+# machine-readable JSON output and appends the results, tagged with a
+# label, to BENCH_pr2.json at the repo root.
+#
+#   ./scripts/bench.sh [label]
+#
+# The committed BENCH_pr2.json holds one line per benchmark per run,
+# tagged `"label":"baseline"` (recorded before the zero-copy hot-path
+# rewrite) and `"label":"optimized"` (after). Compare medians per
+# (group, bench) pair; see DESIGN.md "Execution model and the
+# I/O-accounting invariant" for why wall clock may move while counted
+# page I/Os must not.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label=${1:-current}
+out=BENCH_pr2.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+for bench in nested_vs_transformed ja2_variants; do
+    echo "==> cargo bench -p nsql-bench --bench $bench"
+    NSQL_BENCH_JSON="$tmp" cargo bench -p nsql-bench --bench "$bench" --offline
+done
+
+# Tag each JSON line with the run label and append to the committed file.
+sed "s/^{/{\"label\":\"$label\",/" "$tmp" >> "$out"
+echo "appended $(wc -l < "$tmp") results to $out (label: $label)"

@@ -22,4 +22,14 @@ cargo bench -p nsql-bench --no-run --offline
 echo "==> testkit is warnings-clean across all targets"
 RUSTFLAGS="-D warnings" cargo check -p nsql-testkit --all-targets --offline
 
+echo "==> hot-path crates carry no redundant clones (clippy)"
+cargo clippy -p nsql-engine -p nsql-storage --all-targets --offline -- \
+    -D clippy::redundant_clone
+
+echo "==> bench smoke (3 samples per bench, results discarded)"
+NSQL_BENCH_SAMPLES=3 \
+    cargo bench -p nsql-bench --offline --bench nested_vs_transformed >/dev/null
+NSQL_BENCH_SAMPLES=3 \
+    cargo bench -p nsql-bench --offline --bench ja2_variants >/dev/null
+
 echo "verify: OK"
