@@ -1,0 +1,51 @@
+//! Thread-sweep wall-clock benches for morsel-parallel execution.
+//!
+//! Each group runs one (workload, query, strategy) cell at 1/2/4/8 worker
+//! threads; the counted page I/Os are identical across the sweep (enforced
+//! by `tests/par_prop.rs`), so any median movement is pure execution-time
+//! speedup. `scripts/bench.sh sweep` records the results to BENCH_pr3.json.
+//!
+//! ```sh
+//! cargo bench -p nsql-bench --bench par_sweep
+//! ```
+
+use nsql_bench::workload::{ja_workload, queries, seed_from_env, Workload, WorkloadSpec};
+use nsql_db::{JoinPolicy, QueryOptions};
+use nsql_testkit::bench::{black_box, Bench};
+use nsql_testkit::bench_main;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn sweep(c: &mut Bench, group_name: &str, w: &Workload, sql: &'static str, base: &QueryOptions) {
+    let mut group = c.group(group_name);
+    group.sample_size(10);
+    for t in THREADS {
+        let opts = QueryOptions { threads: t, ..base.clone() };
+        group.bench_function(&format!("threads={t}"), |b| {
+            b.iter(|| {
+                let out = w.db.query_with(black_box(sql), &opts).expect("query runs");
+                black_box(out.relation.len())
+            })
+        });
+    }
+}
+
+/// Nested iteration at Kim scale — the repeated-inner-scan workload the
+/// morsel fan-out targets (acceptance: ≥ 1.8x at 4 threads).
+fn bench_nested_iteration(c: &mut Bench) {
+    let w = ja_workload(WorkloadSpec::kim_scale(), seed_from_env());
+    sweep(c, "ni-type-J", &w, queries::TYPE_J, &QueryOptions::nested_iteration());
+    let w_ja = ja_workload(WorkloadSpec::kim_scale_ja(), seed_from_env());
+    sweep(c, "ni-type-JA-count", &w_ja, queries::TYPE_JA_COUNT, &QueryOptions::nested_iteration());
+}
+
+/// NEST-JA2 transformed execution: sort/join/aggregate operators with
+/// parallel run generation, build/probe, and merge-fold.
+fn bench_transformed(c: &mut Bench) {
+    let w = ja_workload(WorkloadSpec::kim_scale_ja(), seed_from_env());
+    sweep(c, "ja2-transformed-merge", &w, queries::TYPE_JA_COUNT, &QueryOptions::transformed_merge());
+    let hash = QueryOptions { join_policy: JoinPolicy::ForceHashJoin, ..QueryOptions::transformed() };
+    sweep(c, "ja2-transformed-hash", &w, queries::TYPE_JA_COUNT, &hash);
+}
+
+bench_main!(bench_nested_iteration, bench_transformed);

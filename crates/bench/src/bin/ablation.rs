@@ -13,6 +13,9 @@ use nsql_db::{JoinPolicy, QueryOptions};
 use nsql_engine::Exec;
 
 fn main() {
+    // Figure/table output is diffed byte-for-byte against the serial
+    // reference traces; pin the whole process to the serial code path.
+    std::env::set_var("NSQL_THREADS", "1");
     let w = ja_workload(WorkloadSpec::kim_scale_ja(), seed_from_env());
     let sql = queries::TYPE_JA_MAX;
     println!(

@@ -177,6 +177,9 @@ fn demo_ja2_trace() {
 }
 
 fn main() {
+    // Figure/table output is diffed byte-for-byte against the serial
+    // reference traces; pin the whole process to the serial code path.
+    std::env::set_var("NSQL_THREADS", "1");
     let arg = std::env::args().nth(1);
     match arg.as_deref() {
         Some("count") => demo_count(),

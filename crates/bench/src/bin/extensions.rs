@@ -12,6 +12,9 @@ use nsql_db::{Database, QueryOptions};
 use nsql_sql::{parse_query, print_predicate};
 
 fn main() {
+    // Figure/table output is diffed byte-for-byte against the serial
+    // reference traces; pin the whole process to the serial code path.
+    std::env::set_var("NSQL_THREADS", "1");
     // ---- the rewrite table itself -------------------------------------
     let examples = [
         "EXISTS (SELECT B FROM U WHERE U.B = T.A)",

@@ -28,6 +28,9 @@ use nsql_core::UnnestOptions;
 use nsql_db::QueryOptions;
 
 fn main() {
+    // Figure/table output is diffed byte-for-byte against the serial
+    // reference traces; pin the whole process to the serial code path.
+    std::env::set_var("NSQL_THREADS", "1");
     let seed = seed_from_env();
     let spec = WorkloadSpec::kim_scale();
     let w = ja_workload(spec, seed);

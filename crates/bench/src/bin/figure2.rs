@@ -10,6 +10,9 @@ use nsql_core::UnnestOptions;
 use nsql_db::{Database, QueryOptions};
 
 fn main() {
+    // Figure/table output is diffed byte-for-byte against the serial
+    // reference traces; pin the whole process to the serial code path.
+    std::env::set_var("NSQL_THREADS", "1");
     let mut db = Database::new();
     db.execute_script(
         "CREATE TABLE S (SNO CHAR(4), SNAME CHAR(10), STATUS INT, CITY CHAR(10));

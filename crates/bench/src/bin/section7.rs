@@ -18,6 +18,9 @@ use nsql_core::cost::{ja2_cost, nested_iteration_cost_j, Ja2Params, JoinMethod};
 use nsql_db::QueryOptions;
 
 fn main() {
+    // Figure/table output is diffed byte-for-byte against the serial
+    // reference traces; pin the whole process to the serial code path.
+    std::env::set_var("NSQL_THREADS", "1");
     // ---------------------------------------------------- analytical part
     let p = Ja2Params::paper_example();
     let ni = nested_iteration_cost_j(p.pi, p.pj, p.b, p.fi_ni);

@@ -15,6 +15,9 @@ use nsql_bench::{measure, print_table};
 use nsql_db::QueryOptions;
 
 fn main() {
+    // Figure/table output is diffed byte-for-byte against the serial
+    // reference traces; pin the whole process to the serial code path.
+    std::env::set_var("NSQL_THREADS", "1");
     let seed = seed_from_env();
     // ---- sweep 1: inner relation size at fixed B = 6 -------------------
     let mut rows = Vec::new();

@@ -1,0 +1,74 @@
+//! Parallel-equivalence property: on seeded benchmark workloads, every
+//! query strategy run at 2/4/8 threads returns the same rows (as a bag)
+//! AND reports exactly the same I/O totals as the single-threaded run —
+//! the PR's hard invariant, checked end-to-end through the `Database`
+//! facade.
+
+use nsql_bench::workload::{ja_workload, queries, WorkloadSpec, DEFAULT_SEED};
+use nsql_bench::{measure, Workload};
+use nsql_db::{JoinPolicy, QueryOptions};
+
+/// Thread counts swept against the serial baseline.
+const SWEEP: [usize; 3] = [2, 4, 8];
+
+fn check(w: &Workload, sql: &str, name: &str, base: &QueryOptions) {
+    let serial =
+        measure(&w.db, sql, &format!("{name}/threads=1"), &QueryOptions { threads: 1, ..base.clone() });
+    for t in SWEEP {
+        let par = measure(
+            &w.db,
+            sql,
+            &format!("{name}/threads={t}"),
+            &QueryOptions { threads: t, ..base.clone() },
+        );
+        assert!(
+            serial.relation.same_bag(&par.relation),
+            "{name}: rows diverged at {t} threads\nserial:\n{}\nparallel:\n{}",
+            serial.relation,
+            par.relation
+        );
+        assert_eq!(
+            serial.io, par.io,
+            "{name}: I/O totals diverged at {t} threads"
+        );
+    }
+}
+
+const QUERIES: [(&str, &str); 4] = [
+    ("type-N", queries::TYPE_N),
+    ("type-J", queries::TYPE_J),
+    ("type-JA-count", queries::TYPE_JA_COUNT),
+    ("type-JA-max", queries::TYPE_JA_MAX),
+];
+
+#[test]
+fn nested_iteration_parallel_equals_serial() {
+    for seed in [DEFAULT_SEED, 7] {
+        let w = ja_workload(WorkloadSpec::small(), seed);
+        for (name, sql) in QUERIES {
+            check(&w, sql, &format!("ni/{name}/seed={seed}"), &QueryOptions::nested_iteration());
+        }
+    }
+}
+
+#[test]
+fn nested_iteration_parallel_equals_serial_at_kim_scale() {
+    // One full-size cell: the configuration the speedup benches run.
+    let w = ja_workload(WorkloadSpec::kim_scale(), DEFAULT_SEED);
+    check(&w, queries::TYPE_J, "ni/type-J/kim", &QueryOptions::nested_iteration());
+}
+
+#[test]
+fn transformed_parallel_equals_serial() {
+    let w = ja_workload(WorkloadSpec::small(), DEFAULT_SEED);
+    for (policy, pname) in [
+        (JoinPolicy::ForceMergeJoin, "merge"),
+        (JoinPolicy::ForceHashJoin, "hash"),
+        (JoinPolicy::CostBased, "cost"),
+    ] {
+        let base = QueryOptions { join_policy: policy, ..QueryOptions::transformed() };
+        for (name, sql) in QUERIES {
+            check(&w, sql, &format!("tr/{pname}/{name}"), &base);
+        }
+    }
+}

@@ -101,12 +101,17 @@ impl Database {
             storage.clear_buffer();
         }
         let before = storage.io_stats();
+        let threads = if opts.threads == 0 {
+            nsql_exec_par::threads_from_env()
+        } else {
+            opts.threads
+        };
         let mut explain = Vec::new();
         let relation = match opts.strategy {
             Strategy::NestedIteration => {
                 explain.push("strategy: nested iteration (System R)".to_string());
                 let evaluator = NestedIter::new(&self.catalog, storage.clone());
-                evaluator.eval_query(q)?
+                evaluator.eval_query_threads(q, threads)?
             }
             Strategy::Transform => {
                 let plan = transform_query(&self.catalog, q, &opts.unnest)?;
@@ -118,7 +123,7 @@ impl Database {
                 ));
                 explain.extend(plan.trace.iter().cloned());
                 explain.push(format!("canonical: {}", nsql_sql::print_query(&plan.canonical)));
-                let exec = Exec::new(storage.clone());
+                let exec = Exec::with_threads(storage.clone(), threads);
                 let mut pe = PlanExecutor::new(exec, &self.catalog, opts.join_policy);
                 let rel = pe
                     .execute_transform_plan(&plan, plan.needs_distinct_for_semantics)?;

@@ -58,6 +58,11 @@ pub struct QueryOptions {
     /// Keep the temporary tables after the query (for inspection in the
     /// experiment binaries); they are dropped otherwise.
     pub keep_temps: bool,
+    /// Worker threads for morsel-parallel execution. `0` (the default)
+    /// resolves from `NSQL_THREADS`, falling back to the machine's available
+    /// parallelism; `1` takes the exact serial code path. Parallel runs
+    /// report the same per-query I/O totals as serial runs by construction.
+    pub threads: usize,
 }
 
 impl QueryOptions {

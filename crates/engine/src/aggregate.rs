@@ -80,6 +80,47 @@ impl AggState {
         self.count += 1;
     }
 
+    /// Fold another accumulator over the same function into this one, as if
+    /// `other`'s inputs had been accumulated here after this one's own.
+    ///
+    /// This is what parallel aggregation uses to join the two halves of a
+    /// group split across a morsel boundary. Integer aggregates are exact;
+    /// float `SUM`/`AVG` may differ from the serial fold in final ULPs
+    /// (float addition is not associative) — only for boundary-split groups.
+    pub fn merge(&mut self, other: &AggState) -> Result<()> {
+        debug_assert_eq!(self.func, other.func, "merging mismatched aggregates");
+        if other.count == 0 {
+            return Ok(());
+        }
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => match (self.float_sum, other.float_sum) {
+                (None, None) => self.int_sum += other.int_sum,
+                _ => {
+                    let a = self.float_sum.unwrap_or(self.int_sum as f64);
+                    let b = other.float_sum.unwrap_or(other.int_sum as f64);
+                    self.float_sum = Some(a + b);
+                }
+            },
+            AggFunc::Max => {
+                if self.extremum.is_null()
+                    || other.extremum.sql_cmp(&self.extremum)? == Some(std::cmp::Ordering::Greater)
+                {
+                    self.extremum = other.extremum.clone();
+                }
+            }
+            AggFunc::Min => {
+                if self.extremum.is_null()
+                    || other.extremum.sql_cmp(&self.extremum)? == Some(std::cmp::Ordering::Less)
+                {
+                    self.extremum = other.extremum.clone();
+                }
+            }
+        }
+        self.count += other.count;
+        Ok(())
+    }
+
     /// Final value of the aggregate.
     pub fn finish(&self) -> Value {
         if self.count == 0 {
@@ -166,6 +207,69 @@ mod tests {
         let d2 = Value::date("1-1-80").unwrap();
         assert_eq!(run(AggFunc::Max, &[d1, d2.clone()]), d2);
         assert_eq!(run(AggFunc::Min, &[Value::str("b"), Value::str("a")]), Value::str("a"));
+    }
+
+    #[test]
+    fn merge_equals_sequential_accumulation() {
+        // Splitting any input at any point and merging must match the
+        // one-pass fold (exactly, for integer inputs).
+        let vals: Vec<Value> = vec![
+            Value::Int(5),
+            Value::Null,
+            Value::Int(-2),
+            Value::Int(9),
+            Value::Int(9),
+            Value::Null,
+            Value::Int(0),
+        ];
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Min] {
+            for split in 0..=vals.len() {
+                let mut a = AggState::new(func);
+                for v in &vals[..split] {
+                    a.accumulate(v).unwrap();
+                }
+                let mut b = AggState::new(func);
+                for v in &vals[split..] {
+                    b.accumulate(v).unwrap();
+                }
+                a.merge(&b).unwrap();
+                assert_eq!(a.finish(), run(func, &vals), "{func:?} split at {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_promotes_mixed_int_float_sums() {
+        let mut a = AggState::new(AggFunc::Sum);
+        a.accumulate(&Value::Int(1)).unwrap();
+        let mut b = AggState::new(AggFunc::Sum);
+        b.accumulate(&Value::Float(0.5)).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.finish(), Value::Float(1.5));
+
+        let mut c = AggState::new(AggFunc::Sum);
+        c.accumulate(&Value::Float(2.5)).unwrap();
+        let mut d = AggState::new(AggFunc::Sum);
+        d.accumulate(&Value::Int(4)).unwrap();
+        c.merge(&d).unwrap();
+        assert_eq!(c.finish(), Value::Float(6.5));
+    }
+
+    #[test]
+    fn merge_with_empty_side_is_identity() {
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Max] {
+            let mut a = AggState::new(func);
+            a.accumulate(&Value::Int(3)).unwrap();
+            let before = a.finish();
+            a.merge(&AggState::new(func)).unwrap();
+            assert_eq!(a.finish(), before, "{func:?}: merging empty changes nothing");
+
+            let mut e = AggState::new(func);
+            let mut b = AggState::new(func);
+            b.accumulate(&Value::Int(3)).unwrap();
+            e.merge(&b).unwrap();
+            assert_eq!(e.finish(), b.finish(), "{func:?}: empty absorbs other");
+        }
     }
 
     #[test]

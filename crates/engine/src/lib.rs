@@ -27,6 +27,7 @@ pub mod expr;
 pub mod fixtures;
 pub mod nested_iter;
 pub mod ops;
+mod par;
 pub mod pred;
 pub mod provider;
 

@@ -32,15 +32,27 @@ use nsql_sql::{
     AggArg, AggFunc, ColumnRef, CompareOp, InRhs, Operand, Predicate, Quantifier, QueryBlock,
     ScalarExpr, SortDir,
 };
-use nsql_storage::{HeapFile, Storage};
+use nsql_exec_par::{run_workers, Morsels};
+use nsql_storage::{HeapFile, PageId, Storage, TraceEvent};
 use nsql_types::{Column, ColumnType, FxHashMap, Relation, Schema, Tuple, Value};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-/// Cached result of an uncorrelated inner block.
+/// Cached result of an uncorrelated inner block. Cloning is cheap: a
+/// value or a page-id-list handle, never page data.
+#[derive(Clone)]
 enum Cached {
     Scalar(Value),
     List(HeapFile),
+}
+
+/// How a use site consumes an uncorrelated subquery's cached result:
+/// scalar comparison operand, or materialized list (IN / EXISTS /
+/// quantified).
+#[derive(Clone, Copy)]
+enum UseKind {
+    Scalar,
+    List,
 }
 
 /// Resolved FROM clause of a block: the (requalified) files and the scope
@@ -92,17 +104,28 @@ impl<'e> Env<'e> {
     }
 }
 
+/// State shared between the main evaluator and its worker forks: the
+/// uncorrelated-block cache and the per-query resolution memos. All three
+/// are short-critical-section mutexes — workers only copy handles out.
+struct IterShared {
+    cache: Mutex<FxHashMap<usize, Cached>>,
+    /// Per-query memo of each block's resolved FROM clause, keyed by block
+    /// address (valid while the AST is borrowed; cleared after each query).
+    blocks: Mutex<FxHashMap<usize, Arc<BlockInfo>>>,
+    /// Per-query memo of [`is_correlated`](NestedIter::is_correlated),
+    /// which is re-consulted for every outer binding.
+    correlated: Mutex<FxHashMap<usize, bool>>,
+}
+
 /// The nested-iteration evaluator.
 pub struct NestedIter<'a, T: TableProvider + ?Sized> {
     tables: &'a T,
     storage: Storage,
-    cache: RefCell<FxHashMap<usize, Cached>>,
-    /// Per-query memo of each block's resolved FROM clause, keyed by block
-    /// address (valid while the AST is borrowed; cleared after each query).
-    blocks: RefCell<FxHashMap<usize, Rc<BlockInfo>>>,
-    /// Per-query memo of [`is_correlated`](NestedIter::is_correlated),
-    /// which is re-consulted for every outer binding.
-    correlated: RefCell<FxHashMap<usize, bool>>,
+    shared: Arc<IterShared>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
@@ -111,39 +134,238 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
         NestedIter {
             tables,
             storage,
-            cache: RefCell::new(FxHashMap::default()),
-            blocks: RefCell::new(FxHashMap::default()),
-            correlated: RefCell::new(FxHashMap::default()),
+            shared: Arc::new(IterShared {
+                cache: Mutex::new(FxHashMap::default()),
+                blocks: Mutex::new(FxHashMap::default()),
+                correlated: Mutex::new(FxHashMap::default()),
+            }),
         }
+    }
+
+    /// A worker's view of this evaluator: same tables, caches, and memos,
+    /// different storage handle (a trace view during parallel evaluation).
+    fn fork(&self, storage: Storage) -> NestedIter<'a, T> {
+        NestedIter { tables: self.tables, storage, shared: Arc::clone(&self.shared) }
+    }
+
+    fn cache(&self) -> MutexGuard<'_, FxHashMap<usize, Cached>> {
+        lock(&self.shared.cache)
     }
 
     /// Evaluate a top-level query.
     pub fn eval_query(&self, q: &QueryBlock) -> Result<Relation> {
         let result = self.eval_block(q, &Env::default());
-        // Cached temporaries are per-query; drop their pages. The memo maps
-        // are keyed by AST addresses, which are only stable within one
-        // query's borrow — clear them too.
-        for (_, cached) in self.cache.borrow_mut().drain() {
+        self.teardown();
+        result
+    }
+
+    /// Cached temporaries are per-query; drop their pages. The memo maps
+    /// are keyed by AST addresses, which are only stable within one
+    /// query's borrow — clear them too.
+    fn teardown(&self) {
+        for (_, cached) in self.cache().drain() {
             if let Cached::List(f) = cached {
                 f.drop_pages(&self.storage);
             }
         }
-        self.blocks.borrow_mut().clear();
-        self.correlated.borrow_mut().clear();
+        lock(&self.shared.blocks).clear();
+        lock(&self.shared.correlated).clear();
+    }
+
+    // ----------------------------------------------------------- parallel
+
+    /// Evaluate a top-level query on `threads` workers. `threads <= 1` is
+    /// exactly [`eval_query`](NestedIter::eval_query).
+    ///
+    /// The parallel path partitions the outermost FROM relation into page
+    /// morsels, evaluates each morsel's bindings on a worker holding a
+    /// *trace view* of storage (physical reads, no counting), then replays
+    /// the per-morsel traces in morsel order through the real buffered
+    /// storage. Because serial nested iteration fetches outer page *i+1*
+    /// only after finishing page *i*'s bindings, the concatenated traces
+    /// equal the serial page-access sequence — so the replay reproduces the
+    /// serial I/O totals, hit/miss split, and final buffer state exactly.
+    ///
+    /// Uncorrelated inner blocks (which serial evaluation caches on first
+    /// use) are pre-materialized before the fan-out, each under its own
+    /// trace; a [`TraceEvent::Marker`] logged at every cache-use site tells
+    /// the replay where to splice that trace in — at the *first* marker in
+    /// replay order, mirroring lazy once-only evaluation.
+    pub fn eval_query_threads(&self, q: &QueryBlock, threads: usize) -> Result<Relation>
+    where
+        T: Sync,
+    {
+        if threads <= 1 {
+            return self.eval_query(q);
+        }
+        let result = self.eval_parallel(q, threads);
+        self.teardown();
         result
+    }
+
+    fn eval_parallel(&self, q: &QueryBlock, threads: usize) -> Result<Relation>
+    where
+        T: Sync,
+    {
+        let info = self.block_info(q)?;
+        let pages: Vec<PageId> = match info.files.first() {
+            Some(f) if f.page_ids().len() > 1 => f.page_ids().to_vec(),
+            // Nothing to partition — the serial path is already optimal.
+            _ => return self.eval_block(q, &Env::default()),
+        };
+
+        // Pre-materialize every uncorrelated subquery block, children
+        // before parents so a parent's captured trace contains markers
+        // (not evaluations) for its cached children.
+        let mut uses = Vec::new();
+        collect_cached_uses(q, &mut uses);
+        let mut mat: FxHashMap<usize, Vec<TraceEvent>> = FxHashMap::default();
+        for (sub, kind) in uses {
+            let key = sub as *const QueryBlock as usize;
+            if mat.contains_key(&key) || self.is_correlated(sub)? {
+                continue;
+            }
+            let sink = Arc::new(Mutex::new(Vec::new()));
+            let fork = self.fork(self.storage.trace_view(Arc::clone(&sink)));
+            let cached = fork.eval_block(sub, &Env::default()).and_then(|rel| {
+                Ok(match kind {
+                    UseKind::Scalar => Cached::Scalar(fork.scalar_from_relation(rel)?),
+                    UseKind::List => Cached::List(fork.storage.store_relation(&rel)),
+                })
+            });
+            match cached {
+                Ok(c) => {
+                    self.cache().insert(key, c);
+                    mat.insert(key, std::mem::take(&mut *lock(&sink)));
+                }
+                Err(_) => {
+                    // Re-run serially so the reported error and its I/O
+                    // match the serial evaluation exactly.
+                    self.teardown();
+                    return self.eval_block(q, &Env::default());
+                }
+            }
+        }
+
+        let scope_schema = &info.schema;
+        let conjuncts: Vec<&Predicate> = match &q.where_clause {
+            Some(p) => p.conjuncts(),
+            None => Vec::new(),
+        };
+        let (simple, nested): (Vec<&Predicate>, Vec<&Predicate>) =
+            conjuncts.into_iter().partition(|p| !p.contains_subquery());
+
+        // One page per morsel: binding evaluation (the inner loops) is the
+        // heavy part, so fine-grained claims balance best, and the trace
+        // slots stitch back together in page order regardless.
+        type Slot = (Vec<TraceEvent>, Result<Vec<Tuple>>);
+        let morsels = Morsels::new(pages.len(), 1);
+        let slots: Vec<Mutex<Option<Slot>>> =
+            (0..pages.len()).map(|_| Mutex::new(None)).collect();
+        run_workers(threads.min(pages.len()), |_w| {
+            while let Some(range) = morsels.claim() {
+                let sink = Arc::new(Mutex::new(Vec::new()));
+                let fork = self.fork(self.storage.trace_view(Arc::clone(&sink)));
+                let res =
+                    fork.eval_morsel(&info, &pages[range.clone()], &simple, &nested);
+                let events = std::mem::take(&mut *lock(&sink));
+                *lock(&slots[range.start]) = Some((events, res));
+            }
+        });
+
+        // Serial stitch: replay each morsel's trace through the real
+        // storage, in page order, splicing pre-materialization traces at
+        // first use. On a morsel error, replay up to and including that
+        // morsel's partial trace — the serial evaluation would have stopped
+        // there too.
+        let mut survivors: Vec<Tuple> = Vec::new();
+        let mut done: HashSet<usize> = HashSet::new();
+        for slot in &slots {
+            let (events, res) = lock(slot).take().expect("morsel left unevaluated");
+            self.replay(&events, &mat, &mut done);
+            survivors.append(&mut res?);
+        }
+        self.eval_select(q, scope_schema, survivors, &Env::default())
+    }
+
+    /// One worker morsel: the outer block's bindings restricted to the
+    /// given outer pages, evaluated with this evaluator's (trace-view)
+    /// storage. Mirrors [`eval_block`](NestedIter::eval_block)'s loop body,
+    /// with depth 0 of the enumeration unrolled over the morsel's pages.
+    fn eval_morsel(
+        &self,
+        info: &BlockInfo,
+        pids: &[PageId],
+        simple: &[&Predicate],
+        nested: &[&Predicate],
+    ) -> Result<Vec<Tuple>> {
+        let scope_schema = &info.schema;
+        let env = Env::default();
+        let mut survivors: Vec<Tuple> = Vec::new();
+        for &pid in pids {
+            let page = self.storage.read_page(pid);
+            for t in page.tuples() {
+                self.enumerate(&info.files, 1, Tuple::default().join(t), &mut |binding| {
+                    let here = env.child(scope_schema, &binding);
+                    for p in simple {
+                        if self.eval_pred(p, &here)? != Some(true) {
+                            return Ok(());
+                        }
+                    }
+                    for p in nested {
+                        if self.eval_pred(p, &here)? != Some(true) {
+                            return Ok(());
+                        }
+                    }
+                    drop(here);
+                    survivors.push(binding);
+                    Ok(())
+                })?;
+            }
+        }
+        Ok(survivors)
+    }
+
+    /// Charge a captured trace against the real (counted, buffered)
+    /// storage. `Read` goes through the buffer pool — hit/miss resolution
+    /// happens here, against the same access sequence serial evaluation
+    /// would have produced. The first `Marker(key)` splices in that block's
+    /// pre-materialization trace (recursively: an uncorrelated block's
+    /// trace may itself mark a cached child).
+    fn replay(
+        &self,
+        events: &[TraceEvent],
+        mat: &FxHashMap<usize, Vec<TraceEvent>>,
+        done: &mut HashSet<usize>,
+    ) {
+        for ev in events {
+            match *ev {
+                TraceEvent::Read(pid) => {
+                    let _ = self.storage.read_page(pid);
+                }
+                TraceEvent::Write => self.storage.charge_write(),
+                TraceEvent::Marker(key) => {
+                    if done.insert(key) {
+                        if let Some(sub) = mat.get(&key) {
+                            self.replay(sub, mat, done);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------- blocks
 
     /// Resolve (or recall) a block's FROM files and scope schema.
-    fn block_info(&self, q: &QueryBlock) -> Result<Rc<BlockInfo>> {
+    fn block_info(&self, q: &QueryBlock) -> Result<Arc<BlockInfo>> {
         let key = q as *const QueryBlock as usize;
-        if let Some(info) = self.blocks.borrow().get(&key) {
-            return Ok(Rc::clone(info));
+        if let Some(info) = lock(&self.shared.blocks).get(&key) {
+            return Ok(Arc::clone(info));
         }
         let mut files: Vec<HeapFile> = Vec::new();
         let mut scope_schema = Schema::default();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         for tref in &q.from {
             let file = self
                 .tables
@@ -159,8 +381,8 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
             scope_schema = scope_schema.join(&qualified);
             files.push(file.with_schema(qualified));
         }
-        let info = Rc::new(BlockInfo { files, schema: scope_schema });
-        self.blocks.borrow_mut().insert(key, Rc::clone(&info));
+        let info = Arc::new(BlockInfo { files, schema: scope_schema });
+        lock(&self.shared.blocks).insert(key, Arc::clone(&info));
         Ok(info)
     }
 
@@ -455,11 +677,15 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
     fn eval_scalar_subquery(&self, q: &QueryBlock, env: &Env<'_>) -> Result<Value> {
         if !self.is_correlated(q)? {
             let key = q as *const QueryBlock as usize;
-            if let Some(Cached::Scalar(v)) = self.cache.borrow().get(&key) {
+            // In a trace view this marks where serial evaluation would
+            // (first) evaluate the block; replay splices the captured
+            // evaluation trace at the first marker. No-op when counting.
+            self.storage.trace_marker(key);
+            if let Some(Cached::Scalar(v)) = self.cache().get(&key) {
                 return Ok(v.clone());
             }
             let v = self.scalar_from_relation(self.eval_block(q, &Env::default())?)?;
-            self.cache.borrow_mut().insert(key, Cached::Scalar(v.clone()));
+            self.cache().insert(key, Cached::Scalar(v.clone()));
             return Ok(v);
         }
         let rel = self.eval_block(q, env)?;
@@ -480,15 +706,18 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
     fn eval_membership(&self, v: &Value, q: &QueryBlock, env: &Env<'_>) -> Result<Option<bool>> {
         if !self.is_correlated(q)? {
             let key = q as *const QueryBlock as usize;
-            if !self.cache.borrow().contains_key(&key) {
+            self.storage.trace_marker(key);
+            if !self.cache().contains_key(&key) {
                 let rel = self.eval_block(q, &Env::default())?;
                 let file = self.storage.store_relation(&rel);
-                self.cache.borrow_mut().insert(key, Cached::List(file));
+                self.cache().insert(key, Cached::List(file));
             }
-            let cache = self.cache.borrow();
-            let Some(Cached::List(file)) = cache.get(&key) else {
+            // Clone the (page-id-list) handle out so concurrent workers
+            // don't hold the cache lock across a file scan.
+            let Some(Cached::List(file)) = self.cache().get(&key).cloned() else {
                 return Err(EngineError::Internal("membership cache corrupted".into()));
             };
+            let file = &file;
             // Scan the stored list per test (bounded memory, real I/O).
             // Tuples are compared in place on their buffered pages; the scan
             // stops at the first decisive match, reading exactly the pages
@@ -530,13 +759,13 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
     fn eval_inner_rows(&self, q: &QueryBlock, env: &Env<'_>) -> Result<Vec<Value>> {
         if !self.is_correlated(q)? {
             let key = q as *const QueryBlock as usize;
-            if !self.cache.borrow().contains_key(&key) {
+            self.storage.trace_marker(key);
+            if !self.cache().contains_key(&key) {
                 let rel = self.eval_block(q, &Env::default())?;
                 let file = self.storage.store_relation(&rel);
-                self.cache.borrow_mut().insert(key, Cached::List(file));
+                self.cache().insert(key, Cached::List(file));
             }
-            let cache = self.cache.borrow();
-            let Some(Cached::List(file)) = cache.get(&key) else {
+            let Some(Cached::List(file)) = self.cache().get(&key).cloned() else {
                 return Err(EngineError::Internal("rows cache corrupted".into()));
             };
             let mut out = Vec::with_capacity(file.tuple_count());
@@ -586,12 +815,12 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
     /// the AST, but this test runs once per outer binding.
     fn is_correlated(&self, q: &QueryBlock) -> Result<bool> {
         let key = q as *const QueryBlock as usize;
-        if let Some(&v) = self.correlated.borrow().get(&key) {
+        if let Some(&v) = lock(&self.shared.correlated).get(&key) {
             return Ok(v);
         }
         let mut scopes: Vec<Schema> = Vec::new();
         let v = self.subtree_has_free_refs(q, &mut scopes)?;
-        self.correlated.borrow_mut().insert(key, v);
+        lock(&self.shared.correlated).insert(key, v);
         Ok(v)
     }
 
@@ -689,6 +918,48 @@ fn collect_subqueries<'p>(p: &'p Predicate, out: &mut Vec<&'p QueryBlock>) {
         Predicate::In { .. } => {}
         Predicate::Exists { query, .. } => out.push(query),
         Predicate::Quantified { query, .. } => out.push(query),
+        Predicate::IsNull { .. } => {}
+    }
+}
+
+/// Every subquery block in `q`'s subtree paired with how its use site
+/// consumes it, in postorder (children before parents) — the order
+/// pre-materialization wants.
+fn collect_cached_uses<'q>(q: &'q QueryBlock, out: &mut Vec<(&'q QueryBlock, UseKind)>) {
+    if let Some(p) = &q.where_clause {
+        collect_pred_uses(p, out);
+    }
+}
+
+fn collect_pred_uses<'p>(p: &'p Predicate, out: &mut Vec<(&'p QueryBlock, UseKind)>) {
+    match p {
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            for q in ps {
+                collect_pred_uses(q, out);
+            }
+        }
+        Predicate::Not(q) => collect_pred_uses(q, out),
+        Predicate::Compare { left, right, .. } => {
+            for o in [left, right] {
+                if let Operand::Subquery(q) = o {
+                    collect_cached_uses(q, out);
+                    out.push((q, UseKind::Scalar));
+                }
+            }
+        }
+        Predicate::In { rhs: InRhs::Subquery(q), .. } => {
+            collect_cached_uses(q, out);
+            out.push((q, UseKind::List));
+        }
+        Predicate::In { .. } => {}
+        Predicate::Exists { query, .. } => {
+            collect_cached_uses(query, out);
+            out.push((query, UseKind::List));
+        }
+        Predicate::Quantified { query, .. } => {
+            collect_cached_uses(query, out);
+            out.push((query, UseKind::List));
+        }
         Predicate::IsNull { .. } => {}
     }
 }

@@ -90,9 +90,11 @@ impl Exec {
             (self.sort(input, &keys, false), true)
         };
 
+        // A key's accumulated states; morsel folds produce ordered lists
+        // of these ("runs") that touch only at morsel boundaries.
+        type Run = (Tuple, Vec<AggState>);
+
         let mut out = Vec::new();
-        let mut current_key: Option<Tuple> = None;
-        let mut states: Vec<AggState> = Vec::new();
         let flush =
             |key: &Option<Tuple>, states: &[AggState], out: &mut Vec<Tuple>| {
                 if let Some(k) = key {
@@ -101,28 +103,97 @@ impl Exec {
                     out.push(Tuple::new(vals));
                 }
             };
-        // Fold tuples in place on their buffered pages: the group key is
-        // compared field-by-field against the current key and only projected
-        // out when the group actually changes, so steady-state rows cost no
-        // allocation at all.
-        file.try_for_each(&self.storage, |t: &Tuple| -> Result<()> {
-            let same_group = current_key
-                .as_ref()
-                .is_some_and(|k| group.iter().enumerate().all(|(j, &i)| k.get(j) == t.get(i)));
-            if !same_group {
-                flush(&current_key, &states, &mut out);
-                current_key = Some(t.project(group));
-                states = aggs.iter().map(|a| AggState::new(a.func)).collect();
-            }
-            for (state, spec) in states.iter_mut().zip(aggs) {
-                match spec.arg {
-                    Some(i) => state.accumulate(t.get(i))?,
-                    None => state.accumulate_row(),
+        if self.threads > 1 && file.page_count() > 1 {
+            // Parallel fold: each morsel folds its pages into an ordered run
+            // list with exactly the serial contiguous-run logic; runs touch
+            // only at morsel boundaries, where a key match merges the two
+            // accumulator halves via `AggState::merge`. Works for any input
+            // order and reproduces the serial output exactly (groups split
+            // across a boundary being the only place float sums can differ
+            // in ULPs).
+            let partials: Vec<Result<Vec<Run>>> =
+                crate::par::par_map_pages(&self.storage, file.page_ids(), self.threads, |_m, pages| {
+                    let mut runs: Vec<Run> = Vec::new();
+                    for page in pages {
+                        for t in page.tuples() {
+                            let same_group = runs.last().is_some_and(|(k, _)| {
+                                group.iter().enumerate().all(|(j, &i)| k.get(j) == t.get(i))
+                            });
+                            if !same_group {
+                                runs.push((
+                                    t.project(group),
+                                    aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                                ));
+                            }
+                            let states = &mut runs.last_mut().expect("just pushed").1;
+                            for (state, spec) in states.iter_mut().zip(aggs) {
+                                match spec.arg {
+                                    Some(i) => state.accumulate(t.get(i))?,
+                                    None => state.accumulate_row(),
+                                }
+                            }
+                        }
+                    }
+                    Ok(runs)
+                });
+            let mut merged: Vec<Run> = Vec::new();
+            let mut first_err = None;
+            for partial in partials {
+                match partial {
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                    Ok(runs) => {
+                        for (k, states) in runs {
+                            match merged.last_mut() {
+                                Some((lk, lstates)) if *lk == k => {
+                                    for (a, b) in lstates.iter_mut().zip(&states) {
+                                        a.merge(b)?;
+                                    }
+                                }
+                                _ => merged.push((k, states)),
+                            }
+                        }
+                    }
                 }
             }
-            Ok(())
-        })?;
-        flush(&current_key, &states, &mut out);
+            if let Some(e) = first_err {
+                if is_temp {
+                    file.drop_pages(&self.storage);
+                }
+                return Err(e);
+            }
+            for (k, states) in merged {
+                flush(&Some(k), &states, &mut out);
+            }
+        } else {
+            let mut current_key: Option<Tuple> = None;
+            let mut states: Vec<AggState> = Vec::new();
+            // Fold tuples in place on their buffered pages: the group key is
+            // compared field-by-field against the current key and only
+            // projected out when the group actually changes, so steady-state
+            // rows cost no allocation at all.
+            file.try_for_each(&self.storage, |t: &Tuple| -> Result<()> {
+                let same_group = current_key
+                    .as_ref()
+                    .is_some_and(|k| group.iter().enumerate().all(|(j, &i)| k.get(j) == t.get(i)));
+                if !same_group {
+                    flush(&current_key, &states, &mut out);
+                    current_key = Some(t.project(group));
+                    states = aggs.iter().map(|a| AggState::new(a.func)).collect();
+                }
+                for (state, spec) in states.iter_mut().zip(aggs) {
+                    match spec.arg {
+                        Some(i) => state.accumulate(t.get(i))?,
+                        None => state.accumulate_row(),
+                    }
+                }
+                Ok(())
+            })?;
+            flush(&current_key, &states, &mut out);
+        }
 
         // Global aggregate over an empty input still yields one row.
         if group.is_empty() && out.is_empty() {

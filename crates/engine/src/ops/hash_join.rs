@@ -10,6 +10,7 @@
 
 use super::{Exec, JoinKind};
 use crate::expr::Joined;
+use crate::par::par_map_pages;
 use crate::pred::CPred;
 use crate::Result;
 use nsql_storage::HeapFile;
@@ -62,23 +63,49 @@ impl Exec {
     ) -> Result<Vec<Tuple>> {
         assert_eq!(left_keys.len(), right_keys.len(), "key lists must pair up");
         // Build on the right side, under the deterministic fast hasher.
-        let mut table: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
-        for rt in right.scan(&self.storage) {
-            if right_keys.iter().any(|&i| rt.get(i).is_null()) {
-                continue; // NULL keys never join
+        // Parallel build: each morsel hashes its pages into a private map;
+        // maps merge in morsel order, so every key's bucket lists its rows
+        // in scan order — exactly the serial build.
+        let table: FxHashMap<Tuple, Vec<Tuple>> = if self.threads > 1 && right.page_count() > 1 {
+            let partials = par_map_pages(&self.storage, right.page_ids(), self.threads, |_m, pages| {
+                let mut t: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
+                for page in pages {
+                    for rt in page.tuples() {
+                        if right_keys.iter().any(|&i| rt.get(i).is_null()) {
+                            continue; // NULL keys never join
+                        }
+                        t.entry(rt.project(right_keys)).or_default().push(rt.clone());
+                    }
+                }
+                t
+            });
+            let mut table: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
+            for partial in partials {
+                for (k, rows) in partial {
+                    table.entry(k).or_default().extend(rows);
+                }
             }
-            table.entry(rt.project(right_keys)).or_default().push(rt);
-        }
+            table
+        } else {
+            let mut table: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
+            for rt in right.scan(&self.storage) {
+                if right_keys.iter().any(|&i| rt.get(i).is_null()) {
+                    continue; // NULL keys never join
+                }
+                table.entry(rt.project(right_keys)).or_default().push(rt);
+            }
+            table
+        };
+
         // Probe with the left side.
         let right_arity = right.schema().arity();
-        let mut out = Vec::new();
-        for lt in left.scan(&self.storage) {
+        let probe_one = |lt: &Tuple, out: &mut Vec<Tuple>| -> Result<()> {
             let mut matched = false;
             if !left_keys.iter().any(|&i| lt.get(i).is_null()) {
                 if let Some(group) = table.get(&lt.project(left_keys)) {
                     for rt in group {
                         let ok = match residual {
-                            Some(p) => p.accepts_row(&Joined::new(&lt, rt))?,
+                            Some(p) => p.accepts_row(&Joined::new(lt, rt))?,
                             None => true,
                         };
                         if ok {
@@ -91,8 +118,36 @@ impl Exec {
             if !matched && kind == JoinKind::LeftOuter {
                 out.push(lt.join_nulls(right_arity));
             }
+            Ok(())
+        };
+        if self.threads > 1 && left.page_count() > 1 {
+            // Per-morsel probe outputs concatenate in morsel order = serial
+            // output order. On a residual error the serial probe stops
+            // scanning; parallel morsels in flight still finish (their
+            // results are discarded), which can only over-read on the error
+            // path — totals on the success path are identical.
+            let partials: Vec<Result<Vec<Tuple>>> =
+                par_map_pages(&self.storage, left.page_ids(), self.threads, |_m, pages| {
+                    let mut out = Vec::new();
+                    for page in pages {
+                        for lt in page.tuples() {
+                            probe_one(lt, &mut out)?;
+                        }
+                    }
+                    Ok(out)
+                });
+            let mut out = Vec::new();
+            for partial in partials {
+                out.extend(partial?);
+            }
+            Ok(out)
+        } else {
+            let mut out = Vec::new();
+            for lt in left.scan(&self.storage) {
+                probe_one(&lt, &mut out)?;
+            }
+            Ok(out)
         }
-        Ok(out)
     }
 }
 

@@ -20,10 +20,11 @@ pub use agg::AggSpec;
 
 use crate::error::EngineError;
 use crate::expr::{CExpr, Projector};
+use crate::par::par_map_pages;
 use crate::pred::CPred;
 use crate::Result;
 use nsql_storage::sort::SortKey;
-use nsql_storage::{external_sort, HeapFile, Storage};
+use nsql_storage::{external_sort_threads, HeapFile, Storage};
 use nsql_types::{Relation, Schema, Tuple};
 
 /// Inner or left-outer join.
@@ -40,17 +41,88 @@ pub enum JoinKind {
 #[derive(Clone)]
 pub struct Exec {
     storage: Storage,
+    threads: usize,
 }
 
 impl Exec {
-    /// Executor over `storage`.
+    /// Executor over `storage` (serial: one thread).
     pub fn new(storage: Storage) -> Exec {
-        Exec { storage }
+        Exec::with_threads(storage, 1)
+    }
+
+    /// Executor with a morsel-parallel worker pool of `threads` workers.
+    /// `threads <= 1` is the exact serial code path; with more, the heavy
+    /// operators (scans, hash join, aggregation, sort run generation) fan
+    /// out while reporting **identical** I/O statistics (see `engine::par`).
+    pub fn with_threads(storage: Storage, threads: usize) -> Exec {
+        Exec { storage, threads: threads.max(1) }
     }
 
     /// The underlying storage handle.
     pub fn storage(&self) -> &Storage {
         &self.storage
+    }
+
+    /// Worker-pool width this executor fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Filter-map `input` through `f`, streaming into a new heap file.
+    ///
+    /// Serial path: zero-copy streaming scan, writes interleaved with reads.
+    /// Parallel path: ordered-fetch morsels (buffer sees the serial access
+    /// order), per-morsel output concatenated in morsel order, written after
+    /// the scan — same tuple order, page packing, and I/O totals. Matching
+    /// the serial error behaviour, the whole input is scanned even after an
+    /// error (serial `scan_with` does not short-circuit) and the *last*
+    /// error in scan order wins.
+    fn stream_filter_map<F>(&self, input: &HeapFile, out_schema: Schema, f: F) -> Result<HeapFile>
+    where
+        F: Fn(&Tuple) -> Result<Option<Tuple>> + Sync,
+    {
+        if self.threads > 1 && input.page_count() > 1 {
+            let results = par_map_pages(&self.storage, input.page_ids(), self.threads, |_m, pages| {
+                let mut kept = Vec::new();
+                let mut err = None;
+                for page in pages {
+                    for t in page.tuples() {
+                        match f(t) {
+                            Ok(Some(o)) => kept.push(o),
+                            Ok(None) => {}
+                            Err(e) => err = Some(e),
+                        }
+                    }
+                }
+                (kept, err)
+            });
+            let mut err = None;
+            let file = HeapFile::from_tuples(
+                &self.storage,
+                out_schema,
+                results.into_iter().flat_map(|(kept, e)| {
+                    if let Some(e) = e {
+                        err = Some(e);
+                    }
+                    kept
+                }),
+            );
+            self.check_streamed(file, err)
+        } else {
+            let mut err = None;
+            let file = HeapFile::from_tuples(
+                &self.storage,
+                out_schema,
+                input.scan_with(&self.storage, |t| match f(t) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        err = Some(e);
+                        None
+                    }
+                }),
+            );
+            self.check_streamed(file, err)
+        }
     }
 
     /// σ — keep tuples the predicate accepts (is `TRUE` for).
@@ -61,20 +133,9 @@ impl Exec {
     /// pool), so interleaving them with the input scan leaves counted I/O
     /// identical to the old collect-then-write form.
     pub fn filter(&self, input: &HeapFile, pred: &CPred) -> Result<HeapFile> {
-        let mut err = None;
-        let file = HeapFile::from_tuples(
-            &self.storage,
-            input.schema().clone(),
-            input.scan_with(&self.storage, |t| match pred.accepts(t) {
-                Ok(true) => Some(t.clone()),
-                Ok(false) => None,
-                Err(e) => {
-                    err = Some(e);
-                    None
-                }
-            }),
-        );
-        self.check_streamed(file, err)
+        self.stream_filter_map(input, input.schema().clone(), |t| {
+            Ok(if pred.accepts(t)? { Some(t.clone()) } else { None })
+        })
     }
 
     /// If the streaming closure hit an error, free the partial output and
@@ -108,13 +169,9 @@ impl Exec {
             )));
         }
         let proj = Projector::new(exprs);
-        let file = HeapFile::from_tuples(
-            &self.storage,
-            out_schema,
-            input.scan_with(&self.storage, |t| Some(proj.apply_ref(t))),
-        );
+        let file = self.stream_filter_map(input, out_schema, |t| Ok(Some(proj.apply_ref(t))))?;
         if distinct {
-            let sorted = external_sort(&self.storage, &file, &[], true);
+            let sorted = self.sort(&file, &[], true);
             file.drop_pages(&self.storage);
             Ok(sorted)
         } else {
@@ -136,22 +193,11 @@ impl Exec {
         distinct: bool,
     ) -> Result<HeapFile> {
         let proj = Projector::new(exprs);
-        let mut err = None;
-        let file = HeapFile::from_tuples(
-            &self.storage,
-            out_schema,
-            input.scan_with(&self.storage, |t| match pred.accepts(t) {
-                Ok(true) => Some(proj.apply_ref(t)),
-                Ok(false) => None,
-                Err(e) => {
-                    err = Some(e);
-                    None
-                }
-            }),
-        );
-        let file = self.check_streamed(file, err)?;
+        let file = self.stream_filter_map(input, out_schema, |t| {
+            Ok(if pred.accepts(t)? { Some(proj.apply_ref(t)) } else { None })
+        })?;
         if distinct {
-            let sorted = external_sort(&self.storage, &file, &[], true);
+            let sorted = self.sort(&file, &[], true);
             file.drop_pages(&self.storage);
             Ok(sorted)
         } else {
@@ -159,9 +205,10 @@ impl Exec {
         }
     }
 
-    /// External sort (thin wrapper over [`external_sort`]).
+    /// External sort (thin wrapper over [`external_sort`]; run generation
+    /// fans out on this executor's worker pool).
     pub fn sort(&self, input: &HeapFile, keys: &[SortKey], unique: bool) -> HeapFile {
-        external_sort(&self.storage, input, keys, unique)
+        external_sort_threads(&self.storage, input, keys, unique, self.threads)
     }
 
     /// Load a heap file into memory (final-result delivery; reads only).

@@ -1,0 +1,189 @@
+//! Serial-vs-parallel equivalence for the morsel-parallel operators:
+//! identical rows (in order — the parallel paths are order-preserving by
+//! construction), identical I/O totals, identical buffer hit/miss splits.
+
+use nsql_engine::{AggSpec, CPred, Exec, JoinKind};
+use nsql_sql::{parse_query, AggFunc};
+use nsql_storage::{HeapFile, Storage};
+use nsql_types::{Column, ColumnType, Schema, Tuple, Value};
+
+fn file_of(storage: &Storage, table: &str, cols: &[&str], rows: &[Vec<i64>]) -> HeapFile {
+    let schema = Schema::new(
+        cols.iter().map(|c| Column::qualified(table, *c, ColumnType::Int)).collect(),
+    );
+    HeapFile::from_tuples(
+        storage,
+        schema,
+        rows.iter().map(|r| r.iter().map(|&v| Value::Int(v)).collect::<Tuple>()),
+    )
+}
+
+fn rows(storage: &Storage, f: &HeapFile) -> Vec<Tuple> {
+    f.scan(storage).collect()
+}
+
+/// Run `op` under a serial and a 4-thread executor over identically-built
+/// storages and demand identical output files and identical I/O accounting.
+fn check<F>(label: &str, op: F)
+where
+    F: Fn(&Exec) -> HeapFile,
+{
+    let mut results = Vec::new();
+    for threads in [1, 4] {
+        let e = Exec::with_threads(Storage::new(6, 256), threads);
+        let out = op(&e);
+        let out_rows = rows(e.storage(), &out);
+        results.push((out_rows, e.storage().io_stats(), e.storage().buffer_stats()));
+    }
+    let (serial, par) = (&results[0], &results[1]);
+    assert_eq!(serial.0, par.0, "{label}: rows diverged");
+    assert_eq!(serial.1, par.1, "{label}: I/O totals diverged");
+    assert_eq!(serial.2, par.2, "{label}: buffer hit/miss diverged");
+}
+
+fn parts_rows(n: i64) -> Vec<Vec<i64>> {
+    (0..n).map(|i| vec![i, (i * 7919) % 101, i % 7]).collect()
+}
+
+fn pair_rows(n: i64) -> Vec<Vec<i64>> {
+    (0..n).map(|i| vec![i, (i * 7919) % 101]).collect()
+}
+
+#[test]
+fn parallel_filter_matches_serial() {
+    check("filter", |e| {
+        let f = file_of(e.storage(), "T", &["A", "B", "C"], &parts_rows(600));
+        let q = parse_query("SELECT T.A FROM T WHERE B < 50").unwrap();
+        let p = CPred::compile(f.schema(), q.where_clause.as_ref().unwrap()).unwrap();
+        e.storage().clear_buffer();
+        e.storage().reset_stats();
+        e.filter(&f, &p).unwrap()
+    });
+}
+
+#[test]
+fn parallel_restrict_project_distinct_matches_serial() {
+    check("restrict_project", |e| {
+        let f = file_of(e.storage(), "T", &["A", "B", "C"], &parts_rows(600));
+        let q = parse_query("SELECT T.C FROM T WHERE B < 70").unwrap();
+        let p = CPred::compile(f.schema(), q.where_clause.as_ref().unwrap()).unwrap();
+        let out_schema = Schema::new(vec![Column::qualified("O", "C", ColumnType::Int)]);
+        e.storage().clear_buffer();
+        e.storage().reset_stats();
+        e.restrict_project(&f, &p, &[nsql_engine::CExpr::Col(2)], out_schema, true).unwrap()
+    });
+}
+
+#[test]
+fn parallel_hash_join_matches_serial() {
+    for kind in [JoinKind::Inner, JoinKind::LeftOuter] {
+        check(&format!("hash_join {kind:?}"), |e| {
+            let l = file_of(e.storage(), "L", &["A", "X"], &pair_rows(400));
+            let r = file_of(
+                e.storage(),
+                "R",
+                &["B", "Y"],
+                &(0..300).map(|i| vec![(i * 3) % 150, i]).collect::<Vec<_>>(),
+            );
+            e.storage().clear_buffer();
+            e.storage().reset_stats();
+            e.hash_join(&l, &r, &[0], &[0], None, kind).unwrap()
+        });
+    }
+}
+
+#[test]
+fn parallel_hash_join_with_residual_matches_serial() {
+    check("hash_join residual", |e| {
+        let l = file_of(e.storage(), "L", &["A", "X"], &pair_rows(300));
+        let r = file_of(
+            e.storage(),
+            "R",
+            &["B", "Y"],
+            &(0..200).map(|i| vec![i % 60, i % 11]).collect::<Vec<_>>(),
+        );
+        let combined = l.schema().join(r.schema());
+        let q = parse_query("SELECT L.A FROM L, R WHERE L.X > R.Y").unwrap();
+        let res = CPred::compile(&combined, q.where_clause.as_ref().unwrap()).unwrap();
+        e.storage().clear_buffer();
+        e.storage().reset_stats();
+        e.hash_join(&l, &r, &[0], &[0], Some(&res), JoinKind::LeftOuter).unwrap()
+    });
+}
+
+#[test]
+fn parallel_group_aggregate_matches_serial() {
+    let out_schema = || {
+        Schema::new(vec![
+            Column::new("G", ColumnType::Int),
+            Column::new("C", ColumnType::Int),
+            Column::new("S", ColumnType::Int),
+            Column::new("M", ColumnType::Int),
+        ])
+    };
+    // Unsorted input: the operator sorts first (parallel run generation),
+    // then folds (parallel run merge).
+    check("group_aggregate unsorted", |e| {
+        let f = file_of(e.storage(), "T", &["K", "V"],
+            &(0..700).map(|i| vec![(i * 37) % 23, i]).collect::<Vec<_>>());
+        e.storage().clear_buffer();
+        e.storage().reset_stats();
+        e.group_aggregate(
+            &f,
+            &[0],
+            &[AggSpec::count_star(), AggSpec::on(AggFunc::Sum, 1), AggSpec::on(AggFunc::Max, 1)],
+            out_schema(),
+            false,
+        )
+        .unwrap()
+    });
+    // Presorted input: groups split across morsel boundaries exercise
+    // AggState::merge.
+    check("group_aggregate presorted", |e| {
+        let mut data: Vec<Vec<i64>> = (0..700).map(|i| vec![(i * 37) % 23, i]).collect();
+        data.sort();
+        let f = file_of(e.storage(), "T", &["K", "V"], &data);
+        e.storage().clear_buffer();
+        e.storage().reset_stats();
+        e.group_aggregate(
+            &f,
+            &[0],
+            &[AggSpec::count_star(), AggSpec::on(AggFunc::Sum, 1), AggSpec::on(AggFunc::Max, 1)],
+            out_schema(),
+            true,
+        )
+        .unwrap()
+    });
+}
+
+#[test]
+fn parallel_global_aggregate_matches_serial() {
+    check("global aggregate", |e| {
+        let f = file_of(e.storage(), "T", &["K", "V"], &pair_rows(500));
+        let s = Schema::new(vec![
+            Column::new("C", ColumnType::Int),
+            Column::new("M", ColumnType::Int),
+        ]);
+        e.storage().clear_buffer();
+        e.storage().reset_stats();
+        e.group_aggregate(
+            &f,
+            &[],
+            &[AggSpec::count_star(), AggSpec::on(AggFunc::Min, 1)],
+            s,
+            false,
+        )
+        .unwrap()
+    });
+}
+
+#[test]
+fn parallel_sort_via_exec_matches_serial() {
+    use nsql_storage::sort::SortKey;
+    check("sort", |e| {
+        let f = file_of(e.storage(), "T", &["A", "B", "C"], &parts_rows(800));
+        e.storage().clear_buffer();
+        e.storage().reset_stats();
+        e.sort(&f, &[SortKey::asc(1), SortKey::desc(0)], false)
+    });
+}

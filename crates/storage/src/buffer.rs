@@ -29,14 +29,14 @@
 
 use crate::disk::{Disk, Page, PageId};
 use nsql_types::FxHashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Sentinel slot index meaning "no frame" (list terminator / free slot).
 const NIL: usize = usize::MAX;
 
 struct Frame {
     id: PageId,
-    page: Rc<Page>,
+    page: Arc<Page>,
     /// Slot index of the next more-recently-used frame (`NIL` at the head).
     prev: usize,
     /// Slot index of the next less-recently-used frame (`NIL` at the tail).
@@ -46,7 +46,7 @@ struct Frame {
 
 /// LRU page cache with a fixed number of frames and O(1) get/evict.
 pub struct BufferPool {
-    disk: Rc<Disk>,
+    disk: Arc<Disk>,
     capacity: usize,
     /// Frame slab; slots are recycled through `free`.
     slots: Vec<Frame>,
@@ -64,7 +64,7 @@ pub struct BufferPool {
 
 impl BufferPool {
     /// Pool with `capacity` frames (minimum 1).
-    pub fn new(disk: Rc<Disk>, capacity: usize) -> BufferPool {
+    pub fn new(disk: Arc<Disk>, capacity: usize) -> BufferPool {
         let capacity = capacity.max(1);
         BufferPool {
             disk,
@@ -95,21 +95,29 @@ impl BufferPool {
     }
 
     /// Fetch a page, consulting the cache first.
-    pub fn get(&mut self, id: PageId) -> Rc<Page> {
+    pub fn get(&mut self, id: PageId) -> Arc<Page> {
         if let Some(&slot) = self.map.get(&id) {
             self.hits += 1;
             self.unlink(slot);
             self.link_front(slot);
-            return Rc::clone(&self.slots[slot].page);
+            return Arc::clone(&self.slots[slot].page);
         }
         self.misses += 1;
         let page = self.disk.read(id);
-        if self.map.len() >= self.capacity {
+        // Evict back below capacity. Normally one step; the loop matters
+        // only after a period of heavy pinning forced the pool to grow past
+        // capacity — it reclaims the excess as pins are released. If every
+        // frame is pinned no progress is possible and the pool grows.
+        while self.map.len() >= self.capacity {
+            let before = self.map.len();
             self.evict_lru();
+            if self.map.len() == before {
+                break;
+            }
         }
         let slot = self.alloc_slot(Frame {
             id,
-            page: Rc::clone(&page),
+            page: Arc::clone(&page),
             prev: NIL,
             next: NIL,
             pins: 0,
@@ -170,6 +178,21 @@ impl BufferPool {
         }
     }
 
+    /// Drop a specific page from the cache unless it is pinned. Returns
+    /// `true` if the page is no longer resident. Unlike [`evict`](Self::evict)
+    /// this respects pins, so concurrent callers can never invalidate a
+    /// frame another worker is using.
+    pub fn evict_if_unpinned(&mut self, id: PageId) -> bool {
+        match self.map.get(&id) {
+            Some(&slot) if self.slots[slot].pins > 0 => false,
+            Some(&slot) => {
+                self.remove_slot(id, slot);
+                true
+            }
+            None => true,
+        }
+    }
+
     /// Drop everything, including pinned frames.
     pub fn clear(&mut self) {
         self.slots.clear();
@@ -218,7 +241,7 @@ impl BufferPool {
     fn remove_slot(&mut self, id: PageId, slot: usize) {
         self.unlink(slot);
         self.map.remove(&id);
-        self.slots[slot].page = Rc::new(Page::new(Vec::new()));
+        self.slots[slot].page = Arc::new(Page::new(Vec::new()));
         self.free.push(slot);
     }
 
@@ -256,8 +279,8 @@ mod tests {
     use super::*;
     use nsql_types::{Tuple, Value};
 
-    fn disk_with_pages(n: u64) -> (Rc<Disk>, Vec<PageId>) {
-        let disk = Rc::new(Disk::new());
+    fn disk_with_pages(n: u64) -> (Arc<Disk>, Vec<PageId>) {
+        let disk = Arc::new(Disk::new());
         let ids: Vec<PageId> = (0..n)
             .map(|i| {
                 let id = disk.alloc();
@@ -272,7 +295,7 @@ mod tests {
     #[test]
     fn hit_costs_no_io() {
         let (disk, ids) = disk_with_pages(1);
-        let mut pool = BufferPool::new(Rc::clone(&disk), 2);
+        let mut pool = BufferPool::new(Arc::clone(&disk), 2);
         pool.get(ids[0]);
         pool.get(ids[0]);
         assert_eq!(disk.stats().reads, 1);
@@ -292,7 +315,7 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let (disk, ids) = disk_with_pages(3);
-        let mut pool = BufferPool::new(Rc::clone(&disk), 2);
+        let mut pool = BufferPool::new(Arc::clone(&disk), 2);
         pool.get(ids[0]); // miss
         pool.get(ids[1]); // miss
         pool.get(ids[0]); // hit — makes ids[1] the LRU
@@ -308,7 +331,7 @@ mod tests {
         // working set exceeds the pool. This is the nested-iteration
         // worst case from the paper.
         let (disk, ids) = disk_with_pages(4);
-        let mut pool = BufferPool::new(Rc::clone(&disk), 3);
+        let mut pool = BufferPool::new(Arc::clone(&disk), 3);
         for _ in 0..3 {
             for &id in &ids {
                 pool.get(id);
@@ -340,7 +363,7 @@ mod tests {
     #[test]
     fn pinned_pages_survive_eviction_pressure() {
         let (disk, ids) = disk_with_pages(4);
-        let mut pool = BufferPool::new(Rc::clone(&disk), 2);
+        let mut pool = BufferPool::new(Arc::clone(&disk), 2);
         pool.get(ids[0]);
         assert!(pool.pin(ids[0]));
         pool.get(ids[1]);
@@ -368,7 +391,7 @@ mod tests {
     #[test]
     fn evict_reclaims_slot_for_reuse() {
         let (disk, ids) = disk_with_pages(3);
-        let mut pool = BufferPool::new(Rc::clone(&disk), 2);
+        let mut pool = BufferPool::new(Arc::clone(&disk), 2);
         pool.get(ids[0]);
         pool.get(ids[1]);
         pool.evict(ids[0]);

@@ -1,10 +1,10 @@
 //! The simulated disk: a page store that counts every read and write.
 
 use crate::stats::{IoCounter, IoStats};
+use nsql_types::hash::FxHashMap;
 use nsql_types::Tuple;
-use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Identifier of a disk page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -13,7 +13,7 @@ pub struct PageId(pub u64);
 /// A disk page: an ordered run of tuples.
 ///
 /// Pages are immutable once written (heap files are append-built), which lets
-/// the buffer pool hand out cheap `Rc<Page>` references.
+/// the buffer pool hand out cheap `Arc<Page>` references.
 #[derive(Debug, Default, PartialEq)]
 pub struct Page {
     tuples: Vec<Tuple>,
@@ -41,38 +41,54 @@ impl Page {
     }
 }
 
-/// The simulated disk. All access is through [`Disk::read`] / [`Disk::write`],
-/// each of which counts one page I/O against the shared counter.
+/// Number of page-map shards. Page ids are sequential, so `id % SHARDS`
+/// spreads neighbouring pages across distinct latches and concurrent
+/// scans rarely contend.
+const SHARDS: usize = 16;
+
+/// The simulated disk. All counted access is through [`Disk::read`] /
+/// [`Disk::write`], each of which counts one page I/O against the shared
+/// counter. The page map is sharded under `Mutex` latches so concurrent
+/// workers can read and write disjoint pages without serializing.
 pub struct Disk {
-    pages: RefCell<HashMap<PageId, Rc<Page>>>,
-    next_id: Cell<u64>,
-    counter: Rc<IoCounter>,
+    shards: [Mutex<FxHashMap<PageId, Arc<Page>>>; SHARDS],
+    next_id: AtomicU64,
+    counter: Arc<IoCounter>,
 }
 
 impl Disk {
     /// Fresh empty disk.
     pub fn new() -> Disk {
         Disk {
-            pages: RefCell::new(HashMap::new()),
-            next_id: Cell::new(0),
+            shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
+            next_id: AtomicU64::new(0),
             counter: IoCounter::shared(),
         }
     }
 
+    fn shard(&self, id: PageId) -> std::sync::MutexGuard<'_, FxHashMap<PageId, Arc<Page>>> {
+        self.shards[(id.0 as usize) % SHARDS]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Allocate a page id (no I/O).
     pub fn alloc(&self) -> PageId {
-        let id = self.next_id.get();
-        self.next_id.set(id + 1);
-        PageId(id)
+        PageId(self.next_id.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Read a page. Counts one page read. Panics on an unallocated id —
     /// that is always an engine bug, not a data-dependent condition.
-    pub fn read(&self, id: PageId) -> Rc<Page> {
+    pub fn read(&self, id: PageId) -> Arc<Page> {
         self.counter.count_read();
-        Rc::clone(
-            self.pages
-                .borrow()
+        self.read_uncounted(id)
+    }
+
+    /// Read a page without counting (trace-mode evaluation; replay charges
+    /// the read later at its serial position).
+    pub fn read_uncounted(&self, id: PageId) -> Arc<Page> {
+        Arc::clone(
+            self.shard(id)
                 .get(&id)
                 .unwrap_or_else(|| panic!("read of unallocated page {id:?}")),
         )
@@ -81,17 +97,31 @@ impl Disk {
     /// Write a page. Counts one page write.
     pub fn write(&self, id: PageId, page: Page) {
         self.counter.count_write();
-        self.pages.borrow_mut().insert(id, Rc::new(page));
+        self.write_uncounted(id, page);
+    }
+
+    /// Write a page without counting (trace-mode evaluation).
+    pub fn write_uncounted(&self, id: PageId, page: Page) {
+        self.shard(id).insert(id, Arc::new(page));
     }
 
     /// Drop a page (no I/O; deallocation is a catalog operation).
     pub fn free(&self, id: PageId) {
-        self.pages.borrow_mut().remove(&id);
+        self.shard(id).remove(&id);
     }
 
     /// Number of live pages (for leak checks in tests).
     pub fn live_pages(&self) -> usize {
-        self.pages.borrow().len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Charge one page write to the counter without touching any page
+    /// (trace replay: the physical write already happened uncounted).
+    pub fn charge_write(&self) {
+        self.counter.count_write();
     }
 
     /// Counter snapshot.
@@ -154,5 +184,32 @@ mod tests {
         assert_eq!(d.live_pages(), 1);
         d.free(id);
         assert_eq!(d.live_pages(), 0);
+    }
+
+    #[test]
+    fn uncounted_access_leaves_stats_alone() {
+        let d = Disk::new();
+        let id = d.alloc();
+        d.write_uncounted(id, Page::new(vec![tup(7)]));
+        assert_eq!(d.read_uncounted(id).len(), 1);
+        assert_eq!(d.stats().total(), 0);
+    }
+
+    #[test]
+    fn concurrent_allocs_are_distinct() {
+        let d = Disk::new();
+        let ids = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let local: Vec<PageId> = (0..100).map(|_| d.alloc()).collect();
+                    ids.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut ids = ids.into_inner().unwrap();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 400);
     }
 }

@@ -3,7 +3,7 @@
 use crate::disk::PageId;
 use crate::Storage;
 use nsql_types::{Schema, Tuple};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An immutable paged file of tuples with a schema.
 ///
@@ -14,7 +14,7 @@ use std::rc::Rc;
 #[derive(Clone)]
 pub struct HeapFile {
     schema: Schema,
-    pages: Rc<Vec<PageId>>,
+    pages: Arc<Vec<PageId>>,
     tuple_count: usize,
 }
 
@@ -46,7 +46,7 @@ impl HeapFile {
         if !current.is_empty() {
             pages.push(storage.write_new_page(current));
         }
-        HeapFile { schema, pages: Rc::new(pages), tuple_count }
+        HeapFile { schema, pages: Arc::new(pages), tuple_count }
     }
 
     /// The tuple schema.
@@ -59,7 +59,7 @@ impl HeapFile {
     /// is registered under a new name.
     pub fn with_schema(&self, schema: Schema) -> HeapFile {
         assert_eq!(schema.arity(), self.schema.arity());
-        HeapFile { schema, pages: Rc::clone(&self.pages), tuple_count: self.tuple_count }
+        HeapFile { schema, pages: Arc::clone(&self.pages), tuple_count: self.tuple_count }
     }
 
     /// Number of pages (the paper's `P`).
@@ -81,7 +81,7 @@ impl HeapFile {
     pub fn scan(&self, storage: &Storage) -> HeapScan {
         HeapScan {
             storage: storage.clone(),
-            pages: Rc::clone(&self.pages),
+            pages: Arc::clone(&self.pages),
             direct: false,
             page_idx: 0,
             tuple_idx: 0,
@@ -94,7 +94,7 @@ impl HeapFile {
     pub fn scan_direct(&self, storage: &Storage) -> HeapScan {
         HeapScan {
             storage: storage.clone(),
-            pages: Rc::clone(&self.pages),
+            pages: Arc::clone(&self.pages),
             direct: true,
             page_idx: 0,
             tuple_idx: 0,
@@ -139,7 +139,7 @@ impl HeapFile {
     {
         ScanWith {
             storage: storage.clone(),
-            pages: Rc::clone(&self.pages),
+            pages: Arc::clone(&self.pages),
             page_idx: 0,
             tuple_idx: 0,
             current: None,
@@ -151,10 +151,10 @@ impl HeapFile {
 /// Streaming iterator created by [`HeapFile::scan_with`].
 pub struct ScanWith<F> {
     storage: Storage,
-    pages: Rc<Vec<PageId>>,
+    pages: Arc<Vec<PageId>>,
     page_idx: usize,
     tuple_idx: usize,
-    current: Option<Rc<crate::disk::Page>>,
+    current: Option<Arc<crate::disk::Page>>,
     f: F,
 }
 
@@ -190,11 +190,11 @@ where
 /// Streaming iterator over a heap file's tuples.
 pub struct HeapScan {
     storage: Storage,
-    pages: Rc<Vec<PageId>>,
+    pages: Arc<Vec<PageId>>,
     direct: bool,
     page_idx: usize,
     tuple_idx: usize,
-    current: Option<Rc<crate::disk::Page>>,
+    current: Option<Arc<crate::disk::Page>>,
 }
 
 impl Iterator for HeapScan {

@@ -35,12 +35,11 @@ pub mod stats;
 pub use buffer::BufferPool;
 pub use disk::{Disk, Page, PageId};
 pub use heap::HeapFile;
-pub use sort::external_sort;
+pub use sort::{external_sort, external_sort_threads};
 pub use stats::IoStats;
 
 use nsql_types::{Relation, Schema, Tuple};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Default page size in bytes (a deliberately small page so that the paper's
 /// example tables span realistic page counts at laptop-scale cardinalities).
@@ -49,27 +48,57 @@ pub const DEFAULT_PAGE_SIZE: usize = 512;
 /// Default buffer size in pages; the Section-7.4 example uses `B = 6`.
 pub const DEFAULT_BUFFER_PAGES: usize = 6;
 
+/// One event in an uncounted trace-mode evaluation (see
+/// [`Storage::trace_view`]). Replaying the events through a counted
+/// `Storage` reproduces the serial buffer evolution and I/O totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A buffered page read (`read_page` or `read_page_direct`).
+    Read(PageId),
+    /// A page write (`write_new_page`); replay charges the counter only —
+    /// the page itself was already written physically during tracing.
+    Write,
+    /// A marker (e.g. "first use of cached subquery `key`"); replay hooks
+    /// splice in a captured sub-trace at the first occurrence.
+    Marker(usize),
+}
+
+/// How a `Storage` handle accounts its I/O.
+enum IoMode {
+    /// Normal operation: reads go through the buffer, everything counts.
+    Counted,
+    /// Trace mode: reads bypass the buffer, nothing counts, every access is
+    /// appended to the shared sink for later replay.
+    Trace(Arc<Mutex<Vec<TraceEvent>>>),
+}
+
 struct StorageInner {
-    disk: Rc<Disk>,
-    buffer: RefCell<BufferPool>,
+    disk: Arc<Disk>,
+    buffer: Mutex<BufferPool>,
     page_size: usize,
+    mode: IoMode,
 }
 
 /// Facade over the simulated disk and buffer pool.
 ///
 /// Cloning is cheap and shares the same underlying disk, buffer, and I/O
-/// counters, so scans and operators can each hold a handle.
+/// counters, so scans and operators can each hold a handle. `Storage` is
+/// `Send + Sync`: the buffer pool sits behind one mutex (single latch — its
+/// operations are O(1) pointer splices, so the critical section is tiny)
+/// and the disk page map is sharded.
 #[derive(Clone)]
 pub struct Storage {
-    inner: Rc<StorageInner>,
+    inner: Arc<StorageInner>,
 }
 
 impl Storage {
     /// New storage with `buffer_pages` frames and `page_size`-byte pages.
     pub fn new(buffer_pages: usize, page_size: usize) -> Storage {
-        let disk = Rc::new(Disk::new());
-        let buffer = RefCell::new(BufferPool::new(Rc::clone(&disk), buffer_pages));
-        Storage { inner: Rc::new(StorageInner { disk, buffer, page_size }) }
+        let disk = Arc::new(Disk::new());
+        let buffer = Mutex::new(BufferPool::new(Arc::clone(&disk), buffer_pages));
+        Storage {
+            inner: Arc::new(StorageInner { disk, buffer, page_size, mode: IoMode::Counted }),
+        }
     }
 
     /// Storage with the defaults used across the experiments.
@@ -77,14 +106,60 @@ impl Storage {
         Storage::new(DEFAULT_BUFFER_PAGES, DEFAULT_PAGE_SIZE)
     }
 
+    /// A trace-mode view of this storage: same disk (pages written by either
+    /// view are visible to both), fresh untouched buffer, and **uncounted**
+    /// I/O — every page access is appended to `sink` instead. Parallel
+    /// nested iteration evaluates morsels under trace views and then replays
+    /// the per-morsel traces, in serial order, through the counted parent.
+    pub fn trace_view(&self, sink: Arc<Mutex<Vec<TraceEvent>>>) -> Storage {
+        let disk = Arc::clone(&self.inner.disk);
+        let buffer = Mutex::new(BufferPool::new(Arc::clone(&disk), self.buffer_pages()));
+        Storage {
+            inner: Arc::new(StorageInner {
+                disk,
+                buffer,
+                page_size: self.inner.page_size,
+                mode: IoMode::Trace(sink),
+            }),
+        }
+    }
+
+    /// Whether this handle is a trace-mode view.
+    pub fn is_trace(&self) -> bool {
+        matches!(self.inner.mode, IoMode::Trace(_))
+    }
+
+    fn trace(&self, ev: TraceEvent) {
+        if let IoMode::Trace(sink) = &self.inner.mode {
+            sink.lock().unwrap_or_else(PoisonError::into_inner).push(ev);
+        }
+    }
+
+    /// Append a [`TraceEvent::Marker`] to the trace sink. No-op on a
+    /// counted handle.
+    pub fn trace_marker(&self, key: usize) {
+        self.trace(TraceEvent::Marker(key));
+    }
+
+    /// Charge one page write to the counter without writing anything.
+    /// Used when replaying a trace: the physical write already happened
+    /// uncounted during tracing.
+    pub fn charge_write(&self) {
+        self.inner.disk.charge_write();
+    }
+
     /// The page size in bytes.
     pub fn page_size(&self) -> usize {
         self.inner.page_size
     }
 
+    fn buffer(&self) -> MutexGuard<'_, BufferPool> {
+        self.inner.buffer.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The number of buffer frames `B`.
     pub fn buffer_pages(&self) -> usize {
-        self.inner.buffer.borrow().capacity()
+        self.buffer().capacity()
     }
 
     /// Snapshot of the cumulative I/O counters.
@@ -96,43 +171,91 @@ impl Storage {
     /// [`Storage::clear_buffer`] too for a fully cold measurement).
     pub fn reset_stats(&self) {
         self.inner.disk.reset_stats();
-        self.inner.buffer.borrow_mut().reset_stats();
+        self.buffer().reset_stats();
     }
 
     /// Drop every cached page, so the next reads hit the disk.
     pub fn clear_buffer(&self) {
-        self.inner.buffer.borrow_mut().clear();
+        self.buffer().clear();
     }
 
     /// Buffer hit/miss counters.
     pub fn buffer_stats(&self) -> (u64, u64) {
-        let b = self.inner.buffer.borrow();
+        let b = self.buffer();
         (b.hits(), b.misses())
     }
 
     /// Read a page through the buffer pool.
-    pub fn read_page(&self, id: PageId) -> Rc<Page> {
-        self.inner.buffer.borrow_mut().get(id)
+    pub fn read_page(&self, id: PageId) -> Arc<Page> {
+        match &self.inner.mode {
+            IoMode::Counted => self.buffer().get(id),
+            IoMode::Trace(_) => {
+                self.trace(TraceEvent::Read(id));
+                self.inner.disk.read_uncounted(id)
+            }
+        }
     }
 
     /// Read a page directly from disk, bypassing (and not populating) the
     /// buffer. Sort passes use this so their I/O pattern matches the
     /// analytical model exactly.
-    pub fn read_page_direct(&self, id: PageId) -> Rc<Page> {
-        self.inner.disk.read(id)
+    pub fn read_page_direct(&self, id: PageId) -> Arc<Page> {
+        match &self.inner.mode {
+            IoMode::Counted => self.inner.disk.read(id),
+            IoMode::Trace(_) => {
+                self.trace(TraceEvent::Read(id));
+                self.inner.disk.read_uncounted(id)
+            }
+        }
     }
 
     /// Allocate and write a fresh page directly to disk (write-around:
     /// freshly written pages are not cached).
     pub fn write_new_page(&self, tuples: Vec<Tuple>) -> PageId {
         let id = self.inner.disk.alloc();
-        self.inner.disk.write(id, Page::new(tuples));
+        match &self.inner.mode {
+            IoMode::Counted => self.inner.disk.write(id, Page::new(tuples)),
+            IoMode::Trace(_) => {
+                // Physical write so later scans can see the page; the I/O
+                // charge happens at replay via `charge_write`.
+                self.inner.disk.write_uncounted(id, Page::new(tuples));
+                self.trace(TraceEvent::Write);
+            }
+        }
         id
+    }
+
+    /// Pin a resident page against eviction (nests; see
+    /// [`BufferPool::pin`]). Returns `false` if the page is not resident.
+    pub fn pin_page(&self, id: PageId) -> bool {
+        self.buffer().pin(id)
+    }
+
+    /// Release one pin. Returns `false` if not resident or not pinned.
+    pub fn unpin_page(&self, id: PageId) -> bool {
+        self.buffer().unpin(id)
+    }
+
+    /// Whether a page is currently cached (does not touch recency).
+    pub fn page_resident(&self, id: PageId) -> bool {
+        self.buffer().contains(id)
+    }
+
+    /// Number of cached pages.
+    pub fn resident_pages(&self) -> usize {
+        self.buffer().resident()
+    }
+
+    /// Drop a page from the buffer without freeing it on disk (the next
+    /// read becomes a miss). Skips pinned frames; returns `true` if the
+    /// page is no longer resident.
+    pub fn evict_page(&self, id: PageId) -> bool {
+        self.buffer().evict_if_unpinned(id)
     }
 
     /// Free a page (drops it from the buffer too). Freeing counts no I/O.
     pub fn free_page(&self, id: PageId) {
-        self.inner.buffer.borrow_mut().evict(id);
+        self.buffer().evict(id);
         self.inner.disk.free(id);
     }
 
@@ -270,6 +393,81 @@ mod tests {
         let per_page = st.tuples_per_page(width);
         let file = st.store_relation(&rel);
         assert_eq!(file.page_count(), 10usize.div_ceil(per_page));
+    }
+
+    #[test]
+    fn storage_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Storage>();
+        assert_send_sync::<HeapFile>();
+        assert_send_sync::<IoStats>();
+    }
+
+    #[test]
+    fn trace_view_logs_without_counting() {
+        let st = Storage::with_defaults();
+        let file = st.store_relation(&int_relation(20));
+        st.reset_stats();
+
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let tv = st.trace_view(Arc::clone(&sink));
+        assert!(tv.is_trace() && !st.is_trace());
+        for &id in file.page_ids() {
+            let _ = tv.read_page(id);
+        }
+        let new_id = tv.write_new_page(vec![Tuple::new(vec![Value::Int(1)])]);
+        tv.trace_marker(7);
+        assert_eq!(st.io_stats().total(), 0, "trace mode must not count");
+
+        let events = sink.lock().unwrap().clone();
+        let mut expect: Vec<TraceEvent> =
+            file.page_ids().iter().map(|&id| TraceEvent::Read(id)).collect();
+        expect.push(TraceEvent::Write);
+        expect.push(TraceEvent::Marker(7));
+        assert_eq!(events, expect);
+
+        // The traced write is physically visible to the counted view.
+        assert_eq!(st.read_page(new_id).len(), 1);
+        st.free_page(new_id);
+    }
+
+    #[test]
+    fn replaying_a_trace_reproduces_serial_io() {
+        // Serial run.
+        let serial = Storage::new(3, 512);
+        let rel = int_relation(120);
+        let f = serial.store_relation(&rel);
+        serial.clear_buffer();
+        serial.reset_stats();
+        for _ in 0..2 {
+            for &id in f.page_ids() {
+                let _ = serial.read_page(id);
+            }
+        }
+        let want = serial.io_stats();
+
+        // Traced run on a second storage with identical layout, then replay.
+        let st = Storage::new(3, 512);
+        let f2 = st.store_relation(&rel);
+        st.clear_buffer();
+        st.reset_stats();
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let tv = st.trace_view(Arc::clone(&sink));
+        for _ in 0..2 {
+            for &id in f2.page_ids() {
+                let _ = tv.read_page(id);
+            }
+        }
+        for ev in sink.lock().unwrap().iter() {
+            match ev {
+                TraceEvent::Read(id) => {
+                    let _ = st.read_page(*id);
+                }
+                TraceEvent::Write => st.charge_write(),
+                TraceEvent::Marker(_) => {}
+            }
+        }
+        assert_eq!(st.io_stats(), want);
     }
 
     #[test]

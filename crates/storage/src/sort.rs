@@ -8,8 +8,10 @@
 
 use crate::heap::HeapFile;
 use crate::Storage;
+use nsql_exec_par::{run_workers, Morsels};
 use nsql_types::Tuple;
 use std::cmp::Ordering;
+use std::sync::{Mutex, PoisonError};
 
 /// One sort key: tuple field index plus direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +74,27 @@ pub fn external_sort(
     keys: &[SortKey],
     unique: bool,
 ) -> HeapFile {
+    external_sort_threads(storage, input, keys, unique, 1)
+}
+
+/// [`external_sort`] with parallel run generation.
+///
+/// With `threads > 1`, pass 0 reads and sorts its `B`-page chunks on a
+/// worker pool: chunk boundaries are identical to the serial pass, chunk
+/// reads go directly to disk (bypassing the buffer, so read *totals* are
+/// order-insensitive), and the sorted runs are then written serially in
+/// chunk order — run page ids and run order are deterministic, which
+/// matters because merge tie-breaking favours the lower run index. Merge
+/// passes stay serial (they are a small fraction of sort time and their
+/// I/O pattern is inherently sequential). `threads <= 1` is the exact
+/// serial code path.
+pub fn external_sort_threads(
+    storage: &Storage,
+    input: &HeapFile,
+    keys: &[SortKey],
+    unique: bool,
+    threads: usize,
+) -> HeapFile {
     let b = storage.buffer_pages().max(2);
     // Decorate–sort–undecorate: each tuple's key fields are extracted into a
     // small key tuple exactly once (per pass), so comparisons — of which
@@ -83,43 +106,77 @@ pub fn external_sort(
     let key_idx: Vec<usize> = keys.iter().map(|k| k.index).collect();
     let desc: Vec<bool> = keys.iter().map(|k| k.desc).collect();
 
-    // Pass 0: produce sorted runs of up to `b` pages each.
-    let mut runs: Vec<HeapFile> = Vec::new();
-    let mut chunk: Vec<Tuple> = Vec::new();
-    let mut pages_in_chunk = 0usize;
-    let flush = |chunk: &mut Vec<Tuple>, runs: &mut Vec<HeapFile>| {
-        if chunk.is_empty() {
-            return;
-        }
+    // Sort one pass-0 chunk in memory (CPU only, no I/O).
+    let sort_chunk = |mut chunk: Vec<Tuple>| -> Vec<Tuple> {
         if unique {
             chunk.sort_by(Tuple::total_cmp);
             chunk.dedup();
-            runs.push(HeapFile::from_tuples(
-                storage,
-                input.schema().clone(),
-                std::mem::take(chunk),
-            ));
+            chunk
         } else {
             let mut dec: Vec<(Tuple, Tuple)> =
-                chunk.drain(..).map(|t| (t.project(&key_idx), t)).collect();
+                chunk.into_iter().map(|t| (t.project(&key_idx), t)).collect();
             dec.sort_by(|x, y| key_cmp(&x.0, &y.0, &desc));
+            dec.into_iter().map(|(_, t)| t).collect()
+        }
+    };
+
+    // Pass 0: produce sorted runs of up to `b` pages each.
+    let page_ids = input.page_ids();
+    let n_chunks = page_ids.len().div_ceil(b);
+    let mut runs: Vec<HeapFile> = Vec::new();
+    if threads > 1 && n_chunks > 1 {
+        // Read + sort chunks in parallel; chunk boundaries match serial.
+        let sorted: Vec<Mutex<Option<Vec<Tuple>>>> =
+            (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        let morsels = Morsels::new(n_chunks, 1);
+        run_workers(threads.min(n_chunks), |_w| {
+            while let Some(range) = morsels.claim() {
+                for c in range {
+                    let span = &page_ids[c * b..((c + 1) * b).min(page_ids.len())];
+                    let mut chunk: Vec<Tuple> = Vec::new();
+                    for &pid in span {
+                        chunk.extend(storage.read_page_direct(pid).tuples().iter().cloned());
+                    }
+                    let out = sort_chunk(chunk);
+                    *sorted[c].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+                }
+            }
+        });
+        // Write runs serially, in chunk order: deterministic run page ids
+        // and run order, identical to the serial pass.
+        for slot in sorted {
+            let tuples = slot
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every chunk was claimed by a worker");
+            if !tuples.is_empty() {
+                runs.push(HeapFile::from_tuples(storage, input.schema().clone(), tuples));
+            }
+        }
+    } else {
+        let mut chunk: Vec<Tuple> = Vec::new();
+        let mut pages_in_chunk = 0usize;
+        let flush = |chunk: &mut Vec<Tuple>, runs: &mut Vec<HeapFile>| {
+            if chunk.is_empty() {
+                return;
+            }
             runs.push(HeapFile::from_tuples(
                 storage,
                 input.schema().clone(),
-                dec.into_iter().map(|(_, t)| t),
+                sort_chunk(std::mem::take(chunk)),
             ));
+        };
+        for &page_id in page_ids {
+            let page = storage.read_page_direct(page_id);
+            chunk.extend(page.tuples().iter().cloned());
+            pages_in_chunk += 1;
+            if pages_in_chunk == b {
+                flush(&mut chunk, &mut runs);
+                pages_in_chunk = 0;
+            }
         }
-    };
-    for &page_id in input.page_ids() {
-        let page = storage.read_page_direct(page_id);
-        chunk.extend(page.tuples().iter().cloned());
-        pages_in_chunk += 1;
-        if pages_in_chunk == b {
-            flush(&mut chunk, &mut runs);
-            pages_in_chunk = 0;
-        }
+        flush(&mut chunk, &mut runs);
     }
-    flush(&mut chunk, &mut runs);
 
     if runs.is_empty() {
         return HeapFile::from_tuples(storage, input.schema().clone(), Vec::new());
@@ -349,6 +406,34 @@ mod tests {
         let s = external_sort(&st, &f, &[SortKey::asc(0)], false);
         assert_eq!(s.tuple_count(), 0);
         assert_eq!(s.page_count(), 0);
+    }
+
+    #[test]
+    fn parallel_run_generation_matches_serial_exactly() {
+        // Same rows sorted on two identically-shaped storages: the parallel
+        // sort must produce the same output order AND the same I/O totals.
+        let rows: Vec<(i64, i64)> = (0..800).map(|i| ((i * 6151) % 811, i)).collect();
+        for &(unique, desc) in &[(false, false), (false, true), (true, false)] {
+            let keys =
+                if desc { vec![SortKey::desc(0), SortKey::asc(1)] } else { vec![SortKey::asc(0)] };
+
+            let serial = Storage::new(4, 64);
+            let fs = file_of(&serial, &rows);
+            serial.reset_stats();
+            let ss = external_sort_threads(&serial, &fs, &keys, unique, 1);
+            let serial_io = serial.io_stats();
+
+            let par = Storage::new(4, 64);
+            let fp = file_of(&par, &rows);
+            par.reset_stats();
+            let sp = external_sort_threads(&par, &fp, &keys, unique, 4);
+            let par_io = par.io_stats();
+
+            let a: Vec<Tuple> = ss.scan_direct(&serial).collect();
+            let b: Vec<Tuple> = sp.scan_direct(&par).collect();
+            assert_eq!(a, b, "unique={unique} desc={desc}");
+            assert_eq!(serial_io, par_io, "unique={unique} desc={desc}");
+        }
     }
 
     #[test]

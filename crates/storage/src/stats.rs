@@ -1,8 +1,8 @@
 //! Shared I/O counters.
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Snapshot of disk activity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,38 +34,45 @@ impl fmt::Display for IoStats {
     }
 }
 
-/// Interior-mutable counter shared by the disk and anything observing it.
+/// Atomic counter shared by the disk and anything observing it.
+///
+/// Counts use `Relaxed` ordering: each increment is an independent event
+/// and queries snapshot only at quiescent points (after all workers have
+/// joined), so no ordering between the two counters is required.
 #[derive(Debug, Default)]
 pub struct IoCounter {
-    reads: Cell<u64>,
-    writes: Cell<u64>,
+    reads: AtomicU64,
+    writes: AtomicU64,
 }
 
 impl IoCounter {
     /// Fresh shared counter.
-    pub fn shared() -> Rc<IoCounter> {
-        Rc::new(IoCounter::default())
+    pub fn shared() -> Arc<IoCounter> {
+        Arc::new(IoCounter::default())
     }
 
     /// Record a page read.
     pub fn count_read(&self) {
-        self.reads.set(self.reads.get() + 1);
+        self.reads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a page write.
     pub fn count_write(&self) {
-        self.writes.set(self.writes.get() + 1);
+        self.writes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot.
     pub fn snapshot(&self) -> IoStats {
-        IoStats { reads: self.reads.get(), writes: self.writes.get() }
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
     }
 
     /// Zero the counters.
     pub fn reset(&self) {
-        self.reads.set(0);
-        self.writes.set(0);
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
     }
 }
 

@@ -15,7 +15,7 @@
 use nsql_storage::{BufferPool, Disk, Page, PageId};
 use nsql_testkit::{forall, prop_assert, prop_assert_eq, Shrink};
 use nsql_types::{Tuple, Value};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The pre-rewrite pool, reduced to its accounting skeleton: a timestamped
 /// frame table scanned with `min_by_key` on eviction.
@@ -82,8 +82,8 @@ impl Shrink for Op {
     }
 }
 
-fn disk_with_pages(n: u64) -> (Rc<Disk>, Vec<PageId>) {
-    let disk = Rc::new(Disk::new());
+fn disk_with_pages(n: u64) -> (Arc<Disk>, Vec<PageId>) {
+    let disk = Arc::new(Disk::new());
     let ids: Vec<PageId> = (0..n)
         .map(|i| {
             let id = disk.alloc();
@@ -119,7 +119,7 @@ fn pool_replays_traces_identically_to_min_by_key_oracle() {
         },
         |(pages, capacity, trace)| {
             let (disk, ids) = disk_with_pages(*pages);
-            let mut pool = BufferPool::new(Rc::clone(&disk), *capacity);
+            let mut pool = BufferPool::new(Arc::clone(&disk), *capacity);
             let mut oracle = ReferenceLru::new(*capacity);
             for (step, op) in trace.iter().enumerate() {
                 match *op {

@@ -1,29 +1,47 @@
 #!/usr/bin/env bash
-# Wall-clock bench runner: runs both `harness = false` bench targets with
-# machine-readable JSON output and appends the results, tagged with a
-# label, to BENCH_pr2.json at the repo root.
+# Wall-clock bench runner with machine-readable JSON output.
 #
-#   ./scripts/bench.sh [label]
+#   ./scripts/bench.sh [label]        # PR2 benches -> BENCH_pr2.json
+#   ./scripts/bench.sh sweep [label]  # thread sweep -> BENCH_pr3.json
 #
 # The committed BENCH_pr2.json holds one line per benchmark per run,
 # tagged `"label":"baseline"` (recorded before the zero-copy hot-path
-# rewrite) and `"label":"optimized"` (after). Compare medians per
-# (group, bench) pair; see DESIGN.md "Execution model and the
-# I/O-accounting invariant" for why wall clock may move while counted
-# page I/Os must not.
+# rewrite) and `"label":"optimized"` (after). BENCH_pr3.json holds the
+# morsel-parallel thread sweep (1/2/4/8 workers per cell); counted page
+# I/Os are identical across a sweep by construction, so only the medians
+# move. Compare medians per (group, bench) pair; see DESIGN.md
+# "Threading model" and "Execution model and the I/O-accounting
+# invariant".
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+mode=bench
+if [ "${1:-}" = "sweep" ]; then
+    mode=sweep
+    shift
+fi
 label=${1:-current}
-out=BENCH_pr2.json
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-for bench in nested_vs_transformed ja2_variants; do
-    echo "==> cargo bench -p nsql-bench --bench $bench"
-    NSQL_BENCH_JSON="$tmp" cargo bench -p nsql-bench --bench "$bench" --offline
-done
+if [ "$mode" = "sweep" ]; then
+    out=BENCH_pr3.json
+    echo "==> cargo bench -p nsql-bench --bench par_sweep  (host: $(nproc) CPU(s))"
+    NSQL_BENCH_JSON="$tmp" cargo bench -p nsql-bench --bench par_sweep --offline
+else
+    out=BENCH_pr2.json
+    for bench in nested_vs_transformed ja2_variants; do
+        echo "==> cargo bench -p nsql-bench --bench $bench"
+        NSQL_BENCH_JSON="$tmp" cargo bench -p nsql-bench --bench "$bench" --offline
+    done
+fi
 
-# Tag each JSON line with the run label and append to the committed file.
-sed "s/^{/{\"label\":\"$label\",/" "$tmp" >> "$out"
+# Tag each JSON line with the run label (and, for sweeps, the host CPU
+# count — medians at >1 thread only improve when the host has >1 CPU) and
+# append to the committed file.
+if [ "$mode" = "sweep" ]; then
+    sed "s/^{/{\"label\":\"$label\",\"ncpu\":$(nproc),/" "$tmp" >> "$out"
+else
+    sed "s/^{/{\"label\":\"$label\",/" "$tmp" >> "$out"
+fi
 echo "appended $(wc -l < "$tmp") results to $out (label: $label)"

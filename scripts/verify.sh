@@ -16,6 +16,22 @@ cargo test -q --offline
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace --offline
 
+echo "==> cargo test -q --workspace under NSQL_THREADS=1 and =4"
+NSQL_THREADS=1 cargo test -q --workspace --offline >/dev/null
+NSQL_THREADS=4 cargo test -q --workspace --offline >/dev/null
+
+echo "==> figure/table binaries are byte-identical under NSQL_THREADS=1 vs =4"
+# The binaries pin themselves serial; NSQL_THREADS must not leak through.
+tmp1=$(mktemp -d); trap 'rm -rf "$tmp1"' EXIT
+for bin in figure1 figure2 section7 ablation bugs extensions sweep; do
+    NSQL_THREADS=1 cargo run --release --offline -q -p nsql-bench --bin "$bin" \
+        > "$tmp1/$bin.t1.out"
+    NSQL_THREADS=4 cargo run --release --offline -q -p nsql-bench --bin "$bin" \
+        > "$tmp1/$bin.t4.out"
+    diff -q "$tmp1/$bin.t1.out" "$tmp1/$bin.t4.out" \
+        || { echo "FAIL: $bin output differs across thread settings"; exit 1; }
+done
+
 echo "==> cargo bench --no-run (bench targets compile offline)"
 cargo bench -p nsql-bench --no-run --offline
 
@@ -31,5 +47,7 @@ NSQL_BENCH_SAMPLES=3 \
     cargo bench -p nsql-bench --offline --bench nested_vs_transformed >/dev/null
 NSQL_BENCH_SAMPLES=3 \
     cargo bench -p nsql-bench --offline --bench ja2_variants >/dev/null
+NSQL_BENCH_SAMPLES=3 \
+    cargo bench -p nsql-bench --offline --bench par_sweep >/dev/null
 
 echo "verify: OK"
