@@ -6,10 +6,34 @@
 
 use nsql_bench::workload::{ja_workload, queries, WorkloadSpec, DEFAULT_SEED};
 use nsql_bench::{measure, Workload};
-use nsql_db::{JoinPolicy, QueryOptions};
+use nsql_db::{Database, JoinPolicy, QueryOptions};
+use nsql_types::{Column, ColumnType, Relation, Schema, Tuple, Value};
 
 /// Thread counts swept against the serial baseline.
 const SWEEP: [usize; 3] = [2, 4, 8];
+
+/// Bag equality is not enough for the float-exactness invariant: `same_bag`
+/// compares by SQL value (where `3 == 3.0`). This walks canonically sorted
+/// rows asserting *bit* equality — floats via `to_bits`, so even a one-ULP
+/// parallel divergence (or an Int/Float type flip) fails loudly.
+fn assert_bit_identical(name: &str, t: usize, serial: &Relation, par: &Relation) {
+    let canon = |r: &Relation| {
+        let mut rows: Vec<Tuple> = r.tuples().to_vec();
+        rows.sort_by(Tuple::total_cmp);
+        rows
+    };
+    let (a, b) = (canon(serial), canon(par));
+    assert_eq!(a.len(), b.len(), "{name}: row counts diverged at {t} threads");
+    for (x, y) in a.iter().zip(&b) {
+        for (u, v) in x.values().iter().zip(y.values()) {
+            let same = match (u, v) {
+                (Value::Float(p), Value::Float(q)) => p.to_bits() == q.to_bits(),
+                _ => u == v,
+            };
+            assert!(same, "{name}: bitwise divergence at {t} threads: {u:?} vs {v:?}");
+        }
+    }
+}
 
 fn check(w: &Workload, sql: &str, name: &str, base: &QueryOptions) {
     let serial =
@@ -27,6 +51,7 @@ fn check(w: &Workload, sql: &str, name: &str, base: &QueryOptions) {
             serial.relation,
             par.relation
         );
+        assert_bit_identical(name, t, &serial.relation, &par.relation);
         assert_eq!(
             serial.io, par.io,
             "{name}: I/O totals diverged at {t} threads"
@@ -56,6 +81,42 @@ fn nested_iteration_parallel_equals_serial_at_kim_scale() {
     // One full-size cell: the configuration the speedup benches run.
     let w = ja_workload(WorkloadSpec::kim_scale(), DEFAULT_SEED);
     check(&w, queries::TYPE_J, "ni/type-J/kim", &QueryOptions::nested_iteration());
+}
+
+/// Float `SUM`/`AVG` must be *bit-identical* across thread counts — no ULP
+/// tolerance. The table mixes magnitudes (1e12 against 0.1 against 1e-9) so
+/// any naive reassociation of the sum at a morsel boundary changes the
+/// result; the exact-summation accumulator must not care where groups split.
+#[test]
+fn float_aggregates_bit_identical_across_threads() {
+    let schema = Schema::new(vec![
+        Column::new("GRP", ColumnType::Int),
+        Column::new("X", ColumnType::Float),
+    ]);
+    let mut rel = Relation::empty(schema);
+    let mut rng = nsql_testkit::Rng::from_seed(9);
+    for i in 0..4000i64 {
+        let x = match i % 7 {
+            0 => 1e12,
+            1 => -1e12,
+            2 => 0.1,
+            3 => -0.30000000000000004,
+            4 => 1e-9,
+            5 => 3.25,
+            _ => rng.gen_range(-1000..1000) as f64 / 8.0,
+        };
+        rel.push(Tuple::new(vec![Value::Int(i % 5), Value::Float(x)])).unwrap();
+    }
+    let mut db = Database::with_storage(64, 256);
+    db.catalog_mut().load_table("MEAS", &rel).expect("fresh catalog");
+    let w = Workload { db, spec: WorkloadSpec::small() };
+    for sql in [
+        "SELECT SUM(X), AVG(X) FROM MEAS",
+        "SELECT GRP, SUM(X), AVG(X) FROM MEAS GROUP BY GRP",
+    ] {
+        check(&w, sql, "float-agg/ni", &QueryOptions::nested_iteration());
+        check(&w, sql, "float-agg/tr", &QueryOptions::transformed());
+    }
 }
 
 #[test]

@@ -206,9 +206,17 @@ pub fn apply_ja2<S: OuterScope + ?Sized>(
 
     // ---- Step 1: TEMP1 := DISTINCT projection of the outer join columns,
     //      restricted by the outer relation's simple predicates.
-    let mut outer_cols: Vec<ColumnRef> =
-        ja.correlations.iter().map(|c| c.outer_col.clone()).collect();
-    outer_cols.dedup();
+    // One projected column per *distinct* outer column — two correlation
+    // predicates may reference the same outer column (e.g. sibling
+    // subqueries both correlated on A1.V), and `Vec::dedup` alone only
+    // drops consecutive repeats, leaving TEMP1 with an ambiguous duplicate
+    // column that the step-2b join can no longer resolve.
+    let mut outer_cols: Vec<ColumnRef> = Vec::new();
+    for c in ja.correlations.iter().map(|c| &c.outer_col) {
+        if !outer_cols.contains(c) {
+            outer_cols.push(c.clone());
+        }
+    }
     let outer_simple = scope.simple_predicates(&ja.outer_name);
     let temp1_name = namer.fresh("TEMP");
     let temp1_plan = LogicalPlan::Project {

@@ -114,7 +114,10 @@ impl Database {
                 evaluator.eval_query_threads(q, threads)?
             }
             Strategy::Transform => {
-                let plan = transform_query(&self.catalog, q, &opts.unnest)?;
+                let mut unnest = opts.unnest.clone();
+                unnest.preserve_duplicates |=
+                    opts.duplicates == crate::options::DuplicateSemantics::ForceDistinct;
+                let plan = transform_query(&self.catalog, q, &unnest)?;
                 explain.push(format!(
                     "strategy: transform ({} temp table{}), join policy: {}",
                     plan.temp_count(),

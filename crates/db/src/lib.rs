@@ -32,7 +32,7 @@ pub mod plan_exec;
 pub use catalog::Catalog;
 pub use database::{Database, QueryOutcome};
 pub use error::DbError;
-pub use options::{JoinPolicy, QueryOptions, Strategy};
+pub use options::{DuplicateSemantics, JoinPolicy, QueryOptions, Strategy};
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, DbError>;

@@ -31,6 +31,32 @@ impl JoinPolicy {
     }
 }
 
+/// What NEST-N-J's join expansion does to row multiplicity — the paper's
+/// Section 4 duplicates problem made an explicit, documented choice instead
+/// of a silent set-level test comparison.
+///
+/// Nested iteration (the semantic ground truth) emits each outer tuple at
+/// most once per `IN` test, however many inner rows match. Kim's NEST-N-J
+/// replaces the membership test with a join, so an outer tuple appears once
+/// *per match*. The two agree as bags only when the merged inner column is
+/// key-valued (at most one match per outer tuple); otherwise a choice must
+/// be made, and both available choices are deviations:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicateSemantics {
+    /// Kim's join form verbatim (the faithful historical reading): output
+    /// multiplicity is join multiplicity. Bag-equal to nested iteration for
+    /// key-valued inner columns; over-counts matches otherwise (only
+    /// set-level agreement is promised — `Relation::same_set`).
+    #[default]
+    KimFaithful,
+    /// The modern semijoin-style fix: deduplicate the final result of
+    /// IN-merged queries (`TransformPlan::needs_distinct_for_semantics`).
+    /// The output has DISTINCT (set) semantics — join-expansion duplicates
+    /// disappear, but so do *legitimate* duplicate outer tuples, so this
+    /// too matches nested iteration only up to sets.
+    ForceDistinct,
+}
+
 /// How to evaluate a query.
 #[derive(Debug, Clone, Default)]
 pub enum Strategy {
@@ -50,6 +76,12 @@ pub struct QueryOptions {
     pub strategy: Strategy,
     /// Transformation options (JA variant, duplicate preservation).
     pub unnest: UnnestOptions,
+    /// Row-multiplicity semantics for NEST-N-J's join expansion (see
+    /// [`DuplicateSemantics`]). `ForceDistinct` maps onto
+    /// `unnest.preserve_duplicates` when the query is transformed; nested
+    /// iteration ignores it (its multiplicities are already the ground
+    /// truth).
+    pub duplicates: DuplicateSemantics,
     /// Join-method policy for the transformed path.
     pub join_policy: JoinPolicy,
     /// Start from a cold buffer and zeroed I/O counters so the reported

@@ -5,11 +5,114 @@
 //! * Over the empty set, `COUNT` yields `0` and everything else yields
 //!   `NULL` — the asymmetry at the heart of the paper's COUNT bug.
 //! * `SUM`/`AVG` stay integral over integer inputs (`AVG` divides as float).
+//! * Float `SUM`/`AVG` is the *correctly rounded* exact sum ([`ExactSum`]),
+//!   so serial folds and parallel merges agree bit-for-bit at any split.
 
 use crate::error::EngineError;
 use crate::Result;
 use nsql_sql::AggFunc;
 use nsql_types::Value;
+
+/// Exact float accumulator: a non-overlapping expansion of partial doubles
+/// maintained with Knuth's two-sum error-free transform (Shewchuk's
+/// grow-expansion, the algorithm behind CPython's `math.fsum`). The
+/// partials together represent the *exact* real-number sum of everything
+/// added, so [`ExactSum::value`] — the nearest double to that exact sum —
+/// is independent of insertion order and of how the input was split across
+/// accumulators before [`ExactSum::absorb`].
+#[derive(Debug, Clone, Default)]
+pub struct ExactSum {
+    partials: Vec<f64>,
+    /// Plain sum of non-finite inputs; ±∞/NaN dominate the result and
+    /// combine associatively among themselves, so order still cannot matter.
+    non_finite: Option<f64>,
+}
+
+impl ExactSum {
+    /// Add one double exactly.
+    pub fn add(&mut self, mut x: f64) {
+        if !x.is_finite() {
+            self.non_finite = Some(self.non_finite.unwrap_or(0.0) + x);
+            return;
+        }
+        let mut i = 0;
+        for j in 0..self.partials.len() {
+            let mut y = self.partials[j];
+            if x.abs() < y.abs() {
+                std::mem::swap(&mut x, &mut y);
+            }
+            let hi = x + y;
+            let lo = y - (hi - x);
+            if lo != 0.0 {
+                self.partials[i] = lo;
+                i += 1;
+            }
+            x = hi;
+        }
+        self.partials.truncate(i);
+        self.partials.push(x);
+    }
+
+    /// Add an i64 exactly, split into two halves that each convert to f64
+    /// without rounding.
+    pub fn add_i64(&mut self, v: i64) {
+        let hi = (v >> 32) as f64 * 4_294_967_296.0; // exact: |v>>32| ≤ 2^31
+        let lo = (v & 0xFFFF_FFFF) as f64; // exact: < 2^32
+        self.add(hi);
+        self.add(lo);
+    }
+
+    /// Fold another accumulator in. Because each side's partials are an
+    /// exact representation of its inputs, the combined exact sum — and
+    /// therefore [`ExactSum::value`] — equals the single-accumulator result
+    /// no matter where the input was split.
+    pub fn absorb(&mut self, other: &ExactSum) {
+        if let Some(nf) = other.non_finite {
+            self.non_finite = Some(self.non_finite.unwrap_or(0.0) + nf);
+        }
+        for &p in &other.partials {
+            self.add(p);
+        }
+    }
+
+    /// The correctly rounded double value of the exact sum, with the fsum
+    /// half-ulp correction for exact round-to-even ties.
+    pub fn value(&self) -> f64 {
+        if let Some(nf) = self.non_finite {
+            return nf + self.partials.iter().sum::<f64>();
+        }
+        let n = self.partials.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut i = n - 1;
+        let mut hi = self.partials[i];
+        let mut lo = 0.0;
+        while i > 0 {
+            i -= 1;
+            let x = hi;
+            let y = self.partials[i];
+            hi = x + y;
+            lo = y - (hi - x);
+            if lo != 0.0 {
+                break;
+            }
+        }
+        // If rounding (hi, lo) landed exactly halfway and the next partial
+        // pulls further in lo's direction, round away from hi.
+        if i > 0
+            && ((lo < 0.0 && self.partials[i - 1] < 0.0)
+                || (lo > 0.0 && self.partials[i - 1] > 0.0))
+        {
+            let y = lo * 2.0;
+            let x = hi + y;
+            if y == x - hi {
+                hi = x;
+            }
+        }
+        hi
+    }
+}
 
 /// Accumulator for one aggregate.
 #[derive(Debug, Clone)]
@@ -17,10 +120,12 @@ pub struct AggState {
     func: AggFunc,
     /// Count of accumulated (non-null, unless `COUNT(*)`) inputs.
     count: i64,
-    /// Running integer sum (valid while `float_sum` is `None`).
+    /// Running integer sum, always exact (overflow is a typed error).
     int_sum: i64,
-    /// Running float sum once any float has been seen.
-    float_sum: Option<f64>,
+    /// Exact sum of the float inputs.
+    floats: ExactSum,
+    /// Whether any float input was seen (controls SUM's output type).
+    saw_float: bool,
     /// Current extremum for MIN/MAX.
     extremum: Value,
 }
@@ -32,7 +137,8 @@ impl AggState {
             func,
             count: 0,
             int_sum: 0,
-            float_sum: None,
+            floats: ExactSum::default(),
+            saw_float: false,
             extremum: Value::Null,
         }
     }
@@ -46,11 +152,16 @@ impl AggState {
         self.count += 1;
         match self.func {
             AggFunc::Count => {}
-            AggFunc::Sum | AggFunc::Avg => match (v, self.float_sum) {
-                (Value::Int(i), None) => self.int_sum += i,
-                (Value::Int(i), Some(f)) => self.float_sum = Some(f + *i as f64),
-                (Value::Float(x), None) => self.float_sum = Some(self.int_sum as f64 + x),
-                (Value::Float(x), Some(f)) => self.float_sum = Some(f + x),
+            AggFunc::Sum | AggFunc::Avg => match v {
+                Value::Int(i) => {
+                    self.int_sum = self.int_sum.checked_add(*i).ok_or_else(|| {
+                        EngineError::Overflow(format!("{} over i64", self.func.name()))
+                    })?;
+                }
+                Value::Float(x) => {
+                    self.saw_float = true;
+                    self.floats.add(*x);
+                }
                 _ => {
                     return Err(EngineError::Type(nsql_types::TypeError::BadOperand(
                         format!("{}({})", self.func.name(), v),
@@ -84,9 +195,10 @@ impl AggState {
     /// `other`'s inputs had been accumulated here after this one's own.
     ///
     /// This is what parallel aggregation uses to join the two halves of a
-    /// group split across a morsel boundary. Integer aggregates are exact;
-    /// float `SUM`/`AVG` may differ from the serial fold in final ULPs
-    /// (float addition is not associative) — only for boundary-split groups.
+    /// group split across a morsel boundary. Every aggregate is exact:
+    /// integer sums are checked i64 arithmetic, and float sums keep an
+    /// [`ExactSum`] expansion, so the merged result is bit-identical to the
+    /// serial fold wherever the boundary falls.
     pub fn merge(&mut self, other: &AggState) -> Result<()> {
         debug_assert_eq!(self.func, other.func, "merging mismatched aggregates");
         if other.count == 0 {
@@ -94,14 +206,13 @@ impl AggState {
         }
         match self.func {
             AggFunc::Count => {}
-            AggFunc::Sum | AggFunc::Avg => match (self.float_sum, other.float_sum) {
-                (None, None) => self.int_sum += other.int_sum,
-                _ => {
-                    let a = self.float_sum.unwrap_or(self.int_sum as f64);
-                    let b = other.float_sum.unwrap_or(other.int_sum as f64);
-                    self.float_sum = Some(a + b);
-                }
-            },
+            AggFunc::Sum | AggFunc::Avg => {
+                self.int_sum = self.int_sum.checked_add(other.int_sum).ok_or_else(|| {
+                    EngineError::Overflow(format!("{} over i64", self.func.name()))
+                })?;
+                self.floats.absorb(&other.floats);
+                self.saw_float |= other.saw_float;
+            }
             AggFunc::Max => {
                 if self.extremum.is_null()
                     || other.extremum.sql_cmp(&self.extremum)? == Some(std::cmp::Ordering::Greater)
@@ -121,6 +232,14 @@ impl AggState {
         Ok(())
     }
 
+    /// Correctly rounded total of the float partials plus the (exact)
+    /// integer side.
+    fn exact_total(&self) -> f64 {
+        let mut s = self.floats.clone();
+        s.add_i64(self.int_sum);
+        s.value()
+    }
+
     /// Final value of the aggregate.
     pub fn finish(&self) -> Value {
         if self.count == 0 {
@@ -128,12 +247,16 @@ impl AggState {
         }
         match self.func {
             AggFunc::Count => Value::Int(self.count),
-            AggFunc::Sum => match self.float_sum {
-                Some(f) => Value::Float(f),
-                None => Value::Int(self.int_sum),
-            },
+            AggFunc::Sum => {
+                if self.saw_float {
+                    Value::Float(self.exact_total())
+                } else {
+                    Value::Int(self.int_sum)
+                }
+            }
             AggFunc::Avg => {
-                let total = self.float_sum.unwrap_or(self.int_sum as f64);
+                let total =
+                    if self.saw_float { self.exact_total() } else { self.int_sum as f64 };
                 Value::Float(total / self.count as f64)
             }
             AggFunc::Max | AggFunc::Min => self.extremum.clone(),
@@ -276,5 +399,110 @@ mod tests {
     fn sum_of_string_errors() {
         let mut s = AggState::new(AggFunc::Sum);
         assert!(s.accumulate(&Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn int_sum_overflow_is_a_typed_error() {
+        let mut s = AggState::new(AggFunc::Sum);
+        s.accumulate(&Value::Int(i64::MAX)).unwrap();
+        match s.accumulate(&Value::Int(1)) {
+            Err(EngineError::Overflow(_)) => {}
+            other => panic!("expected Overflow, got {other:?}"),
+        }
+        // … and the same through merge.
+        let mut a = AggState::new(AggFunc::Sum);
+        a.accumulate(&Value::Int(i64::MAX)).unwrap();
+        let mut b = AggState::new(AggFunc::Sum);
+        b.accumulate(&Value::Int(1)).unwrap();
+        assert!(matches!(a.merge(&b), Err(EngineError::Overflow(_))));
+    }
+
+    /// Floats chosen so naive left-to-right and right-to-left summation give
+    /// different doubles — the exact accumulator must not care.
+    const TRICKY: [f64; 8] = [1e16, 0.1, -1e16, 0.1, 3.25, 1e-9, -0.30000000000000004, 2.5e-15];
+
+    #[test]
+    fn float_merge_is_bit_identical_at_every_split() {
+        let vals: Vec<Value> = TRICKY.iter().copied().map(Value::Float).collect();
+        for func in [AggFunc::Sum, AggFunc::Avg] {
+            let serial = run(func, &vals);
+            let Value::Float(serial) = serial else { panic!("float expected") };
+            for split in 0..=vals.len() {
+                let mut a = AggState::new(func);
+                for v in &vals[..split] {
+                    a.accumulate(v).unwrap();
+                }
+                let mut b = AggState::new(func);
+                for v in &vals[split..] {
+                    b.accumulate(v).unwrap();
+                }
+                a.merge(&b).unwrap();
+                let Value::Float(merged) = a.finish() else { panic!("float expected") };
+                assert_eq!(
+                    merged.to_bits(),
+                    serial.to_bits(),
+                    "{func:?} split at {split}: {merged:?} != {serial:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_int_float_merge_is_bit_identical_and_correctly_rounded() {
+        let vals = [
+            Value::Float(0.1),
+            Value::Int(1_000_000_007),
+            Value::Float(0.2),
+            Value::Int(-3),
+            Value::Float(-0.25),
+        ];
+        let Value::Float(serial) = run(AggFunc::Sum, &vals) else { panic!() };
+        for split in 0..=vals.len() {
+            let mut a = AggState::new(AggFunc::Sum);
+            for v in &vals[..split] {
+                a.accumulate(v).unwrap();
+            }
+            let mut b = AggState::new(AggFunc::Sum);
+            for v in &vals[split..] {
+                b.accumulate(v).unwrap();
+            }
+            a.merge(&b).unwrap();
+            let Value::Float(merged) = a.finish() else { panic!() };
+            assert_eq!(merged.to_bits(), serial.to_bits(), "split at {split}");
+        }
+        // Spot-check correct rounding: the exact sum of the inputs is
+        // 1000000004 + (0.1 + 0.2 - 0.25 exactly), and the nearest double
+        // to it is unique.
+        let mut exact = ExactSum::default();
+        for x in [0.1, 0.2, -0.25] {
+            exact.add(x);
+        }
+        exact.add_i64(1_000_000_004);
+        assert_eq!(serial.to_bits(), exact.value().to_bits());
+    }
+
+    #[test]
+    fn exact_sum_handles_non_finite_inputs() {
+        let mut s = ExactSum::default();
+        s.add(f64::INFINITY);
+        s.add(1.0);
+        assert_eq!(s.value(), f64::INFINITY);
+        let mut t = ExactSum::default();
+        t.add(f64::NEG_INFINITY);
+        s.absorb(&t);
+        assert!(s.value().is_nan(), "∞ + -∞ is NaN regardless of split");
+    }
+
+    #[test]
+    fn exact_sum_is_order_independent() {
+        let mut fwd = ExactSum::default();
+        for x in TRICKY {
+            fwd.add(x);
+        }
+        let mut rev = ExactSum::default();
+        for x in TRICKY.iter().rev() {
+            rev.add(*x);
+        }
+        assert_eq!(fwd.value().to_bits(), rev.value().to_bits());
     }
 }

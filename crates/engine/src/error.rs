@@ -12,6 +12,8 @@ pub enum EngineError {
     UnknownTable(String),
     /// A scalar subquery produced more than one row.
     ScalarSubqueryCardinality(usize),
+    /// Arithmetic overflow in an exact computation (e.g. integer `SUM`).
+    Overflow(String),
     /// A query shape the executor does not support.
     Unsupported(String),
     /// Internal invariant violation — always an engine bug.
@@ -26,6 +28,7 @@ impl fmt::Display for EngineError {
             EngineError::ScalarSubqueryCardinality(n) => {
                 write!(f, "scalar subquery returned {n} rows (expected at most 1)")
             }
+            EngineError::Overflow(m) => write!(f, "arithmetic overflow: {m}"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::Internal(m) => write!(f, "internal error: {m}"),
         }

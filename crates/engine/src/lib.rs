@@ -20,6 +20,17 @@
 //!
 //! Predicate evaluation implements SQL three-valued logic throughout; see
 //! [`pred`].
+//!
+//! # Panic policy
+//!
+//! Every failure reachable from user input — parser-accepted but
+//! unsupported constructs, type or arity mismatches, multi-row scalar
+//! subqueries, aggregate overflow, injected storage faults — surfaces as a
+//! typed [`EngineError`], never a panic. The handful of `expect`/`panic!`
+//! sites in non-test code are local invariants whose messages name the
+//! invariant (a morsel slot the scheduler has necessarily filled, an
+//! element pushed on the preceding line, an iterator that just `peek`ed
+//! `Some`) plus static fixture construction in [`fixtures`].
 
 pub mod aggregate;
 pub mod error;

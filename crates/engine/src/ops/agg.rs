@@ -108,9 +108,9 @@ impl Exec {
             // list with exactly the serial contiguous-run logic; runs touch
             // only at morsel boundaries, where a key match merges the two
             // accumulator halves via `AggState::merge`. Works for any input
-            // order and reproduces the serial output exactly (groups split
-            // across a boundary being the only place float sums can differ
-            // in ULPs).
+            // order and reproduces the serial output bit-for-bit: every
+            // accumulator (including float SUM/AVG, which keeps an exact
+            // partials expansion) merges exactly.
             let partials: Vec<Result<Vec<Run>>> =
                 crate::par::par_map_pages(&self.storage, file.page_ids(), self.threads, |_m, pages| {
                     let mut runs: Vec<Run> = Vec::new();

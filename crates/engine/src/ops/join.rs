@@ -65,7 +65,9 @@ impl Exec {
                     Ok(true) => Some(lt.join(rt)),
                     Ok(false) => None,
                     Err(e) => {
-                        err = Some(e);
+                        if err.is_none() {
+                            err = Some(e);
+                        }
                         None
                     }
                 }
@@ -211,7 +213,7 @@ impl Exec {
                     group_key = Some(lkey.clone());
                     while let Some((rkey, _)) = riter.peek() {
                         if rkey.total_cmp(&lkey) == Ordering::Equal {
-                            group.push(riter.next().expect("peeked").1);
+                            group.push(riter.next().expect("peek just returned Some").1);
                         } else {
                             break;
                         }

@@ -73,10 +73,11 @@ impl Exec {
     /// Serial path: zero-copy streaming scan, writes interleaved with reads.
     /// Parallel path: ordered-fetch morsels (buffer sees the serial access
     /// order), per-morsel output concatenated in morsel order, written after
-    /// the scan — same tuple order, page packing, and I/O totals. Matching
-    /// the serial error behaviour, the whole input is scanned even after an
-    /// error (serial `scan_with` does not short-circuit) and the *last*
-    /// error in scan order wins.
+    /// the scan — same tuple order, page packing, and I/O totals. On error
+    /// the whole input is still scanned (serial `scan_with` does not
+    /// short-circuit, and in-flight morsels complete), but the **first**
+    /// error in scan order is the one the caller sees — identical at every
+    /// thread count, so fault behaviour is deterministic too.
     fn stream_filter_map<F>(&self, input: &HeapFile, out_schema: Schema, f: F) -> Result<HeapFile>
     where
         F: Fn(&Tuple) -> Result<Option<Tuple>> + Sync,
@@ -90,7 +91,14 @@ impl Exec {
                         match f(t) {
                             Ok(Some(o)) => kept.push(o),
                             Ok(None) => {}
-                            Err(e) => err = Some(e),
+                            // First error within the morsel wins; morsels are
+                            // concatenated in page order below, so this is the
+                            // first error in serial scan order overall.
+                            Err(e) => {
+                                if err.is_none() {
+                                    err = Some(e);
+                                }
+                            }
                         }
                     }
                 }
@@ -102,7 +110,9 @@ impl Exec {
                 out_schema,
                 results.into_iter().flat_map(|(kept, e)| {
                     if let Some(e) = e {
-                        err = Some(e);
+                        if err.is_none() {
+                            err = Some(e);
+                        }
                     }
                     kept
                 }),
@@ -116,7 +126,9 @@ impl Exec {
                 input.scan_with(&self.storage, |t| match f(t) {
                     Ok(o) => o,
                     Err(e) => {
-                        err = Some(e);
+                        if err.is_none() {
+                            err = Some(e);
+                        }
                         None
                     }
                 }),

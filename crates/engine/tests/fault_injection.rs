@@ -1,0 +1,168 @@
+//! Fault injection: a tuple evaluation failing mid-operator must surface as
+//! a typed `Err` — never a panic, never a silently dropped morsel, never a
+//! wrong answer — and the error must be *deterministic*: the first error in
+//! serial scan order, identical at every thread count. Partial output pages
+//! must be freed on the error path.
+//!
+//! Storage reads are infallible by construction (`Arc<Page>`), so faults are
+//! injected at the data level: a value of the wrong type planted on a chosen
+//! page makes exactly that tuple's evaluation fail with a `TypeError`.
+
+use nsql_engine::{AggSpec, CPred, EngineError, Exec};
+use nsql_sql::{parse_query, AggFunc};
+use nsql_storage::{HeapFile, Storage};
+use nsql_types::{Column, ColumnType, Schema, Tuple, Value};
+
+const ROWS: i64 = 600;
+
+/// A two-column file `T(A, B)` of `ROWS` int rows, with `poison[i] = (row,
+/// value)` planting arbitrary values into column B of chosen rows. With
+/// 256-byte pages this spans many pages, so chosen rows land on chosen
+/// pages.
+fn poisoned_file(storage: &Storage, poison: &[(i64, Value)]) -> HeapFile {
+    poisoned_file_named(storage, "T", poison)
+}
+
+fn poisoned_file_named(storage: &Storage, table: &str, poison: &[(i64, Value)]) -> HeapFile {
+    let schema = Schema::new(vec![
+        Column::qualified(table, "A", ColumnType::Int),
+        Column::qualified(table, "B", ColumnType::Int),
+    ]);
+    let file = HeapFile::from_tuples(
+        storage,
+        schema,
+        (0..ROWS).map(|i| {
+            let b = poison
+                .iter()
+                .find(|(r, _)| *r == i)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(Value::Int(i % 97));
+            Tuple::new(vec![Value::Int(i), b])
+        }),
+    );
+    assert!(file.page_count() > 4, "fault pages must be interior, not the only page");
+    file
+}
+
+fn filter_pred(f: &HeapFile) -> CPred {
+    let q = parse_query("SELECT T.A FROM T WHERE B < 50").unwrap();
+    CPred::compile(f.schema(), q.where_clause.as_ref().unwrap()).unwrap()
+}
+
+/// Run `op` at threads 1 and 4 over identically-built poisoned storage;
+/// both must fail with the *same* typed error, and the storage must hold
+/// exactly the input pages afterwards (no leaked partial output).
+fn check_fails_identically<F>(label: &str, poison: &[(i64, Value)], op: F) -> EngineError
+where
+    F: Fn(&Exec, &HeapFile) -> Result<(), EngineError>,
+{
+    let mut errs = Vec::new();
+    for threads in [1, 4] {
+        let e = Exec::with_threads(Storage::new(6, 256), threads);
+        let f = poisoned_file(e.storage(), poison);
+        let live_before = e.storage().live_pages();
+        let err = op(&e, &f).expect_err(&format!("{label}: poisoned run must fail"));
+        assert_eq!(
+            e.storage().live_pages(),
+            live_before,
+            "{label}: error path leaked output pages at {threads} threads"
+        );
+        errs.push(err);
+    }
+    assert_eq!(errs[0], errs[1], "{label}: error diverged between 1 and 4 threads");
+    errs.pop().unwrap()
+}
+
+#[test]
+fn filter_surfaces_poisoned_page_as_error() {
+    let err = check_fails_identically(
+        "filter",
+        &[(300, Value::str("rot"))],
+        |e, f| e.filter(f, &filter_pred(f)).map(|_| ()),
+    );
+    assert!(matches!(err, EngineError::Type(_)), "want TypeError, got {err:?}");
+}
+
+#[test]
+fn first_error_in_scan_order_wins() {
+    // Two incompatible poisons on different pages: a STR at row 150 and a
+    // DATE at row 450. Whatever order morsels complete in, the caller must
+    // see the STR comparison failure — the first in serial scan order.
+    let err = check_fails_identically(
+        "filter/two-faults",
+        &[(450, Value::date("1-1-80").unwrap()), (150, Value::str("rot"))],
+        |e, f| e.filter(f, &filter_pred(f)).map(|_| ()),
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("STR") || msg.contains("Str") || msg.to_uppercase().contains("STR"),
+        "expected the row-150 STR fault to win, got: {msg}"
+    );
+}
+
+#[test]
+fn aggregation_surfaces_poisoned_page_as_error() {
+    let out_schema = Schema::new(vec![Column::new("S", ColumnType::Int)]);
+    let err = check_fails_identically(
+        "group_aggregate",
+        &[(300, Value::str("rot"))],
+        |e, f| {
+            e.group_aggregate(f, &[], &[AggSpec::on(AggFunc::Sum, 1)], out_schema.clone(), false)
+                .map(|_| ())
+        },
+    );
+    assert!(matches!(err, EngineError::Type(_)), "want TypeError, got {err:?}");
+}
+
+#[test]
+fn restrict_project_surfaces_poisoned_page_as_error() {
+    let out_schema = Schema::new(vec![Column::qualified("O", "A", ColumnType::Int)]);
+    let err = check_fails_identically(
+        "restrict_project",
+        &[(300, Value::str("rot"))],
+        |e, f| {
+            e.restrict_project(
+                f,
+                &filter_pred(f),
+                &[nsql_engine::CExpr::Col(0)],
+                out_schema.clone(),
+                false,
+            )
+            .map(|_| ())
+        },
+    );
+    assert!(matches!(err, EngineError::Type(_)), "want TypeError, got {err:?}");
+}
+
+#[test]
+fn hash_join_residual_fault_surfaces_as_error() {
+    // The poison sits in the probe side's residual-predicate column.
+    let mut errs = Vec::new();
+    for threads in [1, 4] {
+        let e = Exec::with_threads(Storage::new(6, 256), threads);
+        let l = poisoned_file(e.storage(), &[(300, Value::str("rot"))]);
+        let r = poisoned_file_named(e.storage(), "U", &[]);
+        let combined = l.schema().join(r.schema());
+        let q = parse_query("SELECT T.A FROM T, U WHERE T.B < 50").unwrap();
+        let res = CPred::compile(&combined, q.where_clause.as_ref().unwrap()).unwrap();
+        let live_before = e.storage().live_pages();
+        let err = e
+            .hash_join(&l, &r, &[0], &[0], Some(&res), nsql_engine::JoinKind::Inner)
+            .map(|_| ())
+            .expect_err("poisoned residual must fail");
+        assert_eq!(e.storage().live_pages(), live_before, "leaked pages at {threads} threads");
+        errs.push(err);
+    }
+    assert_eq!(errs[0], errs[1], "hash join error diverged between thread counts");
+}
+
+/// Sanity: a *clean* run of the same shapes succeeds — the harness fails
+/// because of the fault, not the setup.
+#[test]
+fn unpoisoned_runs_succeed() {
+    for threads in [1, 4] {
+        let e = Exec::with_threads(Storage::new(6, 256), threads);
+        let f = poisoned_file(e.storage(), &[]);
+        assert!(e.filter(&f, &filter_pred(&f)).is_ok());
+    }
+}

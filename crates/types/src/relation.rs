@@ -89,7 +89,14 @@ impl Relation {
 
     /// Set equality of rows: multiset equality after duplicate removal.
     /// Used where the paper's faithful transformations only promise
-    /// set-level agreement (see DESIGN.md on the NEST-N-J duplicate caveat).
+    /// set-level agreement: NEST-N-J's join expansion repeats an outer
+    /// tuple once per inner match, so bag equality with nested iteration
+    /// holds only for key-valued inner columns. The choice of join-form
+    /// multiplicity is an explicit per-query option
+    /// (`nsql_db::DuplicateSemantics`, demonstrated end-to-end in
+    /// `crates/db/tests/duplicate_semantics.rs`), not a silent comparison
+    /// weakening; see DESIGN.md "Oracle semantics" for which equality each
+    /// pipeline promises.
     pub fn same_set(&self, other: &Relation) -> bool {
         if self.schema.arity() != other.schema.arity() {
             return false;

@@ -32,6 +32,12 @@ for bin in figure1 figure2 section7 ablation bugs extensions sweep; do
         || { echo "FAIL: $bin output differs across thread settings"; exit 1; }
 done
 
+echo "==> differential oracle check (release, 200 random cases per pipeline)"
+NSQL_DIFF_CASES=200 cargo run --release --offline -q -p nsql-bench --bin diffcheck
+
+echo "==> diff_prop smoke at a pinned seed (debug path, shrinker wired in)"
+NSQL_TEST_SEED=0xd1ffc4ec NSQL_TEST_CASES=60 cargo test -q --offline --test diff_prop
+
 echo "==> cargo bench --no-run (bench targets compile offline)"
 cargo bench -p nsql-bench --no-run --offline
 

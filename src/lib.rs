@@ -11,6 +11,10 @@ pub use nsql_analyzer as analyzer;
 pub use nsql_core as core;
 pub use nsql_db as db;
 pub use nsql_engine as engine;
+pub use nsql_oracle as oracle;
 pub use nsql_sql as sql;
 pub use nsql_storage as storage;
+pub use nsql_testkit as testkit;
 pub use nsql_types as types;
+
+pub mod diff;

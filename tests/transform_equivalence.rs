@@ -176,3 +176,43 @@ fn order_by_is_respected_in_transformed_path() {
     assert_eq!(qtys.len(), 6);
     assert!(qtys[0] >= qtys[qtys.len() - 1]);
 }
+
+/// Regression (found by the `diff_prop` differential harness, seed
+/// 0x1f6274601e0ec59a): two correlation predicates referencing the *same*
+/// outer column non-adjacently — here `PARTS.PNUM` on both sides of
+/// `PARTS.QOH` — left a duplicate column in NEST-JA2's step-1 projection,
+/// because `Vec::dedup` only removes consecutive repeats. The step-2b join
+/// then failed with "join predicate … does not resolve" on the ambiguous
+/// TEMP1 column. The projection must carry one column per *distinct* outer
+/// correlation column.
+#[test]
+fn repeated_outer_correlation_column_resolves_in_ja2() {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE PARTS (PNUM INT, QOH INT);
+         CREATE TABLE SUPPLY (PNUM INT, QUAN INT, SHIP INT);
+         INSERT INTO PARTS VALUES (3, 2), (5, 3), (8, 0), (10, 1);
+         INSERT INTO SUPPLY VALUES
+           (3, 1, 3), (3, 2, 3), (3, 5, 4), (5, 1, 5), (10, 1, 10), (7, 1, 7);",
+    )
+    .unwrap();
+    // Correlations in order: PNUM (=), QOH (>=, via QUAN <=), PNUM (=).
+    let sql = "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(QUAN) FROM SUPPLY \
+               WHERE SUPPLY.PNUM = PARTS.PNUM AND QUAN <= PARTS.QOH AND SHIP = PARTS.PNUM)";
+    let ni = db.query_with(sql, &QueryOptions::nested_iteration()).unwrap().relation;
+    // Part 8 has no supplies at all — COUNT over the empty group must be 0,
+    // exercising the outer-join path of NEST-JA2 at the same time.
+    let mut got: Vec<String> = ni.tuples().iter().map(|t| t.get(0).to_string()).collect();
+    got.sort();
+    assert_eq!(got, ["10", "3", "8"]);
+    for policy in POLICIES {
+        let opts = QueryOptions {
+            strategy: Strategy::Transform,
+            join_policy: policy,
+            cold_start: true,
+            ..Default::default()
+        };
+        let tr = db.query_with(sql, &opts).unwrap().relation;
+        assert!(tr.same_bag(&ni), "policy {policy:?}\nNI:\n{ni}\nTR:\n{tr}");
+    }
+}
