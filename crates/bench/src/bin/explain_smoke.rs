@@ -1,0 +1,138 @@
+//! EXPLAIN ANALYZE smoke gate and per-operator metrics exporter.
+//!
+//! Runs `EXPLAIN ANALYZE` on one query per transform type (type-N,
+//! type-J, type-JA) against the seeded benchmark workload and validates
+//! the JSON exporter schema by round-tripping every report through the
+//! in-tree parser. Any missing key, unparseable output, or wrong
+//! transform decision panics, so the process exits nonzero —
+//! `scripts/verify.sh` runs this as the `explain_smoke` gate.
+//!
+//! With `NSQL_OBS_JSON=<path>` set, additionally appends one JSON line
+//! per query — transform decision, predicted Section-7 costs, measured
+//! page I/O, and the full per-operator metrics array — which is how
+//! `scripts/bench.sh obs` builds `BENCH_pr5.json`.
+//!
+//! ```sh
+//! cargo run --release -p nsql-bench --bin explain_smoke
+//! ```
+
+use nsql_bench::workload::{ja_workload, queries, seed_from_env, WorkloadSpec};
+use nsql_db::QueryOptions;
+use nsql_obs::Json;
+use std::io::Write as _;
+
+fn require<'a>(j: &'a Json, key: &str, ctx: &str) -> &'a Json {
+    j.get(key)
+        .unwrap_or_else(|| panic!("explain JSON missing key `{key}` ({ctx})"))
+}
+
+fn main() {
+    // The gate diffs nothing byte-for-byte (wall times vary), but the
+    // schema must hold on the serial path the paper's tables use.
+    std::env::set_var("NSQL_THREADS", "1");
+    let w = ja_workload(WorkloadSpec::small(), seed_from_env());
+
+    let cases = [
+        ("type-N", queries::TYPE_N),
+        ("type-J", queries::TYPE_J),
+        ("type-JA", queries::TYPE_JA_COUNT),
+    ];
+
+    let mut lines = Vec::new();
+    for (name, sql) in cases {
+        let report = w
+            .db
+            .explain_query(sql, true, &QueryOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: EXPLAIN ANALYZE failed: {e}"));
+        let text = report.to_json().to_string();
+        let json = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: exporter emitted unparseable JSON: {e}"));
+
+        // ---- top-level schema ------------------------------------------
+        for key in
+            ["sql", "analyze", "chosen", "tree", "strategy", "predicted", "io", "rows", "obs"]
+        {
+            require(&json, key, name);
+        }
+        assert_eq!(
+            require(&json, "analyze", name),
+            &Json::Bool(true),
+            "{name}: analyze flag not set"
+        );
+        let chosen = require(&json, "chosen", name)
+            .as_str()
+            .expect("chosen is a string")
+            .to_string();
+
+        // ---- per-operator metrics and lifecycle spans ------------------
+        let obs = require(&json, "obs", name);
+        let ops = require(obs, "operators", name).as_arr().expect("operators is an array");
+        for op in ops {
+            for key in [
+                "label", "rows_in", "rows_out", "morsels_per_worker", "reads", "writes",
+                "hits", "misses", "build_ns", "probe_ns", "wall_ns",
+            ] {
+                require(op, key, &format!("{name} operator"));
+            }
+        }
+        let spans = require(obs, "spans", name).as_arr().expect("spans is an array");
+        assert!(!spans.is_empty(), "{name}: no lifecycle spans recorded");
+
+        // ---- transform decision per nesting type -----------------------
+        match name {
+            "type-N" => assert!(chosen.contains("NEST-N-J"), "{name}: chose {chosen}"),
+            "type-J" => assert!(chosen.contains("NEST-N-J"), "{name}: chose {chosen}"),
+            "type-JA" => {
+                assert!(chosen.contains("NEST-JA2"), "{name}: chose {chosen}");
+                let predicted = require(&json, "predicted", name)
+                    .as_arr()
+                    .expect("predicted is an array");
+                assert_eq!(predicted.len(), 4, "{name}: want 4 Section-7 cost variants");
+                for p in predicted {
+                    for key in [
+                        "temp_method", "final_method", "outer_projection", "temp_creation",
+                        "final_join", "total",
+                    ] {
+                        require(p, key, &format!("{name} predicted cost"));
+                    }
+                }
+                assert!(!ops.is_empty(), "{name}: no per-operator metrics");
+            }
+            _ => unreachable!(),
+        }
+
+        println!(
+            "explain_smoke: {name:<8} ok — chosen: {chosen}; {} operator(s), {} span(s)",
+            ops.len(),
+            spans.len()
+        );
+
+        lines.push(
+            Json::obj([
+                ("bench", Json::str("explain")),
+                ("query", Json::str(name)),
+                ("chosen", Json::str(&chosen)),
+                ("predicted", json.get("predicted").cloned().unwrap_or(Json::Null)),
+                ("io", json.get("io").cloned().unwrap_or(Json::Null)),
+                ("rows", json.get("rows").cloned().unwrap_or(Json::Null)),
+                ("operators", Json::Arr(ops.to_vec())),
+            ])
+            .to_string(),
+        );
+    }
+
+    if let Ok(path) = std::env::var("NSQL_OBS_JSON") {
+        if !path.is_empty() {
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+            for line in &lines {
+                writeln!(f, "{line}").expect("write metrics line");
+            }
+        }
+    }
+
+    println!("explain_smoke: OK ({} queries validated)", cases.len());
+}

@@ -119,6 +119,42 @@ fn float_aggregates_bit_identical_across_threads() {
     }
 }
 
+/// Observability is pure side-state: with `observe` on, the storage layer's
+/// full four-counter trace (reads/writes/hits/misses) and the result rows
+/// must be byte-identical to the unobserved run — at every thread count.
+/// This is the PR's hard invariant: metrics collection reads the counters,
+/// it never adds to them.
+#[test]
+fn observe_leaves_io_trace_and_results_byte_identical() {
+    let w = ja_workload(WorkloadSpec::small(), DEFAULT_SEED);
+    for threads in [1usize, 4] {
+        for (name, sql) in QUERIES {
+            for base in [QueryOptions::nested_iteration(), QueryOptions::transformed()] {
+                let base = QueryOptions { threads, cold_start: true, ..base };
+                let s0 = w.db.storage().io_snapshot();
+                let plain = w.db.query_with(sql, &base).unwrap();
+                let s1 = w.db.storage().io_snapshot();
+                let observed = w
+                    .db
+                    .query_with(sql, &QueryOptions { observe: true, ..base.clone() })
+                    .unwrap();
+                let s2 = w.db.storage().io_snapshot();
+                let tag = format!("obs/{name}/threads={threads}");
+                assert_bit_identical(&tag, threads, &plain.relation, &observed.relation);
+                assert_eq!(
+                    s1.since(&s0),
+                    s2.since(&s1),
+                    "{tag}: observe changed the page-I/O trace"
+                );
+                assert_eq!(plain.io, observed.io, "{tag}: reported totals diverged");
+                assert!(plain.obs.is_none());
+                let obs = observed.obs.expect("observe=true collects a report");
+                assert!(!obs.spans.is_empty(), "{tag}: no lifecycle spans");
+            }
+        }
+    }
+}
+
 #[test]
 fn transformed_parallel_equals_serial() {
     let w = ja_workload(WorkloadSpec::small(), DEFAULT_SEED);

@@ -52,7 +52,7 @@ pub mod rewrites;
 
 pub use error::TransformError;
 pub use logical::{AggItem, JoinPred, LogicalJoinKind, LogicalPlan};
-pub use nest_g::{transform_query, JaVariant, UnnestOptions};
+pub use nest_g::{transform_query, transform_query_traced, JaVariant, UnnestOptions};
 pub use nest_ja2::Ja2Config;
 pub use pipeline::{TempTable, TransformPlan};
 

@@ -25,6 +25,7 @@ use crate::qualify::qualify_query;
 use crate::rewrites::rewrite_extended;
 use crate::Result;
 use nsql_analyzer::resolve::{predicate_column_refs, SchemaSource};
+use nsql_obs::Tracer;
 use nsql_sql::{
     ColumnRef, CompareOp, InRhs, Operand, Predicate, QueryBlock, ScalarExpr, SelectItem,
     TableRef,
@@ -66,6 +67,19 @@ pub fn transform_query<S: SchemaSource>(
     query: &QueryBlock,
     options: &UnnestOptions,
 ) -> Result<TransformPlan> {
+    transform_query_traced(catalog, query, options, &Tracer::disabled())
+}
+
+/// [`transform_query`] with a span tracer: each NEST-G recursion level and
+/// each algorithm dispatch (NEST-N-J merge, type-A temp, NEST-JA2 steps
+/// 1/2a/2b/3, Kim's NEST-JA) opens a nested span. With a disabled tracer
+/// this is exactly `transform_query`.
+pub fn transform_query_traced<S: SchemaSource>(
+    catalog: &S,
+    query: &QueryBlock,
+    options: &UnnestOptions,
+    tracer: &Tracer,
+) -> Result<TransformPlan> {
     let mut q = query.clone();
     qualify_query(catalog, &mut q)?;
     let mut reserved = Vec::new();
@@ -76,6 +90,7 @@ pub fn transform_query<S: SchemaSource>(
         temps: Vec::new(),
         trace: Vec::new(),
         merged_in_membership: false,
+        tracer: tracer.clone(),
     };
     ctx.nest_g(&mut q, &[])?;
     Ok(TransformPlan {
@@ -188,11 +203,21 @@ struct Ctx {
     temps: Vec<TempTable>,
     trace: Vec<String>,
     merged_in_membership: bool,
+    tracer: Tracer,
 }
 
 impl Ctx {
     /// The recursive procedure. `ancestors` runs nearest-first.
     fn nest_g(&mut self, block: &mut QueryBlock, ancestors: &[ScopeFrame]) -> Result<()> {
+        // Recursion-depth span; an error return leaves it open, and the
+        // tracer's finish() folds open spans in, so `?` stays safe.
+        let span = self.tracer.begin(&format!("NEST-G depth {}", ancestors.len()));
+        let result = self.nest_g_inner(block, ancestors);
+        self.tracer.end(span);
+        result
+    }
+
+    fn nest_g_inner(&mut self, block: &mut QueryBlock, ancestors: &[ScopeFrame]) -> Result<()> {
         // Section 8 rewrites at this level first.
         if let Some(w) = block.where_clause.take() {
             block.where_clause = Some(rewrite_extended(w, &mut self.trace));
@@ -278,7 +303,10 @@ impl Ctx {
                 // Type-A: one-row temporary, cross-joined.
                 self.trace.push("type-A nesting: inner block evaluates to a constant; \
                      materialized as a one-row temporary".to_string());
-                self.type_a_temp(inner)?
+                let span = self.tracer.begin("type-A temp");
+                let out = self.type_a_temp(inner);
+                self.tracer.end(span);
+                out?
             }
             (true, false) => {
                 // Type-J.
@@ -293,17 +321,10 @@ impl Ctx {
             }
             (true, true) => {
                 // Type-JA: reduce to type-J first.
-                match self.options.ja_variant {
+                let config = match self.options.ja_variant {
                     JaVariant::Ja2 => {
                         self.trace.push("type-JA nesting: applying NEST-JA2".to_string());
-                        apply_ja2(
-                            &inner,
-                            chain,
-                            &mut self.namer,
-                            &mut self.temps,
-                            &mut self.trace,
-                            Ja2Config::default(),
-                        )?
+                        Some(Ja2Config::default())
                     }
                     JaVariant::Ja2NoProjection => {
                         self.trace.push(
@@ -311,14 +332,7 @@ impl Ctx {
                              (Section 5.4 demonstration variant)"
                                 .to_string(),
                         );
-                        apply_ja2(
-                            &inner,
-                            chain,
-                            &mut self.namer,
-                            &mut self.temps,
-                            &mut self.trace,
-                            Ja2Config { project_outer: false, ..Ja2Config::default() },
-                        )?
+                        Some(Ja2Config { project_outer: false, ..Ja2Config::default() })
                     }
                     JaVariant::Ja2LateRestriction => {
                         self.trace.push(
@@ -326,29 +340,48 @@ impl Ctx {
                              the join (Section 5.2 demonstration variant)"
                                 .to_string(),
                         );
-                        apply_ja2(
+                        Some(Ja2Config { restrict_before_join: false, ..Ja2Config::default() })
+                    }
+                    JaVariant::KimOriginal => {
+                        self.trace
+                            .push("type-JA nesting: applying Kim's NEST-JA (buggy baseline)".to_string());
+                        None
+                    }
+                };
+                match config {
+                    Some(config) => {
+                        let span = self.tracer.begin("NEST-JA2");
+                        let out = apply_ja2(
                             &inner,
                             chain,
                             &mut self.namer,
                             &mut self.temps,
                             &mut self.trace,
-                            Ja2Config { restrict_before_join: false, ..Ja2Config::default() },
-                        )?
+                            config,
+                            &self.tracer,
+                        );
+                        self.tracer.end(span);
+                        out?
                     }
-                    JaVariant::KimOriginal => {
-                        self.trace
-                            .push("type-JA nesting: applying Kim's NEST-JA (buggy baseline)".to_string());
-                        apply_ja_kim(&inner, &mut self.namer, &mut self.temps, &mut self.trace)?
+                    None => {
+                        let span = self.tracer.begin("NEST-JA (Kim)");
+                        let out =
+                            apply_ja_kim(&inner, &mut self.namer, &mut self.temps, &mut self.trace);
+                        self.tracer.end(span);
+                        out?
                     }
                 }
             }
         };
+        let merge_span = self.tracer.begin("NEST-N-J merge");
         let outcome = merge_inner(
             block,
             Connecting { operand, op },
             inner_to_merge,
             &mut self.namer,
-        )?;
+        );
+        self.tracer.end(merge_span);
+        let outcome = outcome?;
         for (old, new) in &outcome.renames {
             self.trace.push(format!("renamed inner table {old} to {new} to avoid collision"));
         }

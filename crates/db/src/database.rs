@@ -2,15 +2,20 @@
 
 use crate::catalog::Catalog;
 
+use crate::explain::{ObsReport, TempStat};
 use crate::options::{QueryOptions, Strategy};
 use crate::plan_exec::PlanExecutor;
 use crate::Result;
 use nsql_analyzer::{query_tree, validate_query, QueryTree};
-use nsql_core::{transform_query, TransformPlan};
-use nsql_engine::{Exec, NestedIter};
+use nsql_core::{transform_query, transform_query_traced, TransformPlan};
+use nsql_engine::{Exec, ExecObs, NestedIter};
+use nsql_obs::{IoDelta, Tracer};
 use nsql_sql::{parse_statements, QueryBlock, Statement};
 use nsql_storage::{IoStats, Storage};
-use nsql_types::{Column, ColumnType, Relation, Schema, Tuple};
+use nsql_types::{Column, ColumnType, Relation, Schema, Tuple, Value};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Result of a query plus its observability data.
 #[derive(Debug, Clone)]
@@ -22,6 +27,12 @@ pub struct QueryOutcome {
     /// EXPLAIN-style description: transformation trace, temp-table sizes,
     /// and physical join decisions.
     pub explain: Vec<String>,
+    /// Sizes of the materialized temporaries (transform strategy only) —
+    /// the measured inputs to the Section-7 cost comparison.
+    pub temps: Vec<TempStat>,
+    /// Spans, per-operator metrics, and events, when
+    /// [`QueryOptions::observe`] was set.
+    pub obs: Option<ObsReport>,
 }
 
 /// An embedded single-session database over the simulated storage engine.
@@ -77,6 +88,18 @@ impl Database {
                 Statement::Select(q) => {
                     last = Some(self.run_query(&q, &QueryOptions::default())?.relation);
                 }
+                Statement::Explain { analyze, query } => {
+                    let report =
+                        self.explain_block(&query, analyze, &QueryOptions::default())?;
+                    let rows: Vec<Tuple> = report
+                        .render_lines()
+                        .into_iter()
+                        .map(|l| Tuple::new(vec![Value::Str(l)]))
+                        .collect();
+                    let schema =
+                        Schema::new(vec![Column::new("EXPLAIN", ColumnType::Str)]);
+                    last = Some(Relation::new(schema, rows)?);
+                }
             }
         }
         Ok(last)
@@ -89,13 +112,45 @@ impl Database {
 
     /// Run one SELECT under explicit options, reporting I/O and EXPLAIN.
     pub fn query_with(&self, sql: &str, opts: &QueryOptions) -> Result<QueryOutcome> {
+        let (tracer, obs) = self.obs_handles(opts);
+        let span = tracer.begin("parse");
         let q = parse_one_select(sql)?;
-        self.run_query(&q, opts)
+        tracer.end(span);
+        self.run_observed(&q, opts, tracer, obs)
     }
 
     /// Run a parsed query block under explicit options.
     pub fn run_query(&self, q: &QueryBlock, opts: &QueryOptions) -> Result<QueryOutcome> {
-        validate_query(&self.catalog, q)?;
+        let (tracer, obs) = self.obs_handles(opts);
+        self.run_observed(q, opts, tracer, obs)
+    }
+
+    /// Tracer + executor observability for one query, per
+    /// [`QueryOptions::observe`]. The tracer's I/O probe is a pure load of
+    /// the storage counters — observation never perturbs what it measures.
+    fn obs_handles(&self, opts: &QueryOptions) -> (Tracer, Option<ExecObs>) {
+        if !opts.observe {
+            return (Tracer::disabled(), None);
+        }
+        let storage = self.storage().clone();
+        let tracer = Tracer::with_probe(move || {
+            let s = storage.io_snapshot();
+            IoDelta { reads: s.reads, writes: s.writes, hits: s.hits, misses: s.misses }
+        });
+        (tracer, Some(ExecObs::new()))
+    }
+
+    fn run_observed(
+        &self,
+        q: &QueryBlock,
+        opts: &QueryOptions,
+        tracer: Tracer,
+        exec_obs: Option<ExecObs>,
+    ) -> Result<QueryOutcome> {
+        let span = tracer.begin("analyze");
+        let analyzed = validate_query(&self.catalog, q);
+        tracer.end(span);
+        analyzed?;
         let storage = self.catalog.storage();
         if opts.cold_start {
             storage.clear_buffer();
@@ -107,17 +162,47 @@ impl Database {
             opts.threads
         };
         let mut explain = Vec::new();
+        let mut temps = Vec::new();
         let relation = match opts.strategy {
             Strategy::NestedIteration => {
                 explain.push("strategy: nested iteration (System R)".to_string());
-                let evaluator = NestedIter::new(&self.catalog, storage.clone());
-                evaluator.eval_query_threads(q, threads)?
+                let mut evaluator = NestedIter::new(&self.catalog, storage.clone());
+                let op = match &exec_obs {
+                    Some(obs) => {
+                        let op = obs.registry.op("nested iteration");
+                        obs.set_current(Some(Arc::clone(&op)));
+                        evaluator = evaluator.with_obs(obs.clone());
+                        Some(op)
+                    }
+                    None => None,
+                };
+                let span = tracer.begin("execute: nested iteration");
+                let io0 = storage.io_snapshot();
+                let t0 = Instant::now();
+                let rel = evaluator.eval_query_threads(q, threads);
+                if let Some(op) = &op {
+                    op.wall_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let d = storage.io_snapshot().since(&io0);
+                    op.reads.fetch_add(d.reads, Ordering::Relaxed);
+                    op.writes.fetch_add(d.writes, Ordering::Relaxed);
+                    op.hits.fetch_add(d.hits, Ordering::Relaxed);
+                    op.misses.fetch_add(d.misses, Ordering::Relaxed);
+                    if let Ok(rel) = &rel {
+                        op.rows_out.add(0, rel.len() as u64);
+                    }
+                }
+                tracer.end(span);
+                rel?
             }
             Strategy::Transform => {
                 let mut unnest = opts.unnest.clone();
                 unnest.preserve_duplicates |=
                     opts.duplicates == crate::options::DuplicateSemantics::ForceDistinct;
-                let plan = transform_query(&self.catalog, q, &unnest)?;
+                let span = tracer.begin("transform");
+                let plan = transform_query_traced(&self.catalog, q, &unnest, &tracer);
+                tracer.end(span);
+                let plan = plan?;
                 explain.push(format!(
                     "strategy: transform ({} temp table{}), join policy: {}",
                     plan.temp_count(),
@@ -126,11 +211,25 @@ impl Database {
                 ));
                 explain.extend(plan.trace.iter().cloned());
                 explain.push(format!("canonical: {}", nsql_sql::print_query(&plan.canonical)));
-                let exec = Exec::with_threads(storage.clone(), threads);
+                let mut exec = Exec::with_threads(storage.clone(), threads);
+                if let Some(obs) = &exec_obs {
+                    exec = exec.with_obs(obs.clone());
+                }
                 let mut pe = PlanExecutor::new(exec, &self.catalog, opts.join_policy);
-                let rel = pe
-                    .execute_transform_plan(&plan, plan.needs_distinct_for_semantics)?;
+                let span = tracer.begin("execute plan");
+                let rel =
+                    pe.execute_transform_plan(&plan, plan.needs_distinct_for_semantics);
+                tracer.end(span);
+                let rel = rel?;
                 explain.extend(pe.log.iter().cloned());
+                if let Some(obs) = &exec_obs {
+                    // Physical decisions double as diagnostic events — the
+                    // stdout-free channel libraries report through.
+                    for line in &pe.log {
+                        obs.registry.event(line.clone());
+                    }
+                }
+                temps = pe.temp_stats();
                 if !opts.keep_temps {
                     pe.drop_temps();
                 }
@@ -138,7 +237,12 @@ impl Database {
             }
         };
         let io = storage.io_stats().since(&before);
-        Ok(QueryOutcome { relation, io, explain })
+        let obs = exec_obs.map(|o| ObsReport {
+            spans: tracer.finish(),
+            ops: o.registry.snapshot(),
+            events: o.registry.events(),
+        });
+        Ok(QueryOutcome { relation, io, explain, temps, obs })
     }
 
     /// Transform a query without executing it (EXPLAIN-only).
@@ -275,6 +379,93 @@ mod tests {
         let t = db.query_tree(Q2).unwrap();
         assert_eq!(t.block_count(), 2);
         assert!(t.render().contains("type-JA"));
+    }
+
+    #[test]
+    fn explain_analyze_q2_shows_decision_costs_and_actuals() {
+        let db = kiessling_db();
+        let report = db.explain_query(Q2, true, &QueryOptions::default()).unwrap();
+        // Transform decision: NEST-JA2 must fire on a type-JA query.
+        assert!(report.chosen.contains("NEST-JA2"), "{}", report.chosen);
+        // Predicted Section-7 cost for all four join-method variants.
+        assert_eq!(report.predicted.len(), 4, "{:#?}", report.predicted);
+        for p in &report.predicted {
+            assert!(p.total() > 0.0, "{:#?}", p);
+        }
+        // Measured per-operator actuals from the same run.
+        let obs = report.obs.as_ref().expect("ANALYZE collects metrics");
+        assert!(obs.ops.iter().any(|o| o.label.contains("join")), "{:#?}", obs.ops);
+        assert!(obs.ops.iter().any(|o| o.rows_out > 0), "{:#?}", obs.ops);
+        assert!(
+            obs.ops.iter().any(|o| o.reads + o.hits + o.misses > 0),
+            "{:#?}",
+            obs.ops
+        );
+        assert!(!obs.spans.is_empty(), "lifecycle spans missing");
+        let text = report.render_lines().join("\n");
+        assert!(text.contains("transform decision:"), "{text}");
+        assert!(text.contains("predicted cost"), "{text}");
+        assert!(text.contains("measured:"), "{text}");
+        assert_eq!(report.rows, Some(2));
+    }
+
+    #[test]
+    fn explain_json_roundtrips_through_parser() {
+        let db = kiessling_db();
+        let report = db.explain_query(Q2, true, &QueryOptions::default()).unwrap();
+        let text = report.to_json().to_string();
+        let parsed = nsql_obs::Json::parse(&text).unwrap();
+        let sql = parsed.get("sql").and_then(|j| j.as_str()).unwrap();
+        assert!(sql.starts_with("SELECT PNUM FROM PARTS"), "{sql}");
+        assert_eq!(
+            parsed.get("predicted").and_then(|j| j.as_arr()).map(|a| a.len()),
+            Some(4)
+        );
+        let ops = parsed
+            .get("obs")
+            .and_then(|o| o.get("operators"))
+            .and_then(|j| j.as_arr())
+            .expect("obs.operators present");
+        assert!(!ops.is_empty());
+        for op in ops {
+            for key in ["label", "rows_in", "rows_out", "reads", "writes", "wall_ns"] {
+                assert!(op.get(key).is_some(), "missing {key} in {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn explain_statement_runs_through_script_path() {
+        let mut db = kiessling_db();
+        let rel = db
+            .execute_script(&format!("EXPLAIN ANALYZE {Q2}"))
+            .unwrap()
+            .expect("EXPLAIN yields a relation");
+        let text: Vec<String> =
+            rel.tuples().iter().map(|t| t.get(0).to_string()).collect();
+        let text = text.join("\n");
+        assert!(text.contains("NEST-JA2"), "{text}");
+        assert!(text.contains("measured:"), "{text}");
+    }
+
+    #[test]
+    fn observe_does_not_change_io_or_results() {
+        let db = kiessling_db();
+        let base = QueryOptions { cold_start: true, ..Default::default() };
+        let s0 = db.catalog.storage().io_snapshot();
+        let plain = db.query_with(Q2, &base).unwrap();
+        let s1 = db.catalog.storage().io_snapshot();
+        let observed = db
+            .query_with(Q2, &QueryOptions { observe: true, ..base.clone() })
+            .unwrap();
+        let s2 = db.catalog.storage().io_snapshot();
+        assert!(plain.relation.same_bag(&observed.relation));
+        assert_eq!(plain.io.reads, observed.io.reads);
+        assert_eq!(plain.io.writes, observed.io.writes);
+        // Full four-counter trace must be byte-identical between the runs.
+        assert_eq!(s1.since(&s0), s2.since(&s1));
+        assert!(plain.obs.is_none());
+        assert!(observed.obs.is_some());
     }
 
     #[test]

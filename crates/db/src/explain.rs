@@ -1,0 +1,403 @@
+//! `EXPLAIN` / `EXPLAIN ANALYZE` reports.
+//!
+//! An [`ExplainReport`] places the *transform decision* (which unnesting
+//! algorithm fired and why, via the Figure-2 query tree and the NEST-G
+//! trace) next to the *Section-7 predicted costs* — all four NEST-JA2
+//! method combinations plus the nested-iteration baseline — and, under
+//! `ANALYZE`, the *measured* per-operator actuals (rows, pages, buffer
+//! hits, wall time, morsel distribution) and lifecycle spans.
+//!
+//! Predicted costs use measured temporary sizes when the query actually
+//! ran (`ANALYZE`); plain `EXPLAIN` falls back to crude upper bounds from
+//! catalog page counts (`Pt2 ≤ Pi`, `Pt3 ≤ Pj`), mirroring what an
+//! optimizer without statistics would assume.
+
+use crate::options::{QueryOptions, Strategy};
+use crate::{Database, Result};
+use nsql_analyzer::{query_tree, NestingType};
+use nsql_core::cost::{ja2_cost, nested_iteration_cost_j, Ja2Params, JoinMethod};
+use nsql_obs::{Json, OpSnapshot, SpanNode};
+use nsql_sql::{InRhs, Operand, Predicate, QueryBlock};
+use nsql_storage::IoStats;
+
+/// Size of one materialized temporary, reported by the plan executor.
+#[derive(Debug, Clone)]
+pub struct TempStat {
+    /// Temporary table name (e.g. `TEMP1`).
+    pub name: String,
+    /// Tuple count.
+    pub tuples: usize,
+    /// Page count.
+    pub pages: usize,
+}
+
+/// Observability data collected during one observed query execution.
+#[derive(Debug, Clone, Default)]
+pub struct ObsReport {
+    /// Completed lifecycle spans (parse → analyze → transform → execute),
+    /// each with wall time and page-I/O delta.
+    pub spans: Vec<SpanNode>,
+    /// Per-operator metrics, in operator-creation order.
+    pub ops: Vec<OpSnapshot>,
+    /// Diagnostic events routed through the sink instead of stdout.
+    pub events: Vec<String>,
+}
+
+impl ObsReport {
+    /// JSON form: `{spans: [..], operators: [..], events: [..]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("spans", Json::Arr(self.spans.iter().map(SpanNode::to_json).collect())),
+            ("operators", Json::Arr(self.ops.iter().map(OpSnapshot::to_json).collect())),
+            ("events", Json::Arr(self.events.iter().map(|e| Json::str(e)).collect())),
+        ])
+    }
+}
+
+/// Section-7 cost of NEST-JA2 under one of the four method combinations.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictedCost {
+    /// Join method at the temporary-creation join (step 2).
+    pub temp_method: JoinMethod,
+    /// Join method at the final join (step 3).
+    pub final_method: JoinMethod,
+    /// Step 1 cost (outer projection into `Rt2`).
+    pub outer_projection: f64,
+    /// Step 2 cost (`Rt3`, join, GROUP BY into `Rt`).
+    pub temp_creation: f64,
+    /// Step 3 cost (final join of `Rt` with `Ri`).
+    pub final_join: f64,
+}
+
+impl PredictedCost {
+    /// Total predicted page I/Os.
+    pub fn total(&self) -> f64 {
+        self.outer_projection + self.temp_creation + self.final_join
+    }
+
+    /// One-line rendering for EXPLAIN output.
+    pub fn render(&self) -> String {
+        format!(
+            "NEST-JA2 [temp={}, final={}]: {:.1} + {:.1} + {:.1} = {:.1}",
+            self.temp_method.name(),
+            self.final_method.name(),
+            self.outer_projection,
+            self.temp_creation,
+            self.final_join,
+            self.total()
+        )
+    }
+
+    /// JSON form with the step breakdown.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("temp_method", Json::str(self.temp_method.name())),
+            ("final_method", Json::str(self.final_method.name())),
+            ("outer_projection", Json::num(self.outer_projection)),
+            ("temp_creation", Json::num(self.temp_creation)),
+            ("final_join", Json::num(self.final_join)),
+            ("total", Json::num(self.total())),
+        ])
+    }
+}
+
+/// A full `EXPLAIN` / `EXPLAIN ANALYZE` report.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// The query, printed back in canonical dialect form.
+    pub sql: String,
+    /// Whether the query was executed (`EXPLAIN ANALYZE`).
+    pub analyze: bool,
+    /// Rendered Figure-2 query tree with per-block classification.
+    pub tree: String,
+    /// The transformation algorithm that fired (e.g. `NEST-JA2`).
+    pub chosen: String,
+    /// Strategy, transformation trace, canonical form, and physical-join
+    /// log lines, in decision order.
+    pub strategy: Vec<String>,
+    /// Section-7 predicted costs for the four NEST-JA2 method
+    /// combinations. Empty unless the query tree contains type-JA nesting.
+    pub predicted: Vec<PredictedCost>,
+    /// Worst-case nested-iteration cost of the same query (the paper's
+    /// baseline), when the tree has a correlated (J/JA) block.
+    pub predicted_nested_iteration: Option<f64>,
+    /// Measured page I/O (ANALYZE only).
+    pub io: Option<IoStats>,
+    /// Result cardinality (ANALYZE only).
+    pub rows: Option<usize>,
+    /// Spans, per-operator metrics, and events (ANALYZE only).
+    pub obs: Option<ObsReport>,
+}
+
+impl ExplainReport {
+    /// Render the report as indented text lines — the body of the
+    /// relation `EXPLAIN` returns and the CLI's output.
+    pub fn render_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        out.push(format!(
+            "{}: {}",
+            if self.analyze { "EXPLAIN ANALYZE" } else { "EXPLAIN" },
+            self.sql
+        ));
+        out.push("query tree:".to_string());
+        for l in self.tree.lines() {
+            out.push(format!("  {l}"));
+        }
+        out.push(format!("transform decision: {}", self.chosen));
+        for l in &self.strategy {
+            out.push(format!("  · {l}"));
+        }
+        if !self.predicted.is_empty() || self.predicted_nested_iteration.is_some() {
+            out.push("predicted cost (Section 7 model, page I/Os):".to_string());
+            if let Some(ni) = self.predicted_nested_iteration {
+                out.push(format!("  nested iteration (worst case): {ni:.1}"));
+            }
+            let best = self
+                .predicted
+                .iter()
+                .map(PredictedCost::total)
+                .fold(f64::INFINITY, f64::min);
+            for p in &self.predicted {
+                let marker = if p.total() == best { "  * " } else { "    " };
+                out.push(format!("{marker}{}", p.render()));
+            }
+        }
+        if self.analyze {
+            out.push("measured:".to_string());
+            if let (Some(io), Some(rows)) = (&self.io, self.rows) {
+                out.push(format!("  rows: {rows}, io: {io}"));
+            }
+            if let Some(obs) = &self.obs {
+                if !obs.ops.is_empty() {
+                    out.push("  operators:".to_string());
+                    for op in &obs.ops {
+                        out.push(format!("    {}", op.render()));
+                    }
+                }
+                if !obs.spans.is_empty() {
+                    out.push("  spans:".to_string());
+                    let mut lines = Vec::new();
+                    for s in &obs.spans {
+                        s.render_into(0, &mut lines);
+                    }
+                    for l in lines {
+                        out.push(format!("    {l}"));
+                    }
+                }
+                if !obs.events.is_empty() {
+                    out.push("  events:".to_string());
+                    for e in &obs.events {
+                        out.push(format!("    {e}"));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Machine-readable form for `scripts/bench.sh` and the smoke check.
+    pub fn to_json(&self) -> Json {
+        let io = match &self.io {
+            Some(io) => Json::obj([
+                ("reads", Json::num(io.reads as f64)),
+                ("writes", Json::num(io.writes as f64)),
+                ("total", Json::num(io.total() as f64)),
+            ]),
+            None => Json::Null,
+        };
+        let obs = self.obs.as_ref().map(ObsReport::to_json).unwrap_or(Json::Null);
+        Json::obj([
+            ("sql", Json::str(&self.sql)),
+            ("analyze", Json::Bool(self.analyze)),
+            ("chosen", Json::str(&self.chosen)),
+            ("tree", Json::str(&self.tree)),
+            (
+                "strategy",
+                Json::Arr(self.strategy.iter().map(|s| Json::str(s)).collect()),
+            ),
+            (
+                "predicted",
+                Json::Arr(self.predicted.iter().map(PredictedCost::to_json).collect()),
+            ),
+            (
+                "predicted_nested_iteration",
+                match self.predicted_nested_iteration {
+                    Some(c) => Json::num(c),
+                    None => Json::Null,
+                },
+            ),
+            ("io", io),
+            (
+                "rows",
+                match self.rows {
+                    Some(r) => Json::num(r as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("obs", obs),
+        ])
+    }
+}
+
+impl Database {
+    /// Build an `EXPLAIN` (`analyze = false`) or `EXPLAIN ANALYZE`
+    /// (`analyze = true`) report for one SELECT under `opts`.
+    pub fn explain_query(
+        &self,
+        sql: &str,
+        analyze: bool,
+        opts: &QueryOptions,
+    ) -> Result<ExplainReport> {
+        let q = nsql_sql::parse_query(sql)?;
+        self.explain_block(&q, analyze, opts)
+    }
+
+    /// [`explain_query`](Database::explain_query) over a parsed block
+    /// (the `EXPLAIN` statement path).
+    pub fn explain_block(
+        &self,
+        q: &QueryBlock,
+        analyze: bool,
+        opts: &QueryOptions,
+    ) -> Result<ExplainReport> {
+        let tree = query_tree(self.catalog(), q)?;
+        let is_ja = tree.contains(NestingType::TypeJA);
+        let correlated = is_ja || tree.contains(NestingType::TypeJ);
+
+        // Run (ANALYZE) or transform-only (plain EXPLAIN).
+        let (strategy, temps, io, rows, obs) = if analyze {
+            let run_opts = QueryOptions { observe: true, ..opts.clone() };
+            let out = self.run_query(q, &run_opts)?;
+            (out.explain, out.temps, Some(out.io), Some(out.relation.len()), out.obs)
+        } else {
+            let strategy = match opts.strategy {
+                Strategy::NestedIteration => {
+                    vec!["strategy: nested iteration (System R)".to_string()]
+                }
+                Strategy::Transform => {
+                    let plan = nsql_core::transform_query(self.catalog(), q, &opts.unnest)?;
+                    let mut lines = plan.trace.clone();
+                    lines.push(format!(
+                        "canonical: {}",
+                        nsql_sql::print_query(&plan.canonical)
+                    ));
+                    lines
+                }
+            };
+            (strategy, Vec::new(), None, None, None)
+        };
+
+        let chosen = match opts.strategy {
+            Strategy::NestedIteration => "nested iteration (System R baseline)".to_string(),
+            Strategy::Transform => chosen_from_trace(&strategy),
+        };
+
+        let params = if is_ja { self.ja2_params_for(q, &temps) } else { None };
+        let predicted = params
+            .map(|p| {
+                let methods = [JoinMethod::NestedLoop, JoinMethod::MergeJoin];
+                let mut v = Vec::with_capacity(4);
+                for temp_method in methods {
+                    for final_method in methods {
+                        let c = ja2_cost(&p, temp_method, final_method);
+                        v.push(PredictedCost {
+                            temp_method,
+                            final_method,
+                            outer_projection: c.outer_projection,
+                            temp_creation: c.temp_creation,
+                            final_join: c.final_join,
+                        });
+                    }
+                }
+                v
+            })
+            .unwrap_or_default();
+        let predicted_nested_iteration = if correlated {
+            self.ja2_params_for(q, &temps)
+                .map(|p| nested_iteration_cost_j(p.pi, p.pj, p.b, p.fi_ni))
+        } else {
+            None
+        };
+
+        Ok(ExplainReport {
+            sql: nsql_sql::print_query(q),
+            analyze,
+            tree: tree.render(),
+            chosen,
+            strategy,
+            predicted,
+            predicted_nested_iteration,
+            io,
+            rows,
+            obs,
+        })
+    }
+
+    /// Section-7 parameters for the (first) nested block of `q`. Measured
+    /// temporary sizes are used when available (`ANALYZE`); otherwise the
+    /// crude statistics-free upper bounds `Pt2 ≤ Pi`, `Pt3 ≤ Pj`.
+    fn ja2_params_for(&self, q: &QueryBlock, temps: &[TempStat]) -> Option<Ja2Params> {
+        let outer = self.catalog().table(&q.from.first()?.table)?;
+        let inner_block = first_subquery(q)?;
+        let inner = self.catalog().table(&inner_block.from.first()?.table)?;
+        let pi = outer.page_count() as f64;
+        let pj = inner.page_count() as f64;
+        let fi_ni = outer.tuple_count() as f64;
+        let b = self.storage().buffer_pages() as f64;
+        // The three NEST-JA2 temporaries in creation order map onto the
+        // paper's Rt2, Rt3, Rt; Rt4 is never materialized here (the GROUP
+        // BY is fused onto the join), so it is bounded by its inputs.
+        let mut sorted: Vec<&TempStat> = temps.iter().collect();
+        sorted.sort_by(|a, b| a.name.cmp(&b.name));
+        let (pt2, nt2, pt3, pt) = match sorted.as_slice() {
+            [t1, t2, t3, ..] => (
+                t1.pages as f64,
+                t1.tuples as f64,
+                t2.pages as f64,
+                t3.pages as f64,
+            ),
+            _ => (pi, fi_ni, pj, pi),
+        };
+        let pt4 = pt3.max(pt);
+        Some(Ja2Params { pi, pj, pt2, nt2, pt3, pt4, pt, b, fi_ni, ri_sorted: false })
+    }
+}
+
+/// Name the algorithm that fired, from the NEST-G trace.
+fn chosen_from_trace(lines: &[String]) -> String {
+    let has = |pat: &str| lines.iter().any(|l| l.contains(pat));
+    if has("NEST-JA2") {
+        "NEST-JA2 (Ganski-Wong)".to_string()
+    } else if has("Kim") {
+        "NEST-JA (Kim original, known COUNT bug)".to_string()
+    } else if has("type-J nesting") {
+        "NEST-N-J (type-J)".to_string()
+    } else if has("type-N nesting") {
+        "NEST-N-J (type-N)".to_string()
+    } else if has("type-A") {
+        "type-A constant folding".to_string()
+    } else {
+        "none (query already flat)".to_string()
+    }
+}
+
+/// First subquery block reachable from `q`'s WHERE clause.
+fn first_subquery(q: &QueryBlock) -> Option<&QueryBlock> {
+    fn in_pred(p: &Predicate) -> Option<&QueryBlock> {
+        match p {
+            Predicate::And(ps) | Predicate::Or(ps) => ps.iter().find_map(in_pred),
+            Predicate::Not(inner) => in_pred(inner),
+            Predicate::Compare { left, right, .. } => {
+                [left, right].into_iter().find_map(|o| match o {
+                    Operand::Subquery(sub) => Some(&**sub),
+                    _ => None,
+                })
+            }
+            Predicate::In { rhs: InRhs::Subquery(sub), .. } => Some(sub),
+            Predicate::Exists { query, .. } => Some(query),
+            Predicate::Quantified { query, .. } => Some(query),
+            _ => None,
+        }
+    }
+    q.where_clause.as_ref().and_then(in_pred)
+}

@@ -26,12 +26,14 @@
 pub mod catalog;
 pub mod database;
 pub mod error;
+pub mod explain;
 pub mod options;
 pub mod plan_exec;
 
 pub use catalog::Catalog;
 pub use database::{Database, QueryOutcome};
 pub use error::DbError;
+pub use explain::{ExplainReport, ObsReport, PredictedCost, TempStat};
 pub use options::{DuplicateSemantics, JoinPolicy, QueryOptions, Strategy};
 
 /// Result alias.

@@ -95,6 +95,11 @@ pub struct QueryOptions {
     /// parallelism; `1` takes the exact serial code path. Parallel runs
     /// report the same per-query I/O totals as serial runs by construction.
     pub threads: usize,
+    /// Collect observability data: lifecycle spans, per-operator metrics,
+    /// and diagnostic events ([`crate::QueryOutcome::obs`]). Collection is
+    /// pure side-state — it never changes the reported page-I/O totals,
+    /// the hit/miss split, or the result rows (property-tested).
+    pub observe: bool,
 }
 
 impl QueryOptions {

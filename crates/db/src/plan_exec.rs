@@ -12,6 +12,7 @@
 //! and meets the final merge join pre-sorted.
 
 use crate::error::DbError;
+use crate::explain::TempStat;
 use crate::options::JoinPolicy;
 use crate::Result;
 use nsql_core::cost::sort_cost;
@@ -24,6 +25,46 @@ use nsql_sql::{
 };
 use nsql_types::{Column, ColumnType, Relation, Schema, Tuple};
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Run `f` under a fresh per-operator metrics entry when the executor has
+/// observability attached; a plain call otherwise.
+///
+/// The wrapper records wall time and the storage-snapshot page-I/O delta;
+/// engine internals (row counts, morsel claims, hash build/probe phases)
+/// record into the same operator through the executor's "current op" slot.
+/// `rows_in`/`rows` only apply when the engine recorded nothing itself, so
+/// nothing is double-counted.
+fn observed<R, E>(
+    exec: &Exec,
+    label: &str,
+    rows_in: u64,
+    rows: impl FnOnce(&R) -> u64,
+    f: impl FnOnce() -> std::result::Result<R, E>,
+) -> std::result::Result<R, E> {
+    let Some(obs) = exec.obs().cloned() else { return f() };
+    let op = obs.registry.op(label);
+    let before = exec.storage().io_snapshot();
+    let t0 = Instant::now();
+    let out = obs.with_current(Arc::clone(&op), f);
+    op.wall_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    let d = exec.storage().io_snapshot().since(&before);
+    op.reads.fetch_add(d.reads, Ordering::Relaxed);
+    op.writes.fetch_add(d.writes, Ordering::Relaxed);
+    op.hits.fetch_add(d.hits, Ordering::Relaxed);
+    op.misses.fetch_add(d.misses, Ordering::Relaxed);
+    if op.rows_in.total() == 0 && rows_in > 0 {
+        op.rows_in.add(0, rows_in);
+    }
+    if let Ok(r) = &out {
+        if op.rows_out.total() == 0 {
+            op.rows_out.add(0, rows(r));
+        }
+    }
+    out
+}
 
 /// A heap file plus the (prefix) column indices it is sorted by.
 #[derive(Clone)]
@@ -81,6 +122,22 @@ impl<T: TableProvider> PlanExecutor<T> {
         }
     }
 
+    /// Sizes of the registered temporaries in name order — the measured
+    /// inputs to the Section-7 predicted-vs-actual cost comparison.
+    pub fn temp_stats(&self) -> Vec<TempStat> {
+        let mut v: Vec<TempStat> = self
+            .temps
+            .iter()
+            .map(|(name, out)| TempStat {
+                name: name.clone(),
+                tuples: out.file.tuple_count(),
+                pages: out.file.page_count(),
+            })
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
     fn lookup(&self, name: &str) -> Result<PlanOutput> {
         let key = name.to_ascii_uppercase();
         if let Some(t) = self.temps.get(&key) {
@@ -103,7 +160,14 @@ impl<T: TableProvider> PlanExecutor<T> {
         force_distinct: bool,
     ) -> Result<Relation> {
         for temp in &plan.temps {
-            let out = self.run_plan(&temp.plan)?;
+            let exec = self.exec.clone();
+            let out = observed(
+                &exec,
+                &format!("materialize {}", temp.name),
+                0,
+                |o: &PlanOutput| o.file.tuple_count() as u64,
+                || self.run_plan(&temp.plan),
+            )?;
             let schema = out.file.schema().requalify(&temp.name);
             let file = out.file.with_schema(schema);
             self.log.push(format!(
@@ -222,12 +286,21 @@ impl<T: TableProvider> PlanExecutor<T> {
                         if presorted { "input pre-sorted, no sort pass" } else { "sorting input" }
                     ));
                 }
-                let file = self.exec.group_aggregate(
-                    &child.file,
-                    &group_idx,
-                    &specs,
-                    Schema::new(out_cols),
-                    presorted,
+                let rows_in = child.file.tuple_count() as u64;
+                let file = observed(
+                    &self.exec,
+                    "group-by",
+                    rows_in,
+                    |f: &HeapFile| f.tuple_count() as u64,
+                    || {
+                        self.exec.group_aggregate(
+                            &child.file,
+                            &group_idx,
+                            &specs,
+                            Schema::new(out_cols),
+                            presorted,
+                        )
+                    },
                 )?;
                 if !matches!(input.as_ref(), LogicalPlan::Scan { .. }) {
                     child.file.drop_pages(self.exec.storage());
@@ -342,28 +415,36 @@ impl<T: TableProvider> PlanExecutor<T> {
         } else {
             self.pick_method(l, r, &lkeys, &rkeys)
         };
+        let rows_in = (l.file.tuple_count() + r.file.tuple_count()) as u64;
         if method == PhysicalJoin::Hash {
+            let label = format!("hash join ({} keys)", lkeys.len());
             self.log.push(format!("hash join ({} keys) [modern extension]", lkeys.len()));
             return if materialize {
-                let file = self.exec.hash_join(
-                    &l.file,
-                    &r.file,
-                    &lkeys,
-                    &rkeys,
-                    residual_pred.as_ref(),
-                    jkind,
-                )?;
+                let file =
+                    observed(&self.exec, &label, rows_in, |f: &HeapFile| f.tuple_count() as u64, || {
+                        self.exec.hash_join(
+                            &l.file,
+                            &r.file,
+                            &lkeys,
+                            &rkeys,
+                            residual_pred.as_ref(),
+                            jkind,
+                        )
+                    })?;
                 // Hash probe preserves the left input's order.
                 Ok(JoinResult::File(PlanOutput { file, sorted_by: l.sorted_by.clone() }))
             } else {
-                let rel = self.exec.hash_join_collect(
-                    &l.file,
-                    &r.file,
-                    &lkeys,
-                    &rkeys,
-                    residual_pred.as_ref(),
-                    jkind,
-                )?;
+                let rel =
+                    observed(&self.exec, &label, rows_in, |rel: &Relation| rel.len() as u64, || {
+                        self.exec.hash_join_collect(
+                            &l.file,
+                            &r.file,
+                            &lkeys,
+                            &rkeys,
+                            residual_pred.as_ref(),
+                            jkind,
+                        )
+                    })?;
                 Ok(JoinResult::Rows(rel))
             };
         }
@@ -376,29 +457,36 @@ impl<T: TableProvider> PlanExecutor<T> {
                 if l_presorted { ", left pre-sorted" } else { "" },
                 if r_presorted { ", right pre-sorted" } else { "" },
             ));
+            let label = format!("merge join ({} keys)", lkeys.len());
             if materialize {
-                let file = self.exec.merge_join(
-                    &l.file,
-                    &r.file,
-                    &lkeys,
-                    &rkeys,
-                    residual_pred.as_ref(),
-                    jkind,
-                    l_presorted,
-                    r_presorted,
-                )?;
+                let file =
+                    observed(&self.exec, &label, rows_in, |f: &HeapFile| f.tuple_count() as u64, || {
+                        self.exec.merge_join(
+                            &l.file,
+                            &r.file,
+                            &lkeys,
+                            &rkeys,
+                            residual_pred.as_ref(),
+                            jkind,
+                            l_presorted,
+                            r_presorted,
+                        )
+                    })?;
                 Ok(JoinResult::File(PlanOutput { file, sorted_by: lkeys }))
             } else {
-                let rel = self.exec.merge_join_collect(
-                    &l.file,
-                    &r.file,
-                    &lkeys,
-                    &rkeys,
-                    residual_pred.as_ref(),
-                    jkind,
-                    l_presorted,
-                    r_presorted,
-                )?;
+                let rel =
+                    observed(&self.exec, &label, rows_in, |rel: &Relation| rel.len() as u64, || {
+                        self.exec.merge_join_collect(
+                            &l.file,
+                            &r.file,
+                            &lkeys,
+                            &rkeys,
+                            residual_pred.as_ref(),
+                            jkind,
+                            l_presorted,
+                            r_presorted,
+                        )
+                    })?;
                 Ok(JoinResult::Rows(rel))
             }
         } else {
@@ -420,12 +508,19 @@ impl<T: TableProvider> PlanExecutor<T> {
             }
             let on_pred =
                 if preds.is_empty() { CPred::always_true() } else { CPred::And(preds) };
+            let label = format!("nested-loop join ({} keys)", lkeys.len());
             if materialize {
-                let file = self.exec.nl_join(&l.file, &r.file, &on_pred, jkind)?;
+                let file =
+                    observed(&self.exec, &label, rows_in, |f: &HeapFile| f.tuple_count() as u64, || {
+                        self.exec.nl_join(&l.file, &r.file, &on_pred, jkind)
+                    })?;
                 // NL join preserves the left input's order.
                 Ok(JoinResult::File(PlanOutput { file, sorted_by: l.sorted_by.clone() }))
             } else {
-                let rel = self.exec.nl_join_collect(&l.file, &r.file, &on_pred, jkind)?;
+                let rel =
+                    observed(&self.exec, &label, rows_in, |rel: &Relation| rel.len() as u64, || {
+                        self.exec.nl_join_collect(&l.file, &r.file, &on_pred, jkind)
+                    })?;
                 Ok(JoinResult::Rows(rel))
             }
         }
@@ -669,12 +764,20 @@ impl<T: TableProvider> PlanExecutor<T> {
         let presorted = !group_idx.is_empty()
             && acc.sorted_by.len() >= group_idx.len()
             && acc.sorted_by[..group_idx.len()] == group_idx[..];
-        let grouped = self.exec.group_aggregate_collect(
-            &working,
-            &group_idx,
-            &specs,
-            Schema::new(out_cols.clone()),
-            presorted,
+        let grouped = observed(
+            &self.exec,
+            "group-by",
+            working.tuple_count() as u64,
+            |rel: &Relation| rel.len() as u64,
+            || {
+                self.exec.group_aggregate_collect(
+                    &working,
+                    &group_idx,
+                    &specs,
+                    Schema::new(out_cols.clone()),
+                    presorted,
+                )
+            },
         )?;
         // Reorder columns to select order and rename per aliases.
         let mut final_cols = Vec::with_capacity(q.select.len());

@@ -122,6 +122,7 @@ pub struct NestedIter<'a, T: TableProvider + ?Sized> {
     tables: &'a T,
     storage: Storage,
     shared: Arc<IterShared>,
+    obs: Option<crate::ops::ExecObs>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -139,13 +140,27 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
                 blocks: Mutex::new(FxHashMap::default()),
                 correlated: Mutex::new(FxHashMap::default()),
             }),
+            obs: None,
         }
+    }
+
+    /// Attach an observability sink. Morsel claims during parallel
+    /// evaluation land on the sink's current operator; side-state only,
+    /// never touching the trace/replay I/O accounting.
+    pub fn with_obs(mut self, obs: crate::ops::ExecObs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// A worker's view of this evaluator: same tables, caches, and memos,
     /// different storage handle (a trace view during parallel evaluation).
     fn fork(&self, storage: Storage) -> NestedIter<'a, T> {
-        NestedIter { tables: self.tables, storage, shared: Arc::clone(&self.shared) }
+        NestedIter {
+            tables: self.tables,
+            storage,
+            shared: Arc::clone(&self.shared),
+            obs: self.obs.clone(),
+        }
     }
 
     fn cache(&self) -> MutexGuard<'_, FxHashMap<usize, Cached>> {
@@ -262,8 +277,12 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
         let morsels = Morsels::new(pages.len(), 1);
         let slots: Vec<Mutex<Option<Slot>>> =
             (0..pages.len()).map(|_| Mutex::new(None)).collect();
-        run_workers(threads.min(pages.len()), |_w| {
+        let morsel_op = self.obs.as_ref().and_then(|o| o.current());
+        run_workers(threads.min(pages.len()), |w| {
             while let Some(range) = morsels.claim() {
+                if let Some(op) = &morsel_op {
+                    op.morsels.add(w, 1);
+                }
                 let sink = Arc::new(Mutex::new(Vec::new()));
                 let fork = self.fork(self.storage.trace_view(Arc::clone(&sink)));
                 let res =

@@ -112,7 +112,12 @@ impl Exec {
             // accumulator (including float SUM/AVG, which keeps an exact
             // partials expansion) merges exactly.
             let partials: Vec<Result<Vec<Run>>> =
-                crate::par::par_map_pages(&self.storage, file.page_ids(), self.threads, |_m, pages| {
+                crate::par::par_map_pages(
+                    &self.storage,
+                    file.page_ids(),
+                    self.threads,
+                    self.current_op().as_deref(),
+                    |_m, pages| {
                     let mut runs: Vec<Run> = Vec::new();
                     for page in pages {
                         for t in page.tuples() {
@@ -134,8 +139,9 @@ impl Exec {
                             }
                         }
                     }
-                    Ok(runs)
-                });
+                        Ok(runs)
+                    },
+                );
             let mut merged: Vec<Run> = Vec::new();
             let mut first_err = None;
             for partial in partials {

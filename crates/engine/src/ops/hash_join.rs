@@ -62,12 +62,18 @@ impl Exec {
         kind: JoinKind,
     ) -> Result<Vec<Tuple>> {
         assert_eq!(left_keys.len(), right_keys.len(), "key lists must pair up");
+        // Observability: build/probe wall-clock lands on the current
+        // operator. Instant is only sampled when an operator is attached,
+        // so the disabled path stays branch-only.
+        let op = self.current_op();
+        let op_ref = op.as_deref();
+        let build_start = op.as_ref().map(|_| std::time::Instant::now());
         // Build on the right side, under the deterministic fast hasher.
         // Parallel build: each morsel hashes its pages into a private map;
         // maps merge in morsel order, so every key's bucket lists its rows
         // in scan order — exactly the serial build.
         let table: FxHashMap<Tuple, Vec<Tuple>> = if self.threads > 1 && right.page_count() > 1 {
-            let partials = par_map_pages(&self.storage, right.page_ids(), self.threads, |_m, pages| {
+            let partials = par_map_pages(&self.storage, right.page_ids(), self.threads, op_ref, |_m, pages| {
                 let mut t: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
                 for page in pages {
                     for rt in page.tuples() {
@@ -96,6 +102,12 @@ impl Exec {
             }
             table
         };
+
+        if let (Some(op), Some(t0)) = (&op, build_start) {
+            op.build_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+        }
+        let probe_start = op.as_ref().map(|_| std::time::Instant::now());
 
         // Probe with the left side.
         let right_arity = right.schema().arity();
@@ -127,7 +139,7 @@ impl Exec {
             // results are discarded), which can only over-read on the error
             // path — totals on the success path are identical.
             let partials: Vec<Result<Vec<Tuple>>> =
-                par_map_pages(&self.storage, left.page_ids(), self.threads, |_m, pages| {
+                par_map_pages(&self.storage, left.page_ids(), self.threads, op_ref, |_m, pages| {
                     let mut out = Vec::new();
                     for page in pages {
                         for lt in page.tuples() {
@@ -140,13 +152,26 @@ impl Exec {
             for partial in partials {
                 out.extend(partial?);
             }
+            self.finish_probe(&op, probe_start);
             Ok(out)
         } else {
             let mut out = Vec::new();
             for lt in left.scan(&self.storage) {
                 probe_one(&lt, &mut out)?;
             }
+            self.finish_probe(&op, probe_start);
             Ok(out)
+        }
+    }
+
+    fn finish_probe(
+        &self,
+        op: &Option<std::sync::Arc<nsql_obs::OpMetrics>>,
+        probe_start: Option<std::time::Instant>,
+    ) {
+        if let (Some(op), Some(t0)) = (op, probe_start) {
+            op.probe_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
         }
     }
 }

@@ -23,9 +23,11 @@ use crate::expr::{CExpr, Projector};
 use crate::par::par_map_pages;
 use crate::pred::CPred;
 use crate::Result;
+use nsql_obs::{MetricsRegistry, OpMetrics};
 use nsql_storage::sort::SortKey;
 use nsql_storage::{external_sort_threads, HeapFile, Storage};
 use nsql_types::{Relation, Schema, Tuple};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Inner or left-outer join.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,11 +39,57 @@ pub enum JoinKind {
     LeftOuter,
 }
 
+/// Observability state shared by an executor and its caller: the metrics
+/// registry plus a "current operator" slot the plan layer points at the
+/// operator it is about to run, so engine internals (morsel claims, hash
+/// build/probe timings, per-worker row counts) know where to record.
+///
+/// All recording is side-state: relaxed atomics and the registry's own
+/// locks, never the storage I/O counters — observation cannot perturb the
+/// byte-identical I/O accounting invariant.
+#[derive(Clone, Default)]
+pub struct ExecObs {
+    /// Per-operator metrics and the diagnostic event sink.
+    pub registry: MetricsRegistry,
+    current: Arc<Mutex<Option<Arc<OpMetrics>>>>,
+}
+
+impl ExecObs {
+    /// Fresh observability state with an empty registry.
+    pub fn new() -> ExecObs {
+        ExecObs::default()
+    }
+
+    /// Point engine internals at `op` (or detach with `None`).
+    pub fn set_current(&self, op: Option<Arc<OpMetrics>>) {
+        *self.current.lock().unwrap_or_else(PoisonError::into_inner) = op;
+    }
+
+    /// The operator currently being run, if any.
+    pub fn current(&self) -> Option<Arc<OpMetrics>> {
+        self.current.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Run `f` with `op` installed as the current operator, restoring the
+    /// previous one after (operators can nest, e.g. a distinct projection's
+    /// internal sort).
+    pub fn with_current<R>(&self, op: Arc<OpMetrics>, f: impl FnOnce() -> R) -> R {
+        let prev = {
+            let mut cur = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+            cur.replace(op)
+        };
+        let out = f();
+        self.set_current(prev);
+        out
+    }
+}
+
 /// Operator executor bound to a [`Storage`].
 #[derive(Clone)]
 pub struct Exec {
     storage: Storage,
     threads: usize,
+    obs: Option<ExecObs>,
 }
 
 impl Exec {
@@ -55,7 +103,25 @@ impl Exec {
     /// operators (scans, hash join, aggregation, sort run generation) fan
     /// out while reporting **identical** I/O statistics (see `engine::par`).
     pub fn with_threads(storage: Storage, threads: usize) -> Exec {
-        Exec { storage, threads: threads.max(1) }
+        Exec { storage, threads: threads.max(1), obs: None }
+    }
+
+    /// Attach observability state; operators record per-operator metrics
+    /// into its registry. Without this (the default), every collection
+    /// point reduces to one `Option` branch.
+    pub fn with_obs(mut self, obs: ExecObs) -> Exec {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability state, if any.
+    pub fn obs(&self) -> Option<&ExecObs> {
+        self.obs.as_ref()
+    }
+
+    /// The operator metrics engine internals should record into right now.
+    pub(crate) fn current_op(&self) -> Option<Arc<OpMetrics>> {
+        self.obs.as_ref().and_then(ExecObs::current)
     }
 
     /// The underlying storage handle.
@@ -82,28 +148,37 @@ impl Exec {
     where
         F: Fn(&Tuple) -> Result<Option<Tuple>> + Sync,
     {
+        let op = self.current_op();
         if self.threads > 1 && input.page_count() > 1 {
-            let results = par_map_pages(&self.storage, input.page_ids(), self.threads, |_m, pages| {
-                let mut kept = Vec::new();
-                let mut err = None;
-                for page in pages {
-                    for t in page.tuples() {
-                        match f(t) {
-                            Ok(Some(o)) => kept.push(o),
-                            Ok(None) => {}
-                            // First error within the morsel wins; morsels are
-                            // concatenated in page order below, so this is the
-                            // first error in serial scan order overall.
-                            Err(e) => {
-                                if err.is_none() {
-                                    err = Some(e);
+            let op_ref = op.as_deref();
+            let results =
+                par_map_pages(&self.storage, input.page_ids(), self.threads, op_ref, |m, pages| {
+                    let mut kept = Vec::new();
+                    let mut err = None;
+                    let mut seen = 0u64;
+                    for page in pages {
+                        for t in page.tuples() {
+                            seen += 1;
+                            match f(t) {
+                                Ok(Some(o)) => kept.push(o),
+                                Ok(None) => {}
+                                // First error within the morsel wins; morsels are
+                                // concatenated in page order below, so this is the
+                                // first error in serial scan order overall.
+                                Err(e) => {
+                                    if err.is_none() {
+                                        err = Some(e);
+                                    }
                                 }
                             }
                         }
                     }
-                }
-                (kept, err)
-            });
+                    if let Some(op) = op_ref {
+                        op.rows_in.add(m, seen);
+                        op.rows_out.add(m, kept.len() as u64);
+                    }
+                    (kept, err)
+                });
             let mut err = None;
             let file = HeapFile::from_tuples(
                 &self.storage,
@@ -120,19 +195,31 @@ impl Exec {
             self.check_streamed(file, err)
         } else {
             let mut err = None;
+            let mut rows_in = 0u64;
+            let mut rows_out = 0u64;
             let file = HeapFile::from_tuples(
                 &self.storage,
                 out_schema,
-                input.scan_with(&self.storage, |t| match f(t) {
-                    Ok(o) => o,
-                    Err(e) => {
-                        if err.is_none() {
-                            err = Some(e);
+                input.scan_with(&self.storage, |t| {
+                    rows_in += 1;
+                    match f(t) {
+                        Ok(o) => {
+                            rows_out += o.is_some() as u64;
+                            o
                         }
-                        None
+                        Err(e) => {
+                            if err.is_none() {
+                                err = Some(e);
+                            }
+                            None
+                        }
                     }
                 }),
             );
+            if let Some(op) = &op {
+                op.rows_in.add(0, rows_in);
+                op.rows_out.add(0, rows_out);
+            }
             self.check_streamed(file, err)
         }
     }

@@ -12,6 +12,7 @@
 //! (and therefore identical output page packing and write counts).
 
 use nsql_exec_par::{chunk_for, run_workers};
+use nsql_obs::OpMetrics;
 use nsql_storage::{Page, PageId, Storage};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -25,10 +26,15 @@ const MAX_MORSEL_PAGES: usize = 8;
 /// `work(morsel_index, pages)` must be a pure function of the fetched pages
 /// (no storage access!) — all buffered I/O happens inside the cursor so the
 /// buffer sees the serial access order.
+///
+/// When `op` is set, each claim bumps its per-worker morsel counter —
+/// outside the cursor lock, on side-state relaxed atomics, so the fetch
+/// order and I/O accounting are untouched.
 pub(crate) fn par_map_pages<R, F>(
     storage: &Storage,
     pages: &[PageId],
     threads: usize,
+    op: Option<&OpMetrics>,
     work: F,
 ) -> Vec<R>
 where
@@ -39,7 +45,7 @@ where
     let n_morsels = pages.len().div_ceil(chunk);
     let slots: Vec<Mutex<Option<R>>> = (0..n_morsels).map(|_| Mutex::new(None)).collect();
     let cursor = Mutex::new(0usize);
-    run_workers(threads.min(n_morsels.max(1)), |_w| loop {
+    run_workers(threads.min(n_morsels.max(1)), |w| loop {
         // Claim AND fetch under the cursor lock: buffer fetch order equals
         // the serial scan order.
         let (morsel, fetched) = {
@@ -54,6 +60,9 @@ where
                 pages[start..end].iter().map(|&id| storage.read_page(id)).collect();
             (start / chunk, fetched)
         };
+        if let Some(op) = op {
+            op.morsels.add(w, 1);
+        }
         let r = work(morsel, &fetched);
         *slots[morsel].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
     });
@@ -102,7 +111,7 @@ mod tests {
         }
 
         let (par, fp) = mk();
-        let got = par_map_pages(&par, fp.page_ids(), 4, |_m, pages| {
+        let got = par_map_pages(&par, fp.page_ids(), 4, None, |_m, pages| {
             pages
                 .iter()
                 .flat_map(|p| p.tuples())

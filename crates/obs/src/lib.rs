@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Zero-dependency observability layer: spans, per-operator metrics, and a
+//! JSON exporter.
+//!
+//! The paper states every claim in counted page I/Os, so the one hard rule
+//! of this crate is that **observing a query must not change what is
+//! observed**: collection only ever *loads* the engine's I/O counters
+//! (never mutates them), all of its own counters live on the side, and
+//! every collection point is behind a single branch that disabled-mode
+//! skips. `crates/bench/tests/par_prop.rs` proves the invariant end to end
+//! (obs on vs off, threads 1 and 4, byte-identical I/O and results).
+//!
+//! Three pieces:
+//!
+//! * [`span::Tracer`] — a nested span tracer for the query lifecycle
+//!   (parse → analyze → transform steps → plan → execute). Each span
+//!   carries wall time and, through an optional caller-supplied probe, the
+//!   page-I/O delta it covered.
+//! * [`metrics::MetricsRegistry`] — per-operator counters (rows in/out,
+//!   pages read/written, buffer hits/misses, build/probe timings, morsel
+//!   claims per worker) on sharded relaxed atomics, plus a diagnostic
+//!   event sink so library crates never print.
+//! * [`json`] — a minimal JSON value type with a writer *and* parser, so
+//!   exporters and their schema checks share one in-tree implementation.
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use json::Json;
+pub use metrics::{MetricsRegistry, OpMetrics, OpSnapshot, ShardedCounter, SHARDS};
+pub use span::{IoDelta, SpanNode, Tracer};

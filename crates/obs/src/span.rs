@@ -1,0 +1,335 @@
+//! Nested span tracer for the query lifecycle.
+//!
+//! A [`Tracer`] is a cheaply clonable handle. Disabled (the default) it is
+//! a `None` inside — every instrumentation site pays exactly one branch and
+//! touches no shared state. Enabled, it records a tree of [`SpanNode`]s,
+//! each carrying wall time and the page-I/O delta observed between the
+//! span's begin and end.
+//!
+//! The tracer never owns an I/O counter: the creator supplies a *probe*
+//! closure that reads the engine's cumulative counters (e.g.
+//! `Storage::io_snapshot`). Probing is a pure load — begin/end never
+//! mutate what they measure, which is what keeps the PR 2/3 byte-identical
+//! I/O accounting invariant intact under observation.
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Cumulative page-I/O reading taken by a tracer probe.
+///
+/// Values are *cumulative totals* at probe time; the tracer subtracts a
+/// span's begin reading from its end reading to get the delta charged to
+/// the span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoDelta {
+    /// Pages read from the simulated disk.
+    pub reads: u64,
+    /// Pages written to the simulated disk.
+    pub writes: u64,
+    /// Buffer-pool hits.
+    pub hits: u64,
+    /// Buffer-pool misses.
+    pub misses: u64,
+}
+
+impl IoDelta {
+    /// Component-wise difference `self - earlier` (saturating, so a
+    /// mid-query counter reset cannot underflow).
+    pub fn since(&self, earlier: &IoDelta) -> IoDelta {
+        IoDelta {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+
+    /// True when every component is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == IoDelta::default()
+    }
+}
+
+/// One completed span: a named region of the query lifecycle with its
+/// wall time, I/O delta, and nested children.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span name, e.g. `"transform"` or `"NEST-JA2 step 2b"`.
+    pub name: String,
+    /// Wall-clock duration in nanoseconds.
+    pub wall_ns: u64,
+    /// Page-I/O delta observed between begin and end.
+    pub io: IoDelta,
+    /// Child spans, in begin order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Render this span subtree as indented text lines.
+    pub fn render_into(&self, depth: usize, out: &mut Vec<String>) {
+        let mut line = format!("{}{}", "  ".repeat(depth), self.name);
+        let _ = write!(line, "  [{:.3} ms", self.wall_ns as f64 / 1e6);
+        if !self.io.is_zero() {
+            let _ = write!(
+                line,
+                ", io: {}r/{}w, buf: {}h/{}m",
+                self.io.reads, self.io.writes, self.io.hits, self.io.misses
+            );
+        }
+        line.push(']');
+        out.push(line);
+        for child in &self.children {
+            child.render_into(depth + 1, out);
+        }
+    }
+
+    /// JSON form: `{name, wall_ns, io:{reads,writes,hits,misses}, children:[..]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("wall_ns", Json::num(self.wall_ns as f64)),
+            (
+                "io",
+                Json::obj([
+                    ("reads", Json::num(self.io.reads as f64)),
+                    ("writes", Json::num(self.io.writes as f64)),
+                    ("hits", Json::num(self.io.hits as f64)),
+                    ("misses", Json::num(self.io.misses as f64)),
+                ]),
+            ),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(SpanNode::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Probe that reads cumulative I/O counters. Must be a pure load.
+type Probe = Arc<dyn Fn() -> IoDelta + Send + Sync>;
+
+/// Handle to an open span; pass back to [`Tracer::end`].
+///
+/// Ending out of order is tolerated: `end` closes open descendants first,
+/// so a span abandoned on an early-error path cannot corrupt the tree.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanId(usize);
+
+struct OpenSpan {
+    node: SpanNode,
+    started: Instant,
+    io_at_start: IoDelta,
+    id: usize,
+}
+
+struct TracerState {
+    /// Completed top-level spans.
+    roots: Vec<SpanNode>,
+    /// Stack of open spans, outermost first.
+    open: Vec<OpenSpan>,
+    next_id: usize,
+    probe: Option<Probe>,
+}
+
+/// Span tracer handle. `Tracer::default()` is disabled and free to clone
+/// and pass around; [`Tracer::enabled`] records.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<TracerState>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer: every call is a single branch and a no-op.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// An enabled tracer with no I/O probe (spans carry wall time only).
+    pub fn enabled() -> Tracer {
+        Tracer::with_probe_opt(None)
+    }
+
+    /// An enabled tracer whose spans record I/O deltas via `probe`.
+    ///
+    /// `probe` must be a pure read of cumulative counters (e.g. a storage
+    /// snapshot); it is called twice per span, at begin and end.
+    pub fn with_probe(probe: impl Fn() -> IoDelta + Send + Sync + 'static) -> Tracer {
+        Tracer::with_probe_opt(Some(Arc::new(probe)))
+    }
+
+    fn with_probe_opt(probe: Option<Probe>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(TracerState {
+                roots: Vec::new(),
+                open: Vec::new(),
+                next_id: 0,
+                probe,
+            }))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a nested span. Returns a handle for [`end`](Tracer::end).
+    pub fn begin(&self, name: &str) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return SpanId(usize::MAX);
+        };
+        let mut st = inner.lock().expect("tracer lock");
+        let io_at_start = st.probe.as_ref().map(|p| p()).unwrap_or_default();
+        let id = st.next_id;
+        st.next_id += 1;
+        st.open.push(OpenSpan {
+            node: SpanNode {
+                name: name.to_string(),
+                wall_ns: 0,
+                io: IoDelta::default(),
+                children: Vec::new(),
+            },
+            started: Instant::now(),
+            io_at_start,
+            id,
+        });
+        SpanId(id)
+    }
+
+    /// Close the span opened by `begin`. Any spans opened after it and not
+    /// yet closed are closed first (they nest inside it).
+    pub fn end(&self, span: SpanId) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock().expect("tracer lock");
+        let Some(pos) = st.open.iter().position(|o| o.id == span.0) else {
+            return; // already closed (e.g. by an ancestor's end)
+        };
+        let io_now = st.probe.as_ref().map(|p| p()).unwrap_or_default();
+        while st.open.len() > pos {
+            let open = st.open.pop().expect("open span just checked");
+            let mut node = open.node;
+            node.wall_ns = open.started.elapsed().as_nanos() as u64;
+            node.io = io_now.since(&open.io_at_start);
+            match st.open.last_mut() {
+                Some(parent) => parent.node.children.push(node),
+                None => st.roots.push(node),
+            }
+        }
+    }
+
+    /// Run `f` inside a span named `name`.
+    pub fn scope<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let id = self.begin(name);
+        let out = f();
+        self.end(id);
+        out
+    }
+
+    /// Take the completed span tree, closing any still-open spans. The
+    /// tracer is left empty and can be reused.
+    pub fn finish(&self) -> Vec<SpanNode> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut st = inner.lock().expect("tracer lock");
+        let io_now = st.probe.as_ref().map(|p| p()).unwrap_or_default();
+        while let Some(open) = st.open.pop() {
+            let mut node = open.node;
+            node.wall_ns = open.started.elapsed().as_nanos() as u64;
+            node.io = io_now.since(&open.io_at_start);
+            match st.open.last_mut() {
+                Some(parent) => parent.node.children.push(node),
+                None => st.roots.push(node),
+            }
+        }
+        std::mem::take(&mut st.roots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let id = t.begin("x");
+        t.end(id);
+        assert!(t.finish().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_carry_io_deltas() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let probe_ctr = Arc::clone(&counter);
+        let t = Tracer::with_probe(move || IoDelta {
+            reads: probe_ctr.load(Ordering::Relaxed),
+            ..IoDelta::default()
+        });
+        let outer = t.begin("outer");
+        counter.fetch_add(2, Ordering::Relaxed);
+        let inner = t.begin("inner");
+        counter.fetch_add(3, Ordering::Relaxed);
+        t.end(inner);
+        counter.fetch_add(1, Ordering::Relaxed);
+        t.end(outer);
+
+        let roots = t.finish();
+        assert_eq!(roots.len(), 1);
+        let o = &roots[0];
+        assert_eq!(o.name, "outer");
+        assert_eq!(o.io.reads, 6);
+        assert_eq!(o.children.len(), 1);
+        assert_eq!(o.children[0].name, "inner");
+        assert_eq!(o.children[0].io.reads, 3);
+    }
+
+    #[test]
+    fn unclosed_children_fold_into_ancestor_on_end() {
+        let t = Tracer::enabled();
+        let a = t.begin("a");
+        let _b = t.begin("b"); // never explicitly ended
+        t.end(a);
+        let roots = t.finish();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].children.len(), 1);
+        assert_eq!(roots[0].children[0].name, "b");
+    }
+
+    #[test]
+    fn scope_runs_and_records() {
+        let t = Tracer::enabled();
+        let v = t.scope("s", || 41 + 1);
+        assert_eq!(v, 42);
+        let roots = t.finish();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "s");
+    }
+
+    #[test]
+    fn render_and_json_shape() {
+        let t = Tracer::enabled();
+        t.scope("root", || t.scope("child", || ()));
+        let roots = t.finish();
+        let mut lines = Vec::new();
+        roots[0].render_into(0, &mut lines);
+        assert!(lines[0].starts_with("root"));
+        assert!(lines[1].starts_with("  child"));
+        let j = roots[0].to_json().to_string();
+        assert!(j.contains("\"name\":\"root\""));
+        assert!(j.contains("\"children\":[{"));
+    }
+}

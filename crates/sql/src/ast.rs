@@ -458,4 +458,13 @@ pub enum Statement {
     },
     /// A query.
     Select(QueryBlock),
+    /// `EXPLAIN [ANALYZE] SELECT …` — render the transform decision and
+    /// cost predictions; with ANALYZE, execute and attach measured
+    /// per-operator actuals.
+    Explain {
+        /// Whether ANALYZE was given (execute and measure).
+        analyze: bool,
+        /// The query to explain.
+        query: QueryBlock,
+    },
 }

@@ -16,7 +16,7 @@ pub fn parse_query(src: &str) -> Result<QueryBlock, ParseError> {
     Ok(q)
 }
 
-/// Parse a single statement (CREATE TABLE / INSERT / SELECT).
+/// Parse a single statement (CREATE TABLE / INSERT / SELECT / EXPLAIN).
 pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
     let mut p = Parser::new(src)?;
     let s = p.parse_statement()?;
@@ -131,6 +131,11 @@ impl Parser {
         if self.eat_keyword(K::Select) {
             return Ok(Statement::Select(self.parse_query_body()?));
         }
+        if self.eat_keyword(K::Explain) {
+            let analyze = self.eat_keyword(K::Analyze);
+            self.expect_keyword(K::Select)?;
+            return Ok(Statement::Explain { analyze, query: self.parse_query_body()? });
+        }
         if self.eat_keyword(K::Create) {
             self.expect_keyword(K::Table)?;
             return self.parse_create_table();
@@ -140,7 +145,7 @@ impl Parser {
             return self.parse_insert();
         }
         Err(self.err(format!(
-            "expected SELECT, CREATE TABLE, or INSERT INTO; found {}",
+            "expected SELECT, EXPLAIN, CREATE TABLE, or INSERT INTO; found {}",
             self.peek()
         )))
     }
@@ -717,6 +722,24 @@ mod tests {
         let s = parse_statement("INSERT INTO T VALUES (-5, NULL, 2.5)").unwrap();
         let Statement::Insert { rows, .. } = s else { panic!() };
         assert_eq!(rows[0], vec![Value::Int(-5), Value::Null, Value::Float(2.5)]);
+    }
+
+    #[test]
+    fn parses_explain_and_explain_analyze() {
+        let s = parse_statement("EXPLAIN SELECT A FROM T").unwrap();
+        let Statement::Explain { analyze: false, query } = s else { panic!("{s:?}") };
+        assert_eq!(query.from[0].table, "T");
+
+        let s = parse_statement(
+            "EXPLAIN ANALYZE SELECT PNUM FROM PARTS WHERE QOH = \
+             (SELECT COUNT(SHIPDATE) FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)",
+        )
+        .unwrap();
+        let Statement::Explain { analyze: true, .. } = s else { panic!("{s:?}") };
+
+        // EXPLAIN requires a SELECT after it.
+        assert!(parse_statement("EXPLAIN INSERT INTO T VALUES (1)").is_err());
+        assert!(parse_statement("EXPLAIN ANALYZE").is_err());
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub fn print_predicate(p: &Predicate) -> String {
 pub fn print_statement(s: &Statement) -> String {
     match s {
         Statement::Select(q) => print_query(q),
+        Statement::Explain { analyze, query } => {
+            let kw = if *analyze { "EXPLAIN ANALYZE" } else { "EXPLAIN" };
+            format!("{kw} {}", print_query(query))
+        }
         Statement::CreateTable { name, columns } => {
             let cols: Vec<String> =
                 columns.iter().map(|(n, t)| format!("{n} {t}")).collect();

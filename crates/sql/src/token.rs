@@ -54,6 +54,8 @@ pub enum Keyword {
     Char,
     Varchar,
     Text,
+    Explain,
+    Analyze,
 }
 
 impl Keyword {
@@ -100,6 +102,8 @@ impl Keyword {
             "CHAR" => Char,
             "VARCHAR" => Varchar,
             "TEXT" => Text,
+            "EXPLAIN" => Explain,
+            "ANALYZE" => Analyze,
             _ => return None,
         })
     }

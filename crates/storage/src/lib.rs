@@ -36,7 +36,7 @@ pub use buffer::BufferPool;
 pub use disk::{Disk, Page, PageId};
 pub use heap::HeapFile;
 pub use sort::{external_sort, external_sort_threads};
-pub use stats::IoStats;
+pub use stats::{IoSnapshot, IoStats};
 
 use nsql_types::{Relation, Schema, Tuple};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -183,6 +183,19 @@ impl Storage {
     pub fn buffer_stats(&self) -> (u64, u64) {
         let b = self.buffer();
         (b.hits(), b.misses())
+    }
+
+    /// Atomically consistent snapshot of disk and buffer activity.
+    ///
+    /// The (reads, writes) pair is one atomic load of the packed counter
+    /// word — untearable under concurrent workers; hits/misses are taken
+    /// together under the buffer mutex. Pair two of these with
+    /// [`IoSnapshot::since`] to attribute a delta to a region of work.
+    /// Pure loads throughout: snapshotting never perturbs the counters.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        let io = self.inner.disk.stats();
+        let (hits, misses) = self.buffer_stats();
+        IoSnapshot { reads: io.reads, writes: io.writes, hits, misses }
     }
 
     /// Read a page through the buffer pool.

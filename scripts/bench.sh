@@ -3,6 +3,7 @@
 #
 #   ./scripts/bench.sh [label]        # PR2 benches -> BENCH_pr2.json
 #   ./scripts/bench.sh sweep [label]  # thread sweep -> BENCH_pr3.json
+#   ./scripts/bench.sh obs [label]    # per-operator metrics -> BENCH_pr5.json
 #
 # The committed BENCH_pr2.json holds one line per benchmark per run,
 # tagged `"label":"baseline"` (recorded before the zero-copy hot-path
@@ -11,13 +12,19 @@
 # I/Os are identical across a sweep by construction, so only the medians
 # move. Compare medians per (group, bench) pair; see DESIGN.md
 # "Threading model" and "Execution model and the I/O-accounting
-# invariant".
+# invariant". BENCH_pr5.json holds one line per EXPLAIN ANALYZE query:
+# transform decision, predicted Section-7 costs, and the measured
+# per-operator metrics array (rows, page I/O, build/probe/wall timings);
+# the page-I/O counters are deterministic, the nanosecond timings are not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode=bench
 if [ "${1:-}" = "sweep" ]; then
     mode=sweep
+    shift
+elif [ "${1:-}" = "obs" ]; then
+    mode=obs
     shift
 fi
 label=${1:-current}
@@ -28,6 +35,10 @@ if [ "$mode" = "sweep" ]; then
     out=BENCH_pr3.json
     echo "==> cargo bench -p nsql-bench --bench par_sweep  (host: $(nproc) CPU(s))"
     NSQL_BENCH_JSON="$tmp" cargo bench -p nsql-bench --bench par_sweep --offline
+elif [ "$mode" = "obs" ]; then
+    out=BENCH_pr5.json
+    echo "==> cargo run -p nsql-bench --bin explain_smoke  (per-operator metrics)"
+    NSQL_OBS_JSON="$tmp" cargo run --release --offline -q -p nsql-bench --bin explain_smoke
 else
     out=BENCH_pr2.json
     for bench in nested_vs_transformed ja2_variants; do

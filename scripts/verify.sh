@@ -32,6 +32,22 @@ for bin in figure1 figure2 section7 ablation bugs extensions sweep; do
         || { echo "FAIL: $bin output differs across thread settings"; exit 1; }
 done
 
+echo "==> explain_smoke (EXPLAIN ANALYZE per transform type, exporter schema)"
+cargo run --release --offline -q -p nsql-bench --bin explain_smoke
+
+echo "==> query-processing library crates are stdout-silent"
+# Diagnostics in the processing crates route through the nsql-obs event
+# sink, so EXPLAIN ANALYZE and the JSON exporter see them. Harness crates
+# (testkit, bench) and binaries are exempt: stdout is their deliverable.
+if grep -rnE '(println|eprintln|print|eprint|dbg)!' \
+    crates/types/src crates/obs/src crates/sql/src crates/storage/src \
+    crates/exec-par/src crates/engine/src crates/analyzer/src \
+    crates/core/src crates/db/src crates/oracle/src src/lib.rs \
+    --include='*.rs' | grep -vE ':[0-9]+:\s*(//|///|//!)'; then
+    echo "FAIL: stdout/stderr printing in a query-processing library crate"
+    exit 1
+fi
+
 echo "==> differential oracle check (release, 200 random cases per pipeline)"
 NSQL_DIFF_CASES=200 cargo run --release --offline -q -p nsql-bench --bin diffcheck
 

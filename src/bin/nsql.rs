@@ -4,7 +4,9 @@
 //! cargo run --bin nsql
 //! ```
 //!
-//! Type SQL terminated by `;`. Dot-commands:
+//! Type SQL terminated by `;` — including `EXPLAIN SELECT …` (transform
+//! decision and predicted Section-7 costs) and `EXPLAIN ANALYZE SELECT …`
+//! (adds measured per-operator metrics and lifecycle spans). Dot-commands:
 //!
 //! ```text
 //! .help                 this text
@@ -141,6 +143,24 @@ impl Shell {
                 }
                 Err(e) => println!("error: {e}"),
             }
+        } else if upper.starts_with("EXPLAIN") {
+            // Handled here rather than via execute_script so the report
+            // honours the shell's current .strategy/.variant options.
+            let rest = sql.trim_start()["EXPLAIN".len()..].trim_start();
+            let (analyze, query) = match rest.get(.."ANALYZE".len()) {
+                Some(kw) if kw.eq_ignore_ascii_case("ANALYZE") => {
+                    (true, rest["ANALYZE".len()..].trim_start())
+                }
+                _ => (false, rest),
+            };
+            match self.db.explain_query(query, analyze, &self.opts) {
+                Ok(report) => {
+                    for l in report.render_lines() {
+                        println!("{l}");
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
         } else {
             match self.db.execute_script(sql) {
                 Ok(Some(rel)) => println!("{rel}"),
@@ -153,7 +173,9 @@ impl Shell {
 
 fn print_help() {
     println!(
-        "SQL (terminated by ';'): CREATE TABLE, INSERT INTO … VALUES, SELECT\n\
+        "SQL (terminated by ';'): CREATE TABLE, INSERT INTO … VALUES, SELECT,\n\
+         EXPLAIN SELECT … (transform decision + predicted Section-7 costs),\n\
+         EXPLAIN ANALYZE SELECT … (adds measured per-operator metrics + spans)\n\
          .tables | .demo | .strategy ni|cost|merge|nl|hash | .variant ja2|kim|noproj|late\n\
          .explain SELECT … | .tree SELECT … | .quit"
     );

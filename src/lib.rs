@@ -11,6 +11,7 @@ pub use nsql_analyzer as analyzer;
 pub use nsql_core as core;
 pub use nsql_db as db;
 pub use nsql_engine as engine;
+pub use nsql_obs as obs;
 pub use nsql_oracle as oracle;
 pub use nsql_sql as sql;
 pub use nsql_storage as storage;
