@@ -44,7 +44,11 @@ fn main() {
                 let file = out.file.with_schema(schema);
                 pe.register_temp(
                     &temp.name,
-                    nsql_db::plan_exec::PlanOutput { file, sorted_by: out.sorted_by },
+                    nsql_db::plan_exec::PlanOutput {
+                        file,
+                        sorted_by: out.sorted_by,
+                        indexes: vec![],
+                    },
                 );
             }
             // … final canonical query under `final_policy`.

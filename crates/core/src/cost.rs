@@ -176,6 +176,43 @@ pub fn transformed_merge_join_cost(pi: f64, pj: f64, b: f64) -> f64 {
     sort_cost(pi, b) + sort_cost(pj, b) + pi + pj
 }
 
+// ------------------------------------------------------- index access paths
+//
+// The 1987 model prices only scans and sorts because its System R substrate
+// exposed no secondary index to the transformed plans. With a B+tree on a
+// column, two of NEST-JA2's steps gain a third method:
+//
+// * the **outer-column restriction** (§7.1's read of `Ri` under the simple
+//   predicates) can probe the index instead of scanning all `Pi` pages;
+// * the **back-join** of `Rt` with `Ri` (§7.3) can, instead of sorting
+//   `Ri`, probe `Ri`'s index once per `Rt` tuple.
+//
+// Both formulas follow the same shape as the paper's: counts of page
+// fetches from relation statistics, no constant factors.
+
+/// Page fetches for one index range restriction: descend `height` internal
+/// pages, then read the `selectivity` fraction of the `leaf_pages` leaves
+/// (at least one when anything matches).
+pub fn index_restrict_cost(height: f64, leaf_pages: f64, selectivity: f64) -> f64 {
+    let leaves = (leaf_pages * selectivity.clamp(0.0, 1.0)).ceil().max(1.0);
+    height + leaves.min(leaf_pages.max(1.0))
+}
+
+/// Page fetches for an index nested-loop join: read the `p_outer` pages of
+/// the outer relation, and for each of its `n_outer` tuples descend the
+/// inner index (`height` internal pages) and fetch the leaves holding the
+/// matches (`leaves_per_probe`, ≥ 1). Repeated probes of a hot root are
+/// still charged — the model, like the paper's, assumes the worst-case
+/// cold buffer for each probe.
+pub fn index_nested_join_cost(
+    p_outer: f64,
+    n_outer: f64,
+    height: f64,
+    leaves_per_probe: f64,
+) -> f64 {
+    p_outer + n_outer * (height + leaves_per_probe.max(1.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +286,33 @@ mod tests {
         assert_eq!(cheap, 100.0 + 100.0 + 4.0 + 4.0);
         let dear = nested_iteration_cost_n(100.0, 100.0, 10.0, 6.0, 1000.0);
         assert_eq!(dear, 100.0 + 10.0 + 100.0 + 10_000.0);
+    }
+
+    #[test]
+    fn index_backjoin_beats_merge_when_rt_is_tiny() {
+        // §7.3 with an index on Ri's join column: a 5-tuple Rt probing a
+        // height-2 index costs 5·3+Pt fetches, far below sorting a 50-page
+        // Ri for the merge join.
+        let p = Ja2Params::paper_example();
+        let merge_final = ja2_cost(&p, JoinMethod::MergeJoin, JoinMethod::MergeJoin).final_join;
+        let ix_final = index_nested_join_cost(p.pt, 5.0, 2.0, 1.0);
+        assert!(
+            ix_final < merge_final,
+            "index back-join {ix_final:.0} should beat merge {merge_final:.0}"
+        );
+        // ...but not when Rt carries thousands of probes.
+        let ix_many = index_nested_join_cost(p.pt, 5000.0, 2.0, 1.0);
+        assert!(ix_many > merge_final);
+    }
+
+    #[test]
+    fn index_restrict_is_bounded_by_full_scan_shape() {
+        // A selective predicate touches few leaves; selectivity 1 touches
+        // them all (plus the descent).
+        assert_eq!(index_restrict_cost(2.0, 100.0, 0.01), 3.0);
+        assert_eq!(index_restrict_cost(2.0, 100.0, 1.0), 102.0);
+        // Never less than one leaf even for vanishing selectivity.
+        assert_eq!(index_restrict_cost(3.0, 50.0, 0.0), 4.0);
     }
 
     #[test]

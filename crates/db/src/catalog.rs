@@ -1,23 +1,40 @@
-//! The table catalog: names → stored heap files.
+//! The table catalog: names → stored heap files (+ their B+tree indexes).
+//!
+//! On a file-backed [`Storage`] the catalog is also the unit of durability:
+//! every DDL/DML statement ends by committing the open page batch together
+//! with a self-describing snapshot of the whole catalog (table schemas, page
+//! ids, tuple counts, encoded indexes). Recovery hands that snapshot back and
+//! [`Catalog::restore`] rebuilds the in-memory maps without any page I/O.
 
 use crate::error::DbError;
 use crate::Result;
 use nsql_analyzer::resolve::SchemaSource;
 use nsql_engine::TableProvider;
-use nsql_storage::{HeapFile, Storage};
+use nsql_index::BTreeIndex;
+use nsql_storage::durable::codec::{self, ByteReader, ByteWriter};
+use nsql_storage::{HeapFile, PageId, Storage, StorageError};
 use nsql_types::{Relation, Schema};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Version tag leading every catalog snapshot (room to evolve the layout).
+const SNAPSHOT_VERSION: u32 = 1;
+
+fn store_err(e: StorageError) -> DbError {
+    DbError::Engine(nsql_engine::EngineError::Storage(e))
+}
 
 /// Catalog of base tables bound to one [`Storage`].
 pub struct Catalog {
     storage: Storage,
     tables: BTreeMap<String, HeapFile>,
+    indexes: BTreeMap<String, Vec<Arc<BTreeIndex>>>,
 }
 
 impl Catalog {
     /// Empty catalog over `storage`.
     pub fn new(storage: Storage) -> Catalog {
-        Catalog { storage, tables: BTreeMap::new() }
+        Catalog { storage, tables: BTreeMap::new(), indexes: BTreeMap::new() }
     }
 
     /// The storage handle.
@@ -35,17 +52,23 @@ impl Catalog {
         let schema = schema.requalify(&key);
         let file = HeapFile::from_tuples(&self.storage, schema, Vec::new());
         self.tables.insert(key, file);
-        Ok(())
+        self.persist()
     }
 
     /// Register a relation as a table (stores it; one write per page).
+    /// Replaces any previous table of the same name, including its indexes.
     pub fn load_table(&mut self, name: &str, rel: &Relation) -> Result<()> {
         let key = name.to_ascii_uppercase();
         let requalified =
             Relation::new(rel.schema().requalify(&key), rel.tuples().to_vec())?;
         let file = self.storage.store_relation(&requalified);
-        self.tables.insert(key, file);
-        Ok(())
+        if let Some(old) = self.tables.insert(key.clone(), file) {
+            old.drop_pages(&self.storage);
+        }
+        for ix in self.indexes.remove(&key).unwrap_or_default() {
+            ix.drop_pages(&self.storage);
+        }
+        self.persist()
     }
 
     /// Append rows to a table (rewrites the heap file — the engine is
@@ -71,19 +94,83 @@ impl Catalog {
             file.scan(&self.storage).chain(rows).collect();
         let new_file = HeapFile::from_tuples(&self.storage, schema, all);
         file.drop_pages(&self.storage);
-        self.tables.insert(key, new_file);
+        self.tables.insert(key.clone(), new_file);
+        self.rebuild_indexes(&key);
+        self.persist()?;
         Ok(n)
     }
 
-    /// Drop a table, freeing its pages.
+    /// Drop a table, freeing its pages and any indexes on it.
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
         let key = name.to_ascii_uppercase();
         match self.tables.remove(&key) {
             Some(f) => {
                 f.drop_pages(&self.storage);
-                Ok(())
+                for ix in self.indexes.remove(&key).unwrap_or_default() {
+                    ix.drop_pages(&self.storage);
+                }
+                self.persist()
             }
             None => Err(DbError::Catalog(format!("unknown table {key}"))),
+        }
+    }
+
+    /// Build a B+tree index on one column of `table` (resolved by
+    /// unqualified column name, case-insensitively). Returns the generated
+    /// index name. The index is a clustered copy of the table sorted by the
+    /// key; DML on the table rebuilds it.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<String> {
+        let key = table.to_ascii_uppercase();
+        let file = self
+            .tables
+            .get(&key)
+            .ok_or_else(|| DbError::Catalog(format!("unknown table {key}")))?
+            .clone();
+        let col = file
+            .schema()
+            .columns()
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(column))
+            .ok_or_else(|| {
+                DbError::Catalog(format!("no column {column} in table {key}"))
+            })?;
+        let existing = self.indexes.entry(key.clone()).or_default();
+        if existing.iter().any(|ix| ix.key_col() == col) {
+            return Err(DbError::Catalog(format!(
+                "index on {key}.{} already exists",
+                column.to_ascii_uppercase()
+            )));
+        }
+        let ix_name = format!("IX_{key}_{}", column.to_ascii_uppercase());
+        let ix = BTreeIndex::build(&self.storage, &ix_name, col, &file);
+        existing.push(Arc::new(ix));
+        self.persist()?;
+        Ok(ix_name)
+    }
+
+    /// The indexes on `table` (empty slice when none).
+    pub fn indexes(&self, table: &str) -> &[Arc<BTreeIndex>] {
+        self.indexes
+            .get(&table.to_ascii_uppercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total number of indexes across all tables.
+    pub fn index_count(&self) -> usize {
+        self.indexes.values().map(Vec::len).sum()
+    }
+
+    /// Re-derive every index on `key` from the table's current heap file
+    /// (DML rewrites the file, so indexes are rebuilt wholesale).
+    fn rebuild_indexes(&mut self, key: &str) {
+        let Some(file) = self.tables.get(key).cloned() else { return };
+        let Some(list) = self.indexes.get_mut(key) else { return };
+        for slot in list.iter_mut() {
+            let rebuilt =
+                BTreeIndex::build(&self.storage, slot.name(), slot.key_col(), &file);
+            let old = std::mem::replace(slot, Arc::new(rebuilt));
+            old.drop_pages(&self.storage);
         }
     }
 
@@ -96,6 +183,79 @@ impl Catalog {
     pub fn table(&self, name: &str) -> Option<&HeapFile> {
         self.tables.get(&name.to_ascii_uppercase())
     }
+
+    /// Commit the open durable batch with a full catalog snapshot as the
+    /// commit metadata. No-op on memory storage — every DDL/DML path calls
+    /// this unconditionally.
+    pub fn persist(&self) -> Result<()> {
+        if !self.storage.is_durable() {
+            return Ok(());
+        }
+        let snapshot = self.snapshot();
+        self.storage.commit_durable(&snapshot).map_err(store_err)
+    }
+
+    /// Serialize the catalog: every table's schema, page ids, and tuple
+    /// count, plus every index. The snapshot is self-describing — restoring
+    /// needs no page reads.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(SNAPSHOT_VERSION);
+        w.put_u32(self.tables.len() as u32);
+        for (key, file) in &self.tables {
+            w.put_str(key);
+            codec::put_schema(&mut w, file.schema());
+            w.put_u64(file.tuple_count() as u64);
+            w.put_u32(file.page_count() as u32);
+            for pid in file.page_ids() {
+                w.put_u64(pid.0);
+            }
+            let ixs = self.indexes.get(key).map(Vec::as_slice).unwrap_or(&[]);
+            w.put_u32(ixs.len() as u32);
+            for ix in ixs {
+                ix.encode(&mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuild a catalog from the snapshot handed back by crash recovery
+    /// (`None`/empty → a fresh, empty catalog). Pure metadata work: no page
+    /// I/O happens until the first query touches a table.
+    pub fn restore(storage: Storage, snapshot: Option<&[u8]>) -> Result<Catalog> {
+        let mut cat = Catalog::new(storage);
+        let Some(bytes) = snapshot.filter(|b| !b.is_empty()) else {
+            return Ok(cat);
+        };
+        let mut r = ByteReader::new(bytes);
+        let version = r.get_u32().map_err(store_err)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(store_err(StorageError::Corrupt(format!(
+                "unsupported catalog snapshot version {version}"
+            ))));
+        }
+        let n_tables = r.get_u32().map_err(store_err)?;
+        for _ in 0..n_tables {
+            let key = r.get_str().map_err(store_err)?;
+            let schema = codec::get_schema(&mut r).map_err(store_err)?;
+            let tuple_count = r.get_u64().map_err(store_err)? as usize;
+            let n_pages = r.get_u32().map_err(store_err)? as usize;
+            let mut pages = Vec::with_capacity(n_pages);
+            for _ in 0..n_pages {
+                pages.push(PageId(r.get_u64().map_err(store_err)?));
+            }
+            let n_ixs = r.get_u32().map_err(store_err)? as usize;
+            let mut ixs = Vec::with_capacity(n_ixs);
+            for _ in 0..n_ixs {
+                ixs.push(Arc::new(BTreeIndex::decode(&mut r).map_err(store_err)?));
+            }
+            cat.tables.insert(key.clone(), HeapFile::from_parts(schema, pages, tuple_count));
+            if !ixs.is_empty() {
+                cat.indexes.insert(key, ixs);
+            }
+        }
+        Ok(cat)
+    }
 }
 
 impl SchemaSource for Catalog {
@@ -107,6 +267,10 @@ impl SchemaSource for Catalog {
 impl TableProvider for Catalog {
     fn get_table(&self, table: &str) -> Option<HeapFile> {
         self.tables.get(&table.to_ascii_uppercase()).cloned()
+    }
+
+    fn get_indexes(&self, table: &str) -> Vec<Arc<BTreeIndex>> {
+        self.indexes(table).to_vec()
     }
 }
 

@@ -3,17 +3,18 @@
 use crate::catalog::Catalog;
 
 use crate::explain::{ObsReport, TempStat};
-use crate::options::{QueryOptions, Strategy};
+use crate::options::{Durability, QueryOptions, Strategy};
 use crate::plan_exec::PlanExecutor;
 use crate::Result;
 use nsql_analyzer::{query_tree, validate_query, QueryTree};
 use nsql_core::{transform_query, transform_query_traced, TransformPlan};
 use nsql_engine::{Exec, ExecObs, NestedIter};
-use nsql_obs::{IoDelta, Tracer};
+use nsql_obs::{IoDelta, SpanNode, Tracer};
 use nsql_sql::{parse_statements, QueryBlock, Statement};
-use nsql_storage::{IoStats, Storage};
+use nsql_storage::{IoStats, RecoveryReport, Storage};
 use nsql_types::{Column, ColumnType, Relation, Schema, Tuple, Value};
-use std::sync::atomic::Ordering;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -35,21 +36,158 @@ pub struct QueryOutcome {
     pub obs: Option<ObsReport>,
 }
 
+/// What [`Database::open`] found and did while bringing a file-backed
+/// database back up: the storage layer's crash-recovery report, catalog
+/// shape, and the recovery lifecycle spans.
+#[derive(Debug, Clone)]
+pub struct OpenReport {
+    /// WAL/page-file recovery outcome from the storage layer.
+    pub recovery: RecoveryReport,
+    /// Tables restored from the committed catalog snapshot.
+    pub tables: usize,
+    /// B+tree indexes restored from the snapshot.
+    pub indexes: usize,
+    /// Lifecycle spans: `"open"` with children `"open: recover store"` and
+    /// `"open: restore catalog"`.
+    pub spans: Vec<SpanNode>,
+}
+
+/// Deletes a per-process data directory (created for `NSQL_DURABILITY=file`)
+/// when the owning [`Database`] goes away, so figure/table binaries leave no
+/// droppings behind.
+struct OwnedDataDir(PathBuf);
+
+impl Drop for OwnedDataDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Distinguishes data dirs created by this process across repeated
+/// `Database::new()` calls within it.
+static DATA_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// An embedded single-session database over the simulated storage engine.
 pub struct Database {
     catalog: Catalog,
+    open_report: Option<OpenReport>,
+    _data_dir: Option<OwnedDataDir>,
 }
 
 impl Database {
     /// Database over a default-sized storage (`B = 6` buffer pages,
-    /// 512-byte pages).
+    /// 512-byte pages). Honors `NSQL_DURABILITY` (see
+    /// [`Durability::from_env`]): under `file`, the database sits on a
+    /// fresh file-backed store in a private directory that is removed when
+    /// the database drops — page-I/O counts are identical to the memory
+    /// backend by construction, so experiment output does not change.
     pub fn new() -> Database {
-        Database { catalog: Catalog::new(Storage::with_defaults()) }
+        Self::from_env_durability(Storage::with_defaults, |dir| {
+            Storage::file_backed(
+                nsql_storage::DEFAULT_BUFFER_PAGES,
+                nsql_storage::DEFAULT_PAGE_SIZE,
+                dir,
+            )
+        })
     }
 
-    /// Database with an explicit buffer size and page size.
+    /// Database with an explicit buffer size and page size (same
+    /// `NSQL_DURABILITY` handling as [`Database::new`]).
     pub fn with_storage(buffer_pages: usize, page_size: usize) -> Database {
-        Database { catalog: Catalog::new(Storage::new(buffer_pages, page_size)) }
+        Self::from_env_durability(
+            || Storage::new(buffer_pages, page_size),
+            |dir| Storage::file_backed(buffer_pages, page_size, dir),
+        )
+    }
+
+    fn from_env_durability(
+        memory: impl FnOnce() -> Storage,
+        file: impl FnOnce(&Path) -> std::result::Result<
+            (Storage, RecoveryReport),
+            nsql_storage::StorageError,
+        >,
+    ) -> Database {
+        match Durability::from_env() {
+            Durability::Memory => Database {
+                catalog: Catalog::new(memory()),
+                open_report: None,
+                _data_dir: None,
+            },
+            Durability::File(base) => {
+                // Bare `NSQL_DURABILITY=file` means "same engine, durable
+                // backend": each Database gets a private subdirectory so
+                // concurrent instances never share a store, removed on drop.
+                let seq = DATA_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+                let dir = if std::env::var("NSQL_DURABILITY")
+                    .map(|v| v.eq_ignore_ascii_case("file"))
+                    .unwrap_or(false)
+                {
+                    let unique =
+                        format!("nsql-data-{}-{}", std::process::id(), seq);
+                    (base.join(unique), true)
+                } else {
+                    (base, false)
+                };
+                let (path, owned) = dir;
+                let (storage, _report) = file(&path).unwrap_or_else(|e| {
+                    panic!(
+                        "NSQL_DURABILITY=file: cannot open store at {}: {e}",
+                        path.display()
+                    )
+                });
+                Database {
+                    catalog: Catalog::new(storage),
+                    open_report: None,
+                    _data_dir: owned.then_some(OwnedDataDir(path)),
+                }
+            }
+        }
+    }
+
+    /// Open (or create) a file-backed database rooted at `dir` with default
+    /// buffer/page sizes, running crash recovery and restoring the catalog
+    /// from the last committed snapshot.
+    pub fn open(dir: &Path) -> Result<Database> {
+        Self::open_with(
+            nsql_storage::DEFAULT_BUFFER_PAGES,
+            nsql_storage::DEFAULT_PAGE_SIZE,
+            dir,
+        )
+    }
+
+    /// [`Database::open`] with explicit buffer and page sizes. (`page_size`
+    /// only seeds a fresh store; an existing store keeps its recorded page
+    /// size.) The [`OpenReport`] is retained on the database —
+    /// [`Database::open_report`].
+    pub fn open_with(
+        buffer_pages: usize,
+        page_size: usize,
+        dir: &Path,
+    ) -> Result<Database> {
+        let tracer = Tracer::enabled();
+        let outer = tracer.begin("open");
+        let span = tracer.begin("open: recover store");
+        let (storage, recovery) = Storage::file_backed(buffer_pages, page_size, dir)
+            .map_err(|e| crate::error::DbError::Engine(e.into()))?;
+        tracer.end(span);
+        let span = tracer.begin("open: restore catalog");
+        let snapshot = storage.durable().and_then(|s| s.committed_meta());
+        let catalog = Catalog::restore(storage, snapshot.as_deref())?;
+        tracer.end(span);
+        tracer.end(outer);
+        let report = OpenReport {
+            recovery,
+            tables: catalog.table_names().len(),
+            indexes: catalog.index_count(),
+            spans: tracer.finish(),
+        };
+        Ok(Database { catalog, open_report: Some(report), _data_dir: None })
+    }
+
+    /// The recovery/restore report, when this database came up via
+    /// [`Database::open`].
+    pub fn open_report(&self) -> Option<&OpenReport> {
+        self.open_report.as_ref()
     }
 
     /// The catalog.
@@ -216,6 +354,7 @@ impl Database {
                     exec = exec.with_obs(obs.clone());
                 }
                 let mut pe = PlanExecutor::new(exec, &self.catalog, opts.join_policy);
+                pe.set_index_use(opts.index_use);
                 let span = tracer.begin("execute plan");
                 let rel =
                     pe.execute_transform_plan(&plan, plan.needs_distinct_for_semantics);

@@ -31,10 +31,12 @@ pub mod options;
 pub mod plan_exec;
 
 pub use catalog::Catalog;
-pub use database::{Database, QueryOutcome};
+pub use database::{Database, OpenReport, QueryOutcome};
 pub use error::DbError;
 pub use explain::{ExplainReport, ObsReport, PredictedCost, TempStat};
-pub use options::{DuplicateSemantics, JoinPolicy, QueryOptions, Strategy};
+pub use options::{
+    DuplicateSemantics, Durability, IndexUse, JoinPolicy, QueryOptions, Strategy,
+};
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,6 +1,7 @@
 //! Query-evaluation options.
 
 use nsql_core::UnnestOptions;
+use std::path::PathBuf;
 
 /// Physical join-method policy for transformed queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,6 +28,69 @@ impl JoinPolicy {
             JoinPolicy::ForceMergeJoin => "merge-join",
             JoinPolicy::ForceHashJoin => "hash-join",
             JoinPolicy::CostBased => "cost-based",
+        }
+    }
+}
+
+/// Whether the executor may route restrictions and back-joins through
+/// B+tree indexes ([`crate::Catalog::create_index`]). Index paths change
+/// page-I/O counts, never results — the diff harness checks all three
+/// settings against the naive oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexUse {
+    /// Use an index path when the Section-7 extension says it is cheaper
+    /// (`index_restrict_cost` / `index_nested_join_cost`).
+    #[default]
+    CostBased,
+    /// Take an applicable index path even when costed as more expensive
+    /// (exercises the index operators regardless of table shape).
+    Prefer,
+    /// Never touch an index; plans read as if no index existed.
+    Never,
+}
+
+impl IndexUse {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexUse::CostBased => "cost-based",
+            IndexUse::Prefer => "prefer-index",
+            IndexUse::Never => "no-index",
+        }
+    }
+}
+
+/// Which storage backend a [`crate::Database`] sits on. Page I/O is counted
+/// above the backend seam, so figures and tables are byte-identical across
+/// the two modes (checked by `scripts/verify.sh`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// Pages live in a process-local map; nothing survives the process.
+    /// The default — benchmarks model I/O, they do not need to perform it.
+    #[default]
+    Memory,
+    /// Pages live in a checksummed page file with a write-ahead log under
+    /// the given directory; commits survive crashes and restarts.
+    File(PathBuf),
+}
+
+impl Durability {
+    /// Resolve from `NSQL_DURABILITY`: unset/`memory` → [`Durability::Memory`];
+    /// `file` → a fresh per-process subdirectory under `NSQL_DATA_DIR` (or
+    /// the system temp dir); `file:<dir>` → exactly `<dir>`.
+    pub fn from_env() -> Durability {
+        match std::env::var("NSQL_DURABILITY") {
+            Ok(v) if v.eq_ignore_ascii_case("file") => {
+                let base = std::env::var_os("NSQL_DATA_DIR")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(std::env::temp_dir);
+                Durability::File(base)
+            }
+            Ok(v) => match v.strip_prefix("file:") {
+                Some(dir) if !dir.is_empty() => Durability::File(PathBuf::from(dir)),
+                _ => Durability::Memory,
+            },
+            Err(_) => Durability::Memory,
         }
     }
 }
@@ -84,6 +148,15 @@ pub struct QueryOptions {
     pub duplicates: DuplicateSemantics,
     /// Join-method policy for the transformed path.
     pub join_policy: JoinPolicy,
+    /// Whether restriction predicates and back-joins may route through
+    /// B+tree indexes (see [`IndexUse`]). Irrelevant when no index exists.
+    pub index_use: IndexUse,
+    /// Storage backend the *harness* should put the database on when it
+    /// builds one for this run (see [`Durability`]). Per-query evaluation
+    /// ignores it — a live database already sits on its backend; the bench
+    /// workload and `Database::new` honor it (the latter via
+    /// `NSQL_DURABILITY`).
+    pub durability: Durability,
     /// Start from a cold buffer and zeroed I/O counters so the reported
     /// cost is comparable across runs (default true).
     pub cold_start: bool,

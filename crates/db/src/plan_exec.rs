@@ -13,17 +13,18 @@
 
 use crate::error::DbError;
 use crate::explain::TempStat;
-use crate::options::JoinPolicy;
+use crate::options::{IndexUse, JoinPolicy};
 use crate::Result;
-use nsql_core::cost::sort_cost;
+use nsql_core::cost::{index_nested_join_cost, index_restrict_cost, sort_cost};
 use nsql_core::{JoinPred, LogicalJoinKind, LogicalPlan, TransformPlan};
 use nsql_engine::{AggSpec, CExpr, CPred, Exec, JoinKind, Projector, TableProvider};
+use nsql_index::{BTreeIndex, KeyBound};
 use nsql_storage::sort::SortKey;
 use nsql_storage::HeapFile;
 use nsql_sql::{
     AggArg, AggFunc, ColumnRef, CompareOp, Operand, Predicate, QueryBlock, ScalarExpr, SortDir,
 };
-use nsql_types::{Column, ColumnType, Relation, Schema, Tuple};
+use nsql_types::{Column, ColumnType, Relation, Schema, Tuple, Value};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -74,6 +75,11 @@ pub struct PlanOutput {
     /// Output column indices forming the current sort-order prefix
     /// (empty = unknown order).
     pub sorted_by: Vec<usize>,
+    /// B+tree indexes still valid for this output. Non-empty only for
+    /// unmodified base-table scans (requalifying by an alias keeps column
+    /// positions, so the indexes survive it); every transforming operator
+    /// clears it.
+    pub indexes: Vec<Arc<BTreeIndex>>,
 }
 
 /// Executor for logical plans and canonical queries over a base provider
@@ -83,6 +89,7 @@ pub struct PlanExecutor<T: TableProvider> {
     base: T,
     temps: HashMap<String, PlanOutput>,
     policy: JoinPolicy,
+    index_use: IndexUse,
     /// EXPLAIN-style log of physical decisions.
     pub log: Vec<String>,
 }
@@ -90,7 +97,19 @@ pub struct PlanExecutor<T: TableProvider> {
 impl<T: TableProvider> PlanExecutor<T> {
     /// New executor over `base` with the given join policy.
     pub fn new(exec: Exec, base: T, policy: JoinPolicy) -> Self {
-        PlanExecutor { exec, base, temps: HashMap::new(), policy, log: Vec::new() }
+        PlanExecutor {
+            exec,
+            base,
+            temps: HashMap::new(),
+            policy,
+            index_use: IndexUse::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Change whether index paths may be taken (default: cost-based).
+    pub fn set_index_use(&mut self, index_use: IndexUse) {
+        self.index_use = index_use;
     }
 
     /// The underlying operator executor.
@@ -144,7 +163,11 @@ impl<T: TableProvider> PlanExecutor<T> {
             return Ok(t.clone());
         }
         match self.base.get_table(&key) {
-            Some(file) => Ok(PlanOutput { file, sorted_by: vec![] }),
+            Some(file) => Ok(PlanOutput {
+                file,
+                sorted_by: vec![],
+                indexes: self.base.get_indexes(&key),
+            }),
             None => Err(DbError::Engine(nsql_engine::EngineError::UnknownTable(key))),
         }
     }
@@ -177,7 +200,10 @@ impl<T: TableProvider> PlanExecutor<T> {
                 file.page_count(),
                 if out.sorted_by.is_empty() { "" } else { " (sorted)" }
             ));
-            self.register_temp(&temp.name, PlanOutput { file, sorted_by: out.sorted_by });
+            self.register_temp(
+                &temp.name,
+                PlanOutput { file, sorted_by: out.sorted_by, indexes: vec![] },
+            );
         }
         self.execute_flat_query(&plan.canonical, force_distinct)
     }
@@ -191,7 +217,11 @@ impl<T: TableProvider> PlanExecutor<T> {
                 let out = self.lookup(table)?;
                 let name = alias.as_deref().unwrap_or(table);
                 let schema = out.file.schema().requalify(name);
-                Ok(PlanOutput { file: out.file.with_schema(schema), sorted_by: out.sorted_by })
+                Ok(PlanOutput {
+                    file: out.file.with_schema(schema),
+                    sorted_by: out.sorted_by,
+                    indexes: out.indexes,
+                })
             }
             LogicalPlan::Filter { input, pred } => {
                 // Fuse a filter over an *inner* join into the join's
@@ -205,13 +235,16 @@ impl<T: TableProvider> PlanExecutor<T> {
                     return self.run_join(left, right, LogicalJoinKind::Inner, on, Some(pred));
                 }
                 let child = self.run_plan(input)?;
+                if let Some(out) = self.try_index_restrict(&child, pred)? {
+                    return Ok(out);
+                }
                 let cpred = CPred::compile(child.file.schema(), pred)?;
                 let file = self.exec.filter(&child.file, &cpred)?;
                 let drop_input = matches!(input.as_ref(), LogicalPlan::Scan { .. });
                 if !drop_input {
                     child.file.drop_pages(self.exec.storage());
                 }
-                Ok(PlanOutput { file, sorted_by: child.sorted_by })
+                Ok(PlanOutput { file, sorted_by: child.sorted_by, indexes: vec![] })
             }
             LogicalPlan::Project { input, items, distinct } => {
                 // Fuse Project(Filter(x)) into one restrict+project pass.
@@ -219,7 +252,19 @@ impl<T: TableProvider> PlanExecutor<T> {
                     LogicalPlan::Filter { input: inner, pred } => (inner.as_ref(), Some(pred)),
                     other => (other, None),
                 };
-                let child = self.run_plan(src_plan)?;
+                let mut child = self.run_plan(src_plan)?;
+                let mut drop_child = !matches!(src_plan, LogicalPlan::Scan { .. });
+                let mut pred = pred;
+                if let Some(p) = pred {
+                    // The fused filter may route through an index first; the
+                    // index pass applies the whole predicate, so the
+                    // projection then runs unfiltered.
+                    if let Some(filtered) = self.try_index_restrict(&child, p)? {
+                        child = filtered;
+                        drop_child = true;
+                        pred = None;
+                    }
+                }
                 let (exprs, out_schema) = compile_projection(child.file.schema(), items)?;
                 let cpred = match pred {
                     Some(p) => CPred::compile(child.file.schema(), p)?,
@@ -232,7 +277,7 @@ impl<T: TableProvider> PlanExecutor<T> {
                     out_schema,
                     *distinct,
                 )?;
-                if !matches!(src_plan, LogicalPlan::Scan { .. }) {
+                if drop_child {
                     child.file.drop_pages(self.exec.storage());
                 }
                 let sorted_by = if *distinct {
@@ -241,7 +286,7 @@ impl<T: TableProvider> PlanExecutor<T> {
                 } else {
                     remap_sort(&child.sorted_by, &exprs)
                 };
-                Ok(PlanOutput { file, sorted_by })
+                Ok(PlanOutput { file, sorted_by, indexes: vec![] })
             }
             LogicalPlan::Join { left, right, kind, on } => {
                 self.run_join(left, right, *kind, on, None)
@@ -305,7 +350,11 @@ impl<T: TableProvider> PlanExecutor<T> {
                 if !matches!(input.as_ref(), LogicalPlan::Scan { .. }) {
                     child.file.drop_pages(self.exec.storage());
                 }
-                Ok(PlanOutput { file, sorted_by: (0..group_idx.len()).collect() })
+                Ok(PlanOutput {
+                    file,
+                    sorted_by: (0..group_idx.len()).collect(),
+                    indexes: vec![],
+                })
             }
         }
     }
@@ -410,6 +459,24 @@ impl<T: TableProvider> PlanExecutor<T> {
             Some(CPred::compile(&combined, &Predicate::and(rest))?)
         };
 
+        // §7.3 extension: an inner equi-join whose probe side is an
+        // unmodified base table with a B+tree on the join key can run as an
+        // index nested-loop join — NEST-JA2's back-join without a full
+        // inner scan per outer tuple.
+        if jkind == JoinKind::Inner && !lkeys.is_empty() {
+            if let Some((ki, ix)) = self.pick_index_join(l, r, &lkeys, &rkeys) {
+                return self.index_nl_join(
+                    l,
+                    r,
+                    ix,
+                    ki,
+                    &lkeys,
+                    &rkeys,
+                    residual_pred,
+                    materialize,
+                );
+            }
+        }
         let method = if lkeys.is_empty() {
             PhysicalJoin::NestedLoop
         } else {
@@ -432,7 +499,11 @@ impl<T: TableProvider> PlanExecutor<T> {
                         )
                     })?;
                 // Hash probe preserves the left input's order.
-                Ok(JoinResult::File(PlanOutput { file, sorted_by: l.sorted_by.clone() }))
+                Ok(JoinResult::File(PlanOutput {
+                    file,
+                    sorted_by: l.sorted_by.clone(),
+                    indexes: vec![],
+                }))
             } else {
                 let rel =
                     observed(&self.exec, &label, rows_in, |rel: &Relation| rel.len() as u64, || {
@@ -472,7 +543,7 @@ impl<T: TableProvider> PlanExecutor<T> {
                             r_presorted,
                         )
                     })?;
-                Ok(JoinResult::File(PlanOutput { file, sorted_by: lkeys }))
+                Ok(JoinResult::File(PlanOutput { file, sorted_by: lkeys, indexes: vec![] }))
             } else {
                 let rel =
                     observed(&self.exec, &label, rows_in, |rel: &Relation| rel.len() as u64, || {
@@ -515,7 +586,11 @@ impl<T: TableProvider> PlanExecutor<T> {
                         self.exec.nl_join(&l.file, &r.file, &on_pred, jkind)
                     })?;
                 // NL join preserves the left input's order.
-                Ok(JoinResult::File(PlanOutput { file, sorted_by: l.sorted_by.clone() }))
+                Ok(JoinResult::File(PlanOutput {
+                    file,
+                    sorted_by: l.sorted_by.clone(),
+                    indexes: vec![],
+                }))
             } else {
                 let rel =
                     observed(&self.exec, &label, rows_in, |rel: &Relation| rel.len() as u64, || {
@@ -541,16 +616,7 @@ impl<T: TableProvider> PlanExecutor<T> {
             JoinPolicy::ForceMergeJoin => PhysicalJoin::Merge,
             JoinPolicy::ForceHashJoin => PhysicalJoin::Hash,
             JoinPolicy::CostBased => {
-                let b = self.exec.storage().buffer_pages() as f64;
-                let (lp, rp) = (l.file.page_count() as f64, r.file.page_count() as f64);
-                let nl = if rp <= b - 1.0 {
-                    lp + rp
-                } else {
-                    lp + l.file.tuple_count() as f64 * rp
-                };
-                let l_sort = if sorted_on(&l.sorted_by, lkeys) { 0.0 } else { sort_cost(lp, b) };
-                let r_sort = if sorted_on(&r.sorted_by, rkeys) { 0.0 } else { sort_cost(rp, b) };
-                let mj = l_sort + r_sort + lp + rp;
+                let (nl, mj) = self.classic_join_costs(l, r, lkeys, rkeys);
                 if mj < nl {
                     PhysicalJoin::Merge
                 } else {
@@ -558,6 +624,240 @@ impl<T: TableProvider> PlanExecutor<T> {
                 }
             }
         }
+    }
+
+    /// Section-7 page costs for the paper's two join methods on these
+    /// inputs: (nested loop, merge join).
+    fn classic_join_costs(
+        &self,
+        l: &PlanOutput,
+        r: &PlanOutput,
+        lkeys: &[usize],
+        rkeys: &[usize],
+    ) -> (f64, f64) {
+        let b = self.exec.storage().buffer_pages() as f64;
+        let (lp, rp) = (l.file.page_count() as f64, r.file.page_count() as f64);
+        let nl = if rp <= b - 1.0 {
+            lp + rp
+        } else {
+            lp + l.file.tuple_count() as f64 * rp
+        };
+        let l_sort = if sorted_on(&l.sorted_by, lkeys) { 0.0 } else { sort_cost(lp, b) };
+        let r_sort = if sorted_on(&r.sorted_by, rkeys) { 0.0 } else { sort_cost(rp, b) };
+        (nl, l_sort + r_sort + lp + rp)
+    }
+
+    /// Whether an index nested-loop join applies and wins on this join
+    /// step: the right side carries a B+tree whose key is one of the
+    /// equi-join keys (of a comparable type class), and the policy/cost
+    /// picture favors probing it. Returns the key position and index.
+    fn pick_index_join(
+        &mut self,
+        l: &PlanOutput,
+        r: &PlanOutput,
+        lkeys: &[usize],
+        rkeys: &[usize],
+    ) -> Option<(usize, Arc<BTreeIndex>)> {
+        if r.indexes.is_empty() {
+            return None;
+        }
+        match (self.index_use, self.policy) {
+            (IndexUse::Never, _) => return None,
+            (IndexUse::Prefer, _) => {}
+            // Cost-based index use only composes with the cost-based join
+            // policy — forced classic policies stay forced.
+            (IndexUse::CostBased, JoinPolicy::CostBased) => {}
+            (IndexUse::CostBased, _) => return None,
+        }
+        let (ki, ix) = rkeys.iter().enumerate().find_map(|(ki, &rk)| {
+            r.indexes
+                .iter()
+                .find(|ix| ix.key_col() == rk)
+                .map(|ix| (ki, Arc::clone(ix)))
+        })?;
+        // Probe values must order identically in the index (total_cmp) and
+        // in predicate evaluation (sql_cmp); mixed incomparable classes
+        // would turn a type error into a silent empty result.
+        let lty = l.file.schema().columns()[lkeys[ki]].ty;
+        let rty = r.file.schema().columns()[rkeys[ki]].ty;
+        if !same_type_class(lty, rty) {
+            return None;
+        }
+        let st = ix.stats();
+        let leaves_per_probe = if st.distinct_keys == 0 {
+            1.0
+        } else {
+            (st.leaf_pages as f64 / st.distinct_keys as f64).ceil().max(1.0)
+        };
+        let icost = index_nested_join_cost(
+            l.file.page_count() as f64,
+            l.file.tuple_count() as f64,
+            st.height as f64,
+            leaves_per_probe,
+        );
+        let (nl, mj) = self.classic_join_costs(l, r, lkeys, rkeys);
+        let use_ix = self.index_use == IndexUse::Prefer || icost < nl.min(mj);
+        self.log.push(format!(
+            "index join candidate {}: cost {:.1} vs nl {:.1} / mj {:.1} ({})",
+            ix.name(),
+            icost,
+            nl,
+            mj,
+            if use_ix { "chose index" } else { "rejected" }
+        ));
+        use_ix.then_some((ki, ix))
+    }
+
+    /// Inner join by probing the right side's B+tree once per left tuple.
+    /// Preserves the left input's order; join keys other than the probe
+    /// key and any residual are applied to each candidate pair.
+    #[allow(clippy::too_many_arguments)]
+    fn index_nl_join(
+        &mut self,
+        l: &PlanOutput,
+        r: &PlanOutput,
+        ix: Arc<BTreeIndex>,
+        ki: usize,
+        lkeys: &[usize],
+        rkeys: &[usize],
+        residual: Option<CPred>,
+        materialize: bool,
+    ) -> Result<JoinResult> {
+        let combined = l.file.schema().join(r.file.schema());
+        let mut preds: Vec<CPred> = Vec::new();
+        for (j, (li, ri)) in lkeys.iter().zip(rkeys).enumerate() {
+            if j == ki {
+                continue;
+            }
+            preds.push(CPred::Cmp {
+                left: CExpr::Col(*li),
+                op: CompareOp::Eq,
+                right: CExpr::Col(l.file.schema().arity() + ri),
+            });
+        }
+        if let Some(p) = residual {
+            preds.push(p);
+        }
+        let extra = if preds.is_empty() { CPred::always_true() } else { CPred::And(preds) };
+        self.log.push(format!(
+            "index nested-loop join via {} ({} probes)",
+            ix.name(),
+            l.file.tuple_count()
+        ));
+        let label = format!("index-nl join ({})", ix.name());
+        let storage = self.exec.storage().clone();
+        let probe_col = lkeys[ki];
+        let rows_in = l.file.tuple_count() as u64;
+        let gen_rows = || -> Result<Vec<Tuple>> {
+            let mut rows = Vec::new();
+            for lt in l.file.scan(&storage) {
+                let key = lt.get(probe_col);
+                if matches!(key, Value::Null) {
+                    continue; // NULL never equals anything
+                }
+                for rt in ix.probe_eq(&storage, key) {
+                    let mut vals = lt.values().to_vec();
+                    vals.extend(rt.values().iter().cloned());
+                    let t = Tuple::new(vals);
+                    if extra.accepts(&t)? {
+                        rows.push(t);
+                    }
+                }
+            }
+            Ok(rows)
+        };
+        if materialize {
+            let file = observed(
+                &self.exec,
+                &label,
+                rows_in,
+                |f: &HeapFile| f.tuple_count() as u64,
+                || {
+                    let rows = gen_rows()?;
+                    Ok::<_, DbError>(HeapFile::from_tuples(&storage, combined, rows))
+                },
+            )?;
+            Ok(JoinResult::File(PlanOutput {
+                file,
+                sorted_by: l.sorted_by.clone(),
+                indexes: vec![],
+            }))
+        } else {
+            let rel = observed(
+                &self.exec,
+                &label,
+                rows_in,
+                |rel: &Relation| rel.len() as u64,
+                || Relation::new(combined.clone(), gen_rows()?).map_err(DbError::from),
+            )?;
+            Ok(JoinResult::Rows(rel))
+        }
+    }
+
+    /// Try to satisfy `pred` over `out` (a base-table scan with live
+    /// indexes) through a B+tree range scan: find a sargable conjunct on an
+    /// index key, cost the index path against the full scan, and — when
+    /// chosen — return the fully filtered, key-ordered materialization.
+    fn try_index_restrict(
+        &mut self,
+        out: &PlanOutput,
+        pred: &Predicate,
+    ) -> Result<Option<PlanOutput>> {
+        if self.index_use == IndexUse::Never || out.indexes.is_empty() {
+            return Ok(None);
+        }
+        let schema = out.file.schema();
+        for conj in pred.conjuncts() {
+            let Some((col, op, lit)) = sargable_conjunct(schema, conj) else { continue };
+            let Some(ix) = out.indexes.iter().find(|ix| ix.key_col() == col) else {
+                continue;
+            };
+            let ix = Arc::clone(ix);
+            let (lo, hi) = bounds_for(op, lit);
+            let st = ix.stats();
+            let sel = ix.est_selectivity(&lo, &hi);
+            let icost = index_restrict_cost(st.height as f64, st.leaf_pages as f64, sel);
+            let scan = out.file.page_count() as f64;
+            let use_ix = self.index_use == IndexUse::Prefer || icost < scan;
+            self.log.push(format!(
+                "index restrict via {}: est sel {:.3}, cost {:.1} vs scan {:.0} ({})",
+                ix.name(),
+                sel,
+                icost,
+                scan,
+                if use_ix { "chose index" } else { "chose full scan" }
+            ));
+            if !use_ix {
+                return Ok(None);
+            }
+            // The whole predicate is re-applied to the range-scan output,
+            // so the index only has to deliver a superset of the matches.
+            let cpred = CPred::compile(schema, pred)?;
+            let storage = self.exec.storage().clone();
+            let out_schema = schema.clone();
+            let key_col = ix.key_col();
+            let file = observed(
+                &self.exec,
+                &format!("index scan {}", ix.name()),
+                0,
+                |f: &HeapFile| f.tuple_count() as u64,
+                || -> Result<HeapFile> {
+                    let mut rows = Vec::new();
+                    for t in ix.range_scan(&storage, &lo, &hi) {
+                        if cpred.accepts(&t)? {
+                            rows.push(t);
+                        }
+                    }
+                    Ok(HeapFile::from_tuples(&storage, out_schema, rows))
+                },
+            )?;
+            return Ok(Some(PlanOutput {
+                file,
+                sorted_by: vec![key_col],
+                indexes: vec![],
+            }));
+        }
+        Ok(None)
     }
 
     // ------------------------------------------------------ canonical query
@@ -576,13 +876,17 @@ impl<T: TableProvider> PlanExecutor<T> {
             )));
         }
         // Resolve inputs.
-        let inputs: Vec<PlanOutput> = q
+        let mut inputs: Vec<PlanOutput> = q
             .from
             .iter()
             .map(|t| {
                 let out = self.lookup(&t.table)?;
                 let schema = out.file.schema().requalify(t.effective_name());
-                Ok(PlanOutput { file: out.file.with_schema(schema), sorted_by: out.sorted_by })
+                Ok(PlanOutput {
+                    file: out.file.with_schema(schema),
+                    sorted_by: out.sorted_by,
+                    indexes: out.indexes,
+                })
             })
             .collect::<Result<_>>()?;
 
@@ -592,6 +896,38 @@ impl<T: TableProvider> PlanExecutor<T> {
             .as_ref()
             .map(|p| p.conjuncts().into_iter().cloned().collect())
             .unwrap_or_default();
+
+        // Push single-table restrictions down into an index range scan
+        // where one applies and wins (the §7 extension: NEST-JA2's
+        // outer-column restriction takes the index path instead of riding
+        // along as a join residual). Inner-join-only pipeline, so early
+        // restriction is semantics-preserving.
+        if self.index_use != IndexUse::Never {
+            for (i, inp) in inputs.iter_mut().enumerate() {
+                if inp.indexes.is_empty() {
+                    continue;
+                }
+                let name = q.from[i].effective_name();
+                let only_mine = |p: &Predicate| {
+                    let refs = nsql_analyzer::resolve::predicate_column_refs(p);
+                    !refs.is_empty()
+                        && refs.iter().all(|c| c.table.as_deref() == Some(name))
+                };
+                let mine: Vec<Predicate> =
+                    remaining.iter().filter(|p| only_mine(p)).cloned().collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                if let Some(out) = self.try_index_restrict(inp, &Predicate::and(mine))? {
+                    remaining.retain(|p| !only_mine(p));
+                    // Register the filtered scan as a temporary so its
+                    // pages are reclaimed with the others after the query.
+                    let temp_name = format!("IXR_{name}");
+                    self.register_temp(&temp_name, out.clone());
+                    *inp = out;
+                }
+            }
+        }
 
         let grouped = !q.group_by.is_empty() || q.has_aggregate_select();
 
@@ -912,6 +1248,65 @@ fn remap_sort(sorted_by: &[usize], exprs: &[CExpr]) -> Vec<usize> {
 
 fn sorted_on(sorted_by: &[usize], keys: &[usize]) -> bool {
     sorted_by.len() >= keys.len() && sorted_by[..keys.len()] == keys[..]
+}
+
+/// Whether two column types order consistently under both the index's
+/// total order and SQL comparison (the numeric tower is one class; every
+/// other type only matches itself).
+fn same_type_class(a: ColumnType, b: ColumnType) -> bool {
+    let class = |t: ColumnType| match t {
+        ColumnType::Int | ColumnType::Float => 0u8,
+        ColumnType::Str => 1,
+        ColumnType::Date => 2,
+        ColumnType::Bool => 3,
+    };
+    class(a) == class(b)
+}
+
+/// Whether `v` is a literal an index on a column of type `ty` can bound:
+/// non-null and of the same comparison class (so the B+tree's total order
+/// agrees with SQL comparison, and a would-be type error cannot silently
+/// become an empty range).
+fn literal_matches_class(ty: ColumnType, v: &Value) -> bool {
+    matches!(
+        (ty, v),
+        (ColumnType::Int | ColumnType::Float, Value::Int(_) | Value::Float(_))
+            | (ColumnType::Str, Value::Str(_))
+            | (ColumnType::Date, Value::Date(_))
+            | (ColumnType::Bool, Value::Bool(_))
+    )
+}
+
+/// Extract the sargable shape `column op literal` (either orientation) from
+/// one conjunct: the column resolving in `schema`, the op a range predicate
+/// (`=`, `<`, `<=`, `>`, `>=` — not `<>`), the literal class-compatible.
+fn sargable_conjunct(
+    schema: &Schema,
+    p: &Predicate,
+) -> Option<(usize, CompareOp, Value)> {
+    let Predicate::Compare { left, op, right } = p else { return None };
+    if *op == CompareOp::Ne {
+        return None;
+    }
+    let (c, op, v) = match (left, right) {
+        (Operand::Column(c), Operand::Literal(v)) => (c, *op, v),
+        (Operand::Literal(v), Operand::Column(c)) => (c, op.flip(), v),
+        _ => return None,
+    };
+    let i = schema.try_resolve(c.table.as_deref(), &c.column)?;
+    literal_matches_class(schema.columns()[i].ty, v).then(|| (i, op, v.clone()))
+}
+
+/// Key-range bounds equivalent to `key op literal`.
+fn bounds_for(op: CompareOp, v: Value) -> (KeyBound, KeyBound) {
+    match op {
+        CompareOp::Eq => (KeyBound::Incl(v.clone()), KeyBound::Incl(v)),
+        CompareOp::Lt => (KeyBound::Unbounded, KeyBound::Excl(v)),
+        CompareOp::Le => (KeyBound::Unbounded, KeyBound::Incl(v)),
+        CompareOp::Gt => (KeyBound::Excl(v), KeyBound::Unbounded),
+        CompareOp::Ge => (KeyBound::Incl(v), KeyBound::Unbounded),
+        CompareOp::Ne => unreachable!("rejected by sargable_conjunct"),
+    }
 }
 
 /// In-memory ORDER BY against the output schema.

@@ -1,5 +1,6 @@
 //! Execution errors.
 
+use nsql_storage::StorageError;
 use nsql_types::TypeError;
 use std::fmt;
 
@@ -18,6 +19,9 @@ pub enum EngineError {
     Unsupported(String),
     /// Internal invariant violation — always an engine bug.
     Internal(String),
+    /// A durable-storage failure (checksum mismatch, corrupt page file,
+    /// injected crash) surfaced through an operator.
+    Storage(StorageError),
 }
 
 impl fmt::Display for EngineError {
@@ -31,6 +35,7 @@ impl fmt::Display for EngineError {
             EngineError::Overflow(m) => write!(f, "arithmetic overflow: {m}"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::Internal(m) => write!(f, "internal error: {m}"),
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -40,5 +45,11 @@ impl std::error::Error for EngineError {}
 impl From<TypeError> for EngineError {
     fn from(e: TypeError) -> Self {
         EngineError::Type(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
     }
 }

@@ -1,6 +1,8 @@
 //! Access to stored tables by name.
 
+use nsql_index::BTreeIndex;
 use nsql_storage::HeapFile;
+use std::sync::Arc;
 
 /// Source of stored tables. Implemented by the catalog in `nsql-db` and by
 /// lightweight maps in tests. Temporary tables created during query
@@ -10,11 +12,21 @@ pub trait TableProvider {
     /// case-insensitive). The file's schema columns are qualified by the
     /// base table name.
     fn get_table(&self, table: &str) -> Option<HeapFile>;
+
+    /// The B+tree indexes on `table`, if any. Defaulted to none so
+    /// lightweight test providers need not care; the catalog overrides it.
+    fn get_indexes(&self, _table: &str) -> Vec<Arc<BTreeIndex>> {
+        Vec::new()
+    }
 }
 
 impl<T: TableProvider + ?Sized> TableProvider for &T {
     fn get_table(&self, table: &str) -> Option<HeapFile> {
         (**self).get_table(table)
+    }
+
+    fn get_indexes(&self, table: &str) -> Vec<Arc<BTreeIndex>> {
+        (**self).get_indexes(table)
     }
 }
 
@@ -47,6 +59,16 @@ impl<T: TableProvider + ?Sized> TableProvider for OverlayProvider<'_, T> {
     fn get_table(&self, table: &str) -> Option<HeapFile> {
         let key = table.to_ascii_uppercase();
         self.overlay.get(&key).cloned().or_else(|| self.base.get_table(&key))
+    }
+
+    fn get_indexes(&self, table: &str) -> Vec<Arc<BTreeIndex>> {
+        let key = table.to_ascii_uppercase();
+        if self.overlay.contains_key(&key) {
+            // A temporary shadows the base table — its indexes with it.
+            Vec::new()
+        } else {
+            self.base.get_indexes(&key)
+        }
     }
 }
 

@@ -86,6 +86,17 @@ impl SpanNode {
         }
     }
 
+    /// Depth-first search for the first span named `name` in this subtree
+    /// (including `self`). Lets recovery tests assert on lifecycle phases
+    /// ("open: recover store", "open: restore catalog") without caring where
+    /// they nest.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
     /// JSON form: `{name, wall_ns, io:{reads,writes,hits,misses}, children:[..]}`.
     pub fn to_json(&self) -> Json {
         Json::obj([

@@ -1,4 +1,12 @@
 //! The simulated disk: a page store that counts every read and write.
+//!
+//! [`Disk`] owns the page-id allocator and the I/O counter; the pages
+//! themselves live behind the [`DiskManager`] seam, which has two
+//! implementations: the default in-memory [`MemBackend`] (a sharded map)
+//! and the durable [`crate::durable::FileStore`]. Counting happens *here*,
+//! above the seam, so the charged I/O is byte-identical across backends by
+//! construction — swapping the backing store can change where bytes live,
+//! never what the paper's cost model observes.
 
 use crate::stats::{IoCounter, IoStats};
 use nsql_types::hash::FxHashMap;
@@ -41,35 +49,99 @@ impl Page {
     }
 }
 
+/// The physical page store behind [`Disk`]. Implementations hold pages;
+/// they do **not** count I/O or allocate ids — both stay in `Disk` so
+/// accounting is backend-independent.
+pub trait DiskManager: Send + Sync {
+    /// Fetch a page. Panics on an unallocated id — that is always an
+    /// engine bug, not a data-dependent condition (durable-store
+    /// corruption is detected eagerly at open, never here).
+    fn read(&self, id: PageId) -> Arc<Page>;
+
+    /// Store a page under `id`.
+    fn write(&self, id: PageId, page: Page);
+
+    /// Drop a page.
+    fn free(&self, id: PageId);
+
+    /// Number of live pages (for leak checks in tests).
+    fn live_pages(&self) -> usize;
+}
+
 /// Number of page-map shards. Page ids are sequential, so `id % SHARDS`
 /// spreads neighbouring pages across distinct latches and concurrent
 /// scans rarely contend.
 const SHARDS: usize = 16;
 
-/// The simulated disk. All counted access is through [`Disk::read`] /
-/// [`Disk::write`], each of which counts one page I/O against the shared
-/// counter. The page map is sharded under `Mutex` latches so concurrent
-/// workers can read and write disjoint pages without serializing.
-pub struct Disk {
+/// The default in-memory backend: a sharded page map.
+pub struct MemBackend {
     shards: [Mutex<FxHashMap<PageId, Arc<Page>>>; SHARDS],
-    next_id: AtomicU64,
-    counter: Arc<IoCounter>,
 }
 
-impl Disk {
-    /// Fresh empty disk.
-    pub fn new() -> Disk {
-        Disk {
-            shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
-            next_id: AtomicU64::new(0),
-            counter: IoCounter::shared(),
-        }
+impl MemBackend {
+    /// Fresh empty backend.
+    pub fn new() -> MemBackend {
+        MemBackend { shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())) }
     }
 
     fn shard(&self, id: PageId) -> std::sync::MutexGuard<'_, FxHashMap<PageId, Arc<Page>>> {
         self.shards[(id.0 as usize) % SHARDS]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Default for MemBackend {
+    fn default() -> Self {
+        MemBackend::new()
+    }
+}
+
+impl DiskManager for MemBackend {
+    fn read(&self, id: PageId) -> Arc<Page> {
+        Arc::clone(
+            self.shard(id)
+                .get(&id)
+                .unwrap_or_else(|| panic!("read of unallocated page {id:?}")),
+        )
+    }
+
+    fn write(&self, id: PageId, page: Page) {
+        self.shard(id).insert(id, Arc::new(page));
+    }
+
+    fn free(&self, id: PageId) {
+        self.shard(id).remove(&id);
+    }
+
+    fn live_pages(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+}
+
+/// The simulated disk. All counted access is through [`Disk::read`] /
+/// [`Disk::write`], each of which counts one page I/O against the shared
+/// counter before delegating to the backend.
+pub struct Disk {
+    backend: Arc<dyn DiskManager>,
+    next_id: AtomicU64,
+    counter: Arc<IoCounter>,
+}
+
+impl Disk {
+    /// Fresh empty in-memory disk.
+    pub fn new() -> Disk {
+        Disk::with_backend(Arc::new(MemBackend::new()), 0)
+    }
+
+    /// Disk over an explicit backend, allocating ids from `first_id`
+    /// upward (a recovered durable store resumes past its persisted
+    /// high-water mark).
+    pub fn with_backend(backend: Arc<dyn DiskManager>, first_id: u64) -> Disk {
+        Disk { backend, next_id: AtomicU64::new(first_id), counter: IoCounter::shared() }
     }
 
     /// Allocate a page id (no I/O).
@@ -87,11 +159,7 @@ impl Disk {
     /// Read a page without counting (trace-mode evaluation; replay charges
     /// the read later at its serial position).
     pub fn read_uncounted(&self, id: PageId) -> Arc<Page> {
-        Arc::clone(
-            self.shard(id)
-                .get(&id)
-                .unwrap_or_else(|| panic!("read of unallocated page {id:?}")),
-        )
+        self.backend.read(id)
     }
 
     /// Write a page. Counts one page write.
@@ -102,20 +170,17 @@ impl Disk {
 
     /// Write a page without counting (trace-mode evaluation).
     pub fn write_uncounted(&self, id: PageId, page: Page) {
-        self.shard(id).insert(id, Arc::new(page));
+        self.backend.write(id, page);
     }
 
     /// Drop a page (no I/O; deallocation is a catalog operation).
     pub fn free(&self, id: PageId) {
-        self.shard(id).remove(&id);
+        self.backend.free(id);
     }
 
     /// Number of live pages (for leak checks in tests).
     pub fn live_pages(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
-            .sum()
+        self.backend.live_pages()
     }
 
     /// Charge one page write to the counter without touching any page
@@ -167,6 +232,13 @@ mod tests {
         let a = d.alloc();
         let b = d.alloc();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn alloc_resumes_from_first_id() {
+        let d = Disk::with_backend(Arc::new(MemBackend::new()), 41);
+        assert_eq!(d.alloc(), PageId(41));
+        assert_eq!(d.alloc(), PageId(42));
     }
 
     #[test]

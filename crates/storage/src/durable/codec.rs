@@ -1,0 +1,421 @@
+//! Byte codec for the durable store: a little-endian writer/reader pair,
+//! an in-tree CRC-32 (IEEE), and encodings for [`Value`], [`Tuple`], page
+//! images, and [`Schema`].
+//!
+//! The in-memory engine deliberately stores decoded tuples (the unit under
+//! study is the I/O *count*); the file backend is where bytes finally
+//! matter. Every durable structure is length-prefixed and CRC-guarded so a
+//! torn write or a flipped bit is detected, never silently decoded.
+
+use crate::error::StorageError;
+use nsql_types::{Column, ColumnType, Date, Schema, Tuple, Value};
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`), table-driven.
+/// Implemented in-tree: the workspace has zero crates-io dependencies.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: [u32; 256] = crc_table();
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Little-endian byte writer over a growable buffer.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Fresh empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Consume the writer, yielding the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `i64`, little-endian.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes (no length prefix).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a `u32` length prefix followed by the bytes.
+    pub fn put_blob(&mut self, bytes: &[u8]) {
+        self.put_u32(bytes.len() as u32);
+        self.put_bytes(bytes);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_blob(s.as_bytes());
+    }
+}
+
+/// Little-endian byte reader with bounds-checked accessors: every decode
+/// failure is a typed [`StorageError::Corrupt`], never a panic.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the reader is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
+        if self.remaining() < n {
+            return Err(StorageError::Corrupt(format!(
+                "truncated record: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, StorageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, StorageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, StorageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, StorageError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a `u32`-length-prefixed blob.
+    pub fn get_blob(&mut self) -> Result<&'a [u8], StorageError> {
+        let n = self.get_u32()? as usize;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, StorageError> {
+        let bytes = self.get_blob()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StorageError::Corrupt("non-UTF-8 string payload".into()))
+    }
+}
+
+// Value tags. Stable on-disk numbers: never renumber.
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_DATE: u8 = 4;
+const TAG_BOOL: u8 = 5;
+
+/// Encode one [`Value`].
+pub fn put_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Null => w.put_u8(TAG_NULL),
+        Value::Int(i) => {
+            w.put_u8(TAG_INT);
+            w.put_i64(*i);
+        }
+        Value::Float(f) => {
+            w.put_u8(TAG_FLOAT);
+            w.put_u64(f.to_bits());
+        }
+        Value::Str(s) => {
+            w.put_u8(TAG_STR);
+            w.put_str(s);
+        }
+        Value::Date(d) => {
+            w.put_u8(TAG_DATE);
+            w.put_u32(d.year() as u32);
+            w.put_u8(d.month());
+            w.put_u8(d.day());
+        }
+        Value::Bool(b) => {
+            w.put_u8(TAG_BOOL);
+            w.put_u8(u8::from(*b));
+        }
+    }
+}
+
+/// Decode one [`Value`].
+pub fn get_value(r: &mut ByteReader<'_>) -> Result<Value, StorageError> {
+    match r.get_u8()? {
+        TAG_NULL => Ok(Value::Null),
+        TAG_INT => Ok(Value::Int(r.get_i64()?)),
+        TAG_FLOAT => Ok(Value::Float(f64::from_bits(r.get_u64()?))),
+        TAG_STR => Ok(Value::Str(r.get_str()?)),
+        TAG_DATE => {
+            let year = r.get_u32()? as i32;
+            let month = r.get_u8()?;
+            let day = r.get_u8()?;
+            Date::new(year, month, day)
+                .map(Value::Date)
+                .map_err(|e| StorageError::Corrupt(format!("invalid stored date: {e}")))
+        }
+        TAG_BOOL => Ok(Value::Bool(r.get_u8()? != 0)),
+        tag => Err(StorageError::Corrupt(format!("unknown value tag {tag}"))),
+    }
+}
+
+/// Encode one [`Tuple`] (arity-prefixed run of values).
+pub fn put_tuple(w: &mut ByteWriter, t: &Tuple) {
+    w.put_u32(t.values().len() as u32);
+    for v in t.values() {
+        put_value(w, v);
+    }
+}
+
+/// Decode one [`Tuple`].
+pub fn get_tuple(r: &mut ByteReader<'_>) -> Result<Tuple, StorageError> {
+    let arity = r.get_u32()? as usize;
+    if arity > r.remaining() {
+        // Each value takes at least one tag byte; reject absurd arities
+        // before allocating.
+        return Err(StorageError::Corrupt(format!("tuple arity {arity} exceeds payload")));
+    }
+    let mut vals = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        vals.push(get_value(r)?);
+    }
+    Ok(Tuple::new(vals))
+}
+
+/// Encode a page image: a count-prefixed run of tuples.
+pub fn encode_page(tuples: &[Tuple]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(tuples.len() as u32);
+    for t in tuples {
+        put_tuple(&mut w, t);
+    }
+    w.into_bytes()
+}
+
+/// Decode a page image produced by [`encode_page`].
+pub fn decode_page(bytes: &[u8]) -> Result<Vec<Tuple>, StorageError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_u32()? as usize;
+    if n > r.remaining() {
+        return Err(StorageError::Corrupt(format!("page tuple count {n} exceeds payload")));
+    }
+    let mut tuples = Vec::with_capacity(n);
+    for _ in 0..n {
+        tuples.push(get_tuple(&mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(StorageError::Corrupt(format!(
+            "{} trailing bytes after page image",
+            r.remaining()
+        )));
+    }
+    Ok(tuples)
+}
+
+const TYPE_INT: u8 = 0;
+const TYPE_FLOAT: u8 = 1;
+const TYPE_STR: u8 = 2;
+const TYPE_DATE: u8 = 3;
+const TYPE_BOOL: u8 = 4;
+
+fn put_column_type(w: &mut ByteWriter, ty: ColumnType) {
+    w.put_u8(match ty {
+        ColumnType::Int => TYPE_INT,
+        ColumnType::Float => TYPE_FLOAT,
+        ColumnType::Str => TYPE_STR,
+        ColumnType::Date => TYPE_DATE,
+        ColumnType::Bool => TYPE_BOOL,
+    });
+}
+
+fn get_column_type(r: &mut ByteReader<'_>) -> Result<ColumnType, StorageError> {
+    match r.get_u8()? {
+        TYPE_INT => Ok(ColumnType::Int),
+        TYPE_FLOAT => Ok(ColumnType::Float),
+        TYPE_STR => Ok(ColumnType::Str),
+        TYPE_DATE => Ok(ColumnType::Date),
+        TYPE_BOOL => Ok(ColumnType::Bool),
+        tag => Err(StorageError::Corrupt(format!("unknown column type tag {tag}"))),
+    }
+}
+
+/// Encode a [`Schema`] (column qualifiers, names, types).
+pub fn put_schema(w: &mut ByteWriter, schema: &Schema) {
+    w.put_u32(schema.arity() as u32);
+    for col in schema.columns() {
+        match &col.table {
+            Some(t) => {
+                w.put_u8(1);
+                w.put_str(t);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_str(&col.name);
+        put_column_type(w, col.ty);
+    }
+}
+
+/// Decode a [`Schema`] produced by [`put_schema`].
+pub fn get_schema(r: &mut ByteReader<'_>) -> Result<Schema, StorageError> {
+    let arity = r.get_u32()? as usize;
+    if arity > r.remaining() {
+        return Err(StorageError::Corrupt(format!("schema arity {arity} exceeds payload")));
+    }
+    let mut cols = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let has_table = r.get_u8()? != 0;
+        let table = if has_table { Some(r.get_str()?) } else { None };
+        let name = r.get_str()?;
+        let ty = get_column_type(r)?;
+        cols.push(match table {
+            Some(t) => Column::qualified(t, name, ty),
+            None => Column::new(name, ty),
+        });
+    }
+    Ok(Schema::new(cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let vals = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Float(3.25),
+            Value::Float(f64::NAN),
+            Value::str("héllo"),
+            Value::str(""),
+            Value::Date(Date::new(1980, 1, 1).unwrap()),
+            Value::Bool(true),
+            Value::Bool(false),
+        ];
+        let mut w = ByteWriter::new();
+        for v in &vals {
+            put_value(&mut w, v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        for v in &vals {
+            let back = get_value(&mut r).unwrap();
+            // NaN != NaN under PartialEq; compare via the engine's total order.
+            assert_eq!(v.total_cmp(&back), std::cmp::Ordering::Equal);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn page_roundtrip() {
+        let tuples = vec![
+            Tuple::new(vec![Value::Int(1), Value::str("a")]),
+            Tuple::new(vec![Value::Null, Value::str("b")]),
+        ];
+        let bytes = encode_page(&tuples);
+        let back = decode_page(&bytes).unwrap();
+        assert_eq!(back, tuples);
+    }
+
+    #[test]
+    fn truncated_page_is_typed_corruption() {
+        let tuples = vec![Tuple::new(vec![Value::Int(1), Value::str("abcdef")])];
+        let bytes = encode_page(&tuples);
+        for cut in 0..bytes.len() {
+            let err = decode_page(&bytes[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let schema = Schema::new(vec![
+            Column::qualified("PARTS", "PNUM", ColumnType::Int),
+            Column::new("QOH", ColumnType::Int),
+            Column::qualified("SUPPLY", "SHIPDATE", ColumnType::Date),
+        ]);
+        let mut w = ByteWriter::new();
+        put_schema(&mut w, &schema);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_schema(&mut r).unwrap(), schema);
+        assert!(r.is_empty());
+    }
+}

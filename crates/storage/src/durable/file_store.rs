@@ -1,0 +1,810 @@
+//! The file-backed page store: checksummed slotted page file + redo WAL.
+//!
+//! # Architecture
+//!
+//! The in-memory page map remains the live truth (reads never touch the
+//! file system after open — the I/O *count* charged by [`crate::Disk`]
+//! stays byte-identical to the memory backend by construction). The files
+//! are a durable mirror maintained at two sites:
+//!
+//! * **Commit** — [`FileStore::commit`] appends one checksummed redo
+//!   record per page written (full post-image; pages are immutable once
+//!   written, so redo logging needs no undo), one per page freed, then a
+//!   `Commit` record carrying an opaque catalog snapshot. The batch since
+//!   the previous commit becomes durable atomically: recovery replays the
+//!   log only through the **last valid commit record**, so a batch whose
+//!   commit never landed rolls back wholesale.
+//! * **Checkpoint** — [`FileStore::checkpoint`] folds committed images
+//!   into the slotted page file, writes a fresh directory, publishes it by
+//!   writing the alternate header (A/B double-buffering with sequence
+//!   numbers — the header landing is the atomic switch), then truncates
+//!   the WAL. The generation stamp in every WAL record ties the log to the
+//!   checkpoint epoch: a crash between the header write and the truncate
+//!   leaves stale-generation records behind, which recovery recognizes and
+//!   ignores instead of replaying twice.
+//!
+//! # File layout (`pages.nsql`)
+//!
+//! ```text
+//! [header A: 256 B] [header B: 256 B] [slot 0] [slot 1] ...
+//! header  := [len u32][crc u32][payload]   (crc over payload)
+//! payload := magic u64, version u32, seq u64, gen u32, page_size u32,
+//!            slot_size u32, slot_count u64, next_page_id u64, dir_slot i64
+//! slot    := [next_slot i64][chunk_len u32][chunk_crc u32][chunk bytes]
+//! ```
+//!
+//! Blobs (page images, the directory) larger than one slot chain through
+//! `next_slot`. Every chunk is CRC-guarded; a flipped bit anywhere in a
+//! live chunk surfaces as a typed [`StorageError::Checksum`] at open, not
+//! a panic or a wrong answer. The free list is derived at open as the
+//! complement of the slots reachable from the directory.
+//!
+//! # Crash model and fault injection
+//!
+//! Crashes are simulated at *write-op* granularity: every physical file
+//! mutation (WAL record append, slot chunk write, header write, WAL
+//! truncate) is one op. A [`FaultPlan`] kills the store at a chosen op,
+//! optionally leaving a torn prefix of that op's bytes; every later op is
+//! a silent no-op, freezing the files exactly as a power cut would while
+//! the in-memory session continues undisturbed. Reopening the directory
+//! runs real recovery. There is no `fsync` modeling: the simulated crash
+//! is a process kill with completed writes considered durable, which is
+//! the strongest model expressible without controlling the page cache.
+
+use super::codec::{self, ByteReader, ByteWriter};
+use super::wal::{self, WalRecord};
+use crate::disk::{DiskManager, Page, PageId};
+use crate::error::StorageError;
+use nsql_types::hash::{FxHashMap, FxHashSet};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+const MAGIC: u64 = 0x4e53_514c_5041_4745; // "NSQLPAGE"
+const VERSION: u32 = 1;
+const HDR_SIZE: u64 = 256;
+const CHUNK_HEADER: u64 = 16; // next_slot i64 + chunk_len u32 + chunk_crc u32
+const NO_SLOT: i64 = -1;
+
+/// WAL length (bytes) above which a commit triggers an automatic
+/// checkpoint. Deterministic: depends only on the byte stream of records.
+const AUTO_CHECKPOINT_WAL_BYTES: u64 = 256 * 1024;
+
+/// Name of the slotted page file inside the store directory.
+pub const PAGE_FILE: &str = "pages.nsql";
+/// Name of the write-ahead log inside the store directory.
+pub const WAL_FILE: &str = "wal.nsql";
+
+/// A simulated crash point: kill the store at physical write op
+/// `crash_at_op` (0-based, counted from fault installation), optionally
+/// persisting the first `torn_bytes` bytes of that op first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Index of the physical write op at which the crash fires.
+    pub crash_at_op: u64,
+    /// Bytes of the fatal op that still reach the file (`None` = zero:
+    /// the op is lost entirely). Capped at one less than the op's length:
+    /// the fatal op never *completes* — a crash after a fully persisted
+    /// op is the same crash at the next site with nothing torn.
+    pub torn_bytes: Option<usize>,
+}
+
+/// What recovery found when opening a store directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a valid checkpoint header was found.
+    pub had_checkpoint: bool,
+    /// Pages loaded from the checkpointed page file.
+    pub pages_from_checkpoint: usize,
+    /// Valid records found in the WAL (any generation).
+    pub wal_records_scanned: usize,
+    /// Records replayed (current generation, up to the last commit).
+    pub wal_records_applied: usize,
+    /// Valid records discarded: stale generation, or after the last commit
+    /// (an uncommitted batch rolled back).
+    pub wal_records_discarded: usize,
+    /// Whether the WAL ended in a torn or corrupt tail.
+    pub torn_tail: bool,
+    /// Number of commit records replayed.
+    pub commits_applied: usize,
+}
+
+struct Files {
+    page: File,
+    wal: File,
+}
+
+#[derive(Default)]
+struct StoreState {
+    /// Live truth: every allocated page, committed or not.
+    mem: FxHashMap<PageId, Arc<Page>>,
+    /// Pages written since the last commit, in write order.
+    batch_writes: Vec<PageId>,
+    /// Durable pages freed since the last commit.
+    batch_frees: Vec<PageId>,
+    /// Committed pages not yet folded into the page file.
+    ckpt_dirty: FxHashSet<PageId>,
+    /// Committed frees not yet folded into the page file.
+    ckpt_freed: FxHashSet<PageId>,
+    /// Slot chain per page currently stored in the page file.
+    page_slots: FxHashMap<PageId, Vec<u64>>,
+    /// Slots of the directory blob of the current checkpoint.
+    dir_slots: Vec<u64>,
+    free_slots: Vec<u64>,
+    slot_count: u64,
+    slot_size: u64,
+    page_size: u32,
+    gen: u32,
+    seq: u64,
+    max_written_id: u64,
+    next_page_id: u64,
+    committed_meta: Option<Vec<u8>>,
+    wal_len: u64,
+    fault: Option<FaultPlan>,
+    write_ops: u64,
+    crashed: bool,
+}
+
+/// The durable, file-backed [`DiskManager`] backend. See the module docs
+/// for the architecture.
+pub struct FileStore {
+    dir: PathBuf,
+    files: Mutex<Files>,
+    state: Mutex<StoreState>,
+}
+
+impl FileStore {
+    /// Open (or create) a store in `dir`, running crash recovery.
+    ///
+    /// `default_page_size` seeds a fresh store; an existing store keeps
+    /// the page size recorded in its header.
+    pub fn open(
+        dir: &Path,
+        default_page_size: usize,
+    ) -> Result<(FileStore, RecoveryReport), StorageError> {
+        std::fs::create_dir_all(dir)?;
+        let page_path = dir.join(PAGE_FILE);
+        let wal_path = dir.join(WAL_FILE);
+        let mut page_file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&page_path)?;
+        let mut wal_file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&wal_path)?;
+
+        let mut page_bytes = Vec::new();
+        page_file.read_to_end(&mut page_bytes)?;
+        let mut wal_bytes = Vec::new();
+        wal_file.read_to_end(&mut wal_bytes)?;
+
+        let mut report = RecoveryReport::default();
+        let mut st = StoreState {
+            page_size: default_page_size as u32,
+            slot_size: slot_size_for(default_page_size),
+            ..StoreState::default()
+        };
+
+        // 1. Checkpoint image: pick the newest valid header, load the
+        //    directory and every page chain, verifying all checksums
+        //    eagerly so corruption surfaces now, as a typed error.
+        if let Some(hdr) = read_headers(&page_bytes, wal_bytes.is_empty())? {
+            report.had_checkpoint = true;
+            st.page_size = hdr.page_size;
+            st.slot_size = u64::from(hdr.slot_size);
+            st.slot_count = hdr.slot_count;
+            st.gen = hdr.gen;
+            st.seq = hdr.seq;
+            st.next_page_id = hdr.next_page_id;
+            st.max_written_id = hdr.next_page_id.saturating_sub(1);
+            if hdr.dir_slot != NO_SLOT {
+                let (dir_blob, dir_chain) =
+                    read_chain(&page_bytes, &st, hdr.dir_slot as u64, "directory")?;
+                st.dir_slots = dir_chain;
+                let mut r = ByteReader::new(&dir_blob);
+                let meta = r.get_blob()?.to_vec();
+                st.committed_meta = Some(meta);
+                let n_pages = r.get_u64()? as usize;
+                for _ in 0..n_pages {
+                    let id = PageId(r.get_u64()?);
+                    let first = r.get_u64()?;
+                    let image_crc = r.get_u32()?;
+                    let (img, chain) =
+                        read_chain(&page_bytes, &st, first, "page image")?;
+                    if codec::crc32(&img) != image_crc {
+                        return Err(StorageError::Checksum {
+                            context: "page image",
+                            detail: format!("page {}, first slot {first}", id.0),
+                        });
+                    }
+                    let tuples = codec::decode_page(&img).map_err(|e| match e {
+                        StorageError::Corrupt(m) => {
+                            StorageError::Corrupt(format!("page {}: {m}", id.0))
+                        }
+                        other => other,
+                    })?;
+                    st.mem.insert(id, Arc::new(Page::new(tuples)));
+                    st.page_slots.insert(id, chain);
+                }
+                if !r.is_empty() {
+                    return Err(StorageError::Corrupt("trailing bytes in directory".into()));
+                }
+            }
+            report.pages_from_checkpoint = st.mem.len();
+            // Free list = complement of the reachable slots.
+            let mut used = FxHashSet::default();
+            used.extend(st.dir_slots.iter().copied());
+            for chain in st.page_slots.values() {
+                used.extend(chain.iter().copied());
+            }
+            st.free_slots =
+                (0..st.slot_count).filter(|s| !used.contains(s)).rev().collect();
+        }
+
+        // 2. WAL replay: current-generation records through the last
+        //    commit. Stale generations (crash between header write and
+        //    WAL truncate) and the uncommitted tail are discarded.
+        let scan = wal::scan(&wal_bytes);
+        report.torn_tail = scan.torn_tail;
+        report.wal_records_scanned = scan.records.len();
+        // Locate the last current-generation commit and its end offset.
+        let mut keep_bytes = 0u64;
+        let mut last_commit = None;
+        for (i, (gen, rec)) in scan.records.iter().enumerate() {
+            if *gen == st.gen {
+                if let WalRecord::Commit { .. } = rec {
+                    last_commit = Some(i);
+                    keep_bytes = scan.end_offsets[i];
+                }
+            }
+        }
+        if let Some(last) = last_commit {
+            for (gen, rec) in &scan.records[..=last] {
+                if *gen != st.gen {
+                    report.wal_records_discarded += 1;
+                    continue;
+                }
+                report.wal_records_applied += 1;
+                match rec {
+                    WalRecord::PageWrite { page_id, image } => {
+                        let tuples = codec::decode_page(image).map_err(|e| match e {
+                            StorageError::Corrupt(m) => StorageError::Corrupt(format!(
+                                "WAL image for page {}: {m}",
+                                page_id.0
+                            )),
+                            other => other,
+                        })?;
+                        st.mem.insert(*page_id, Arc::new(Page::new(tuples)));
+                        st.ckpt_dirty.insert(*page_id);
+                        st.max_written_id = st.max_written_id.max(page_id.0);
+                    }
+                    WalRecord::PageFree { page_id } => {
+                        st.mem.remove(page_id);
+                        st.ckpt_dirty.remove(page_id);
+                        if st.page_slots.contains_key(page_id) {
+                            st.ckpt_freed.insert(*page_id);
+                        }
+                    }
+                    WalRecord::Commit { meta } => {
+                        st.committed_meta = Some(meta.clone());
+                        report.commits_applied += 1;
+                    }
+                }
+            }
+        }
+        report.wal_records_discarded +=
+            scan.records.len() - last_commit.map_or(0, |l| l + 1);
+
+        // 3. Truncate the discarded tail so future appends extend a valid
+        //    log (replaying a rolled-back batch later would be wrong).
+        if keep_bytes < wal_bytes.len() as u64 {
+            wal_file.set_len(keep_bytes)?;
+        }
+        wal_file.seek(SeekFrom::Start(keep_bytes))?;
+        st.wal_len = keep_bytes;
+        st.next_page_id = st.next_page_id.max(st.max_written_id.saturating_add(1));
+        page_file.seek(SeekFrom::Start(0))?;
+
+        let store = FileStore {
+            dir: dir.to_path_buf(),
+            files: Mutex::new(Files { page: page_file, wal: wal_file }),
+            state: Mutex::new(st),
+        };
+        Ok((store, report))
+    }
+
+    fn state(&self) -> MutexGuard<'_, StoreState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The page byte budget recorded in (or seeded into) the store.
+    pub fn page_size(&self) -> usize {
+        self.state().page_size as usize
+    }
+
+    /// First page id not yet in use; [`crate::Disk`] seeds its allocator
+    /// from this at open.
+    pub fn next_page_id(&self) -> u64 {
+        self.state().next_page_id
+    }
+
+    /// The catalog snapshot carried by the last durable commit, if any.
+    pub fn committed_meta(&self) -> Option<Vec<u8>> {
+        self.state().committed_meta.clone()
+    }
+
+    /// Install a fault plan. Op counting starts from this call.
+    pub fn inject_fault(&self, plan: FaultPlan) {
+        let mut st = self.state();
+        st.fault = Some(plan);
+        st.write_ops = 0;
+        st.crashed = false;
+    }
+
+    /// Physical write ops performed since open (or since the last
+    /// [`FileStore::inject_fault`]). Enumerating `0..write_ops()` of a
+    /// clean run is exactly the crash-site space of the sweep.
+    pub fn write_ops(&self) -> u64 {
+        self.state().write_ops
+    }
+
+    /// Whether a fault plan has fired. Once crashed, every durable
+    /// operation is a silent no-op until the directory is reopened.
+    pub fn crashed(&self) -> bool {
+        self.state().crashed
+    }
+
+    /// Records appended since the last commit (page writes + frees of the
+    /// open batch).
+    pub fn batch_len(&self) -> usize {
+        let st = self.state();
+        st.batch_writes.len() + st.batch_frees.len()
+    }
+
+    /// Current WAL length in bytes.
+    pub fn wal_len(&self) -> u64 {
+        self.state().wal_len
+    }
+
+    /// Commit the open batch: append redo records for every page written
+    /// and freed since the last commit, then a `Commit` record carrying
+    /// `meta` (an opaque catalog snapshot returned by recovery). Runs an
+    /// automatic checkpoint when the WAL has grown past its threshold.
+    pub fn commit(&self, meta: &[u8]) -> Result<(), StorageError> {
+        let mut files = self.files.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut st = self.state();
+        let st = &mut *st;
+
+        let mut records = Vec::new();
+        let mut seen = FxHashSet::default();
+        for id in std::mem::take(&mut st.batch_writes) {
+            // A page freed later in the same batch never becomes durable.
+            if !seen.insert(id) || !st.mem.contains_key(&id) {
+                continue;
+            }
+            let image = codec::encode_page(st.mem[&id].tuples());
+            records.push(WalRecord::PageWrite { page_id: id, image });
+            st.ckpt_dirty.insert(id);
+        }
+        for id in std::mem::take(&mut st.batch_frees) {
+            records.push(WalRecord::PageFree { page_id: id });
+            st.ckpt_dirty.remove(&id);
+            if st.page_slots.contains_key(&id) {
+                st.ckpt_freed.insert(id);
+            }
+        }
+        records.push(WalRecord::Commit { meta: meta.to_vec() });
+
+        for rec in &records {
+            let bytes = wal::encode_record(st.gen, rec);
+            let at = st.wal_len;
+            let wrote = physical_write(st, &mut files.wal, at, &bytes)?;
+            st.wal_len += wrote;
+        }
+        st.committed_meta = Some(meta.to_vec());
+
+        if st.wal_len > AUTO_CHECKPOINT_WAL_BYTES {
+            checkpoint_locked(st, &mut files)?;
+        }
+        Ok(())
+    }
+
+    /// Fold committed state into the page file and truncate the WAL. Must
+    /// be called at a commit boundary (no open batch), because the page
+    /// file image it publishes is the current in-memory state.
+    pub fn checkpoint(&self) -> Result<(), StorageError> {
+        let mut files = self.files.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut st = self.state();
+        if !st.batch_writes.is_empty() || !st.batch_frees.is_empty() {
+            return Err(StorageError::Invalid(
+                "checkpoint requested mid-batch; commit first".into(),
+            ));
+        }
+        checkpoint_locked(&mut st, &mut files)
+    }
+
+    /// Every live page, sorted by id, with its tuples — the store's full
+    /// logical state, used by recovery tests to diff against a shadow
+    /// oracle.
+    pub fn snapshot_pages(&self) -> Vec<(PageId, Vec<nsql_types::Tuple>)> {
+        let st = self.state();
+        let mut out: Vec<(PageId, Vec<nsql_types::Tuple>)> =
+            st.mem.iter().map(|(id, p)| (*id, p.tuples().to_vec())).collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Byte extents `(offset, len)` of every live chunk (header +
+    /// payload, excluding slack) in the page file — the regions where a
+    /// flipped bit must be *detected* at the next open. Test
+    /// instrumentation for the corruption suite. Reads the file to get the
+    /// exact on-disk chunk lengths.
+    pub fn live_extents(&self) -> Result<Vec<(u64, u64)>, StorageError> {
+        let bytes = std::fs::read(self.dir.join(PAGE_FILE))?;
+        let st = self.state();
+        let mut out = Vec::new();
+        let mut chains: Vec<&[u64]> = vec![&st.dir_slots];
+        chains.extend(st.page_slots.values().map(Vec::as_slice));
+        for chain in chains {
+            for &slot in chain {
+                let off = slot_offset(&st, slot) as usize;
+                if off + CHUNK_HEADER as usize > bytes.len() {
+                    continue;
+                }
+                let mut r = ByteReader::new(&bytes[off + 8..]);
+                let len = u64::from(r.get_u32()?);
+                out.push((off as u64, CHUNK_HEADER + len));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl DiskManager for FileStore {
+    fn read(&self, id: PageId) -> Arc<Page> {
+        Arc::clone(
+            self.state()
+                .mem
+                .get(&id)
+                .unwrap_or_else(|| panic!("read of unallocated page {id:?}")),
+        )
+    }
+
+    fn write(&self, id: PageId, page: Page) {
+        let mut st = self.state();
+        st.mem.insert(id, Arc::new(page));
+        st.batch_writes.push(id);
+        st.max_written_id = st.max_written_id.max(id.0);
+        st.next_page_id = st.next_page_id.max(id.0 + 1);
+    }
+
+    fn free(&self, id: PageId) {
+        let mut st = self.state();
+        if st.mem.remove(&id).is_none() {
+            return;
+        }
+        // A page born in the open batch dies with it: it was never
+        // durable, so nothing needs logging (commit skips it).
+        let durable = st.ckpt_dirty.contains(&id) || st.page_slots.contains_key(&id);
+        if durable {
+            st.batch_frees.push(id);
+        }
+    }
+
+    fn live_pages(&self) -> usize {
+        self.state().mem.len()
+    }
+}
+
+fn slot_size_for(page_size: usize) -> u64 {
+    (page_size as u64).max(128) + CHUNK_HEADER
+}
+
+fn slot_offset(st: &StoreState, slot: u64) -> u64 {
+    2 * HDR_SIZE + slot * st.slot_size
+}
+
+/// One physical file write. This is *the* fault-injection site: each call
+/// is one enumerable crash point. Returns the bytes logically written
+/// (always `bytes.len()`; a torn write still advances the logical position
+/// because the caller's state is in-memory bookkeeping, not the file).
+fn physical_write(
+    st: &mut StoreState,
+    file: &mut File,
+    offset: u64,
+    bytes: &[u8],
+) -> Result<u64, StorageError> {
+    if st.crashed {
+        return Ok(bytes.len() as u64);
+    }
+    let op = st.write_ops;
+    st.write_ops += 1;
+    if let Some(plan) = st.fault {
+        if op == plan.crash_at_op {
+            let torn = plan.torn_bytes.unwrap_or(0).min(bytes.len().saturating_sub(1));
+            if torn > 0 {
+                file.seek(SeekFrom::Start(offset))?;
+                file.write_all(&bytes[..torn])?;
+            }
+            st.crashed = true;
+            return Ok(bytes.len() as u64);
+        }
+    }
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// One physical truncate (same op accounting as a write).
+fn physical_truncate(st: &mut StoreState, file: &mut File, len: u64) -> Result<(), StorageError> {
+    if st.crashed {
+        return Ok(());
+    }
+    let op = st.write_ops;
+    st.write_ops += 1;
+    if let Some(plan) = st.fault {
+        if op == plan.crash_at_op {
+            st.crashed = true;
+            return Ok(());
+        }
+    }
+    file.set_len(len)?;
+    Ok(())
+}
+
+fn alloc_slot(st: &mut StoreState) -> u64 {
+    if let Some(s) = st.free_slots.pop() {
+        s
+    } else {
+        let s = st.slot_count;
+        st.slot_count += 1;
+        s
+    }
+}
+
+/// Write a blob as a chain of chunk slots, allocating from the free list
+/// (which, during a checkpoint, excludes slots reachable from the *old*
+/// header — copy-on-write, so a crash mid-checkpoint leaves the previous
+/// checkpoint fully intact). Returns the chain.
+fn write_chain(
+    st: &mut StoreState,
+    file: &mut File,
+    blob: &[u8],
+) -> Result<Vec<u64>, StorageError> {
+    let cap = (st.slot_size - CHUNK_HEADER) as usize;
+    let mut chunks: Vec<&[u8]> = blob.chunks(cap).collect();
+    if chunks.is_empty() {
+        chunks.push(&[]);
+    }
+    let slots: Vec<u64> = chunks.iter().map(|_| alloc_slot(st)).collect();
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        let next = slots.get(i + 1).map_or(NO_SLOT, |&s| s as i64);
+        // The CRC covers the header fields too: a flipped bit in the
+        // `next` pointer must not be able to splice two individually
+        // valid chunks into a plausible wrong blob.
+        let mut guarded = ByteWriter::new();
+        guarded.put_i64(next);
+        guarded.put_u32(chunk.len() as u32);
+        guarded.put_bytes(chunk);
+        let guarded = guarded.into_bytes();
+        let crc = codec::crc32(&guarded);
+        let mut w = ByteWriter::new();
+        w.put_i64(next);
+        w.put_u32(chunk.len() as u32);
+        w.put_u32(crc);
+        w.put_bytes(chunk);
+        let off = slot_offset(st, slots[i]);
+        physical_write(st, file, off, &w.into_bytes())?;
+    }
+    Ok(slots)
+}
+
+/// Read a chunk chain starting at `first`, verifying every checksum.
+fn read_chain(
+    file_bytes: &[u8],
+    st: &StoreState,
+    first: u64,
+    what: &'static str,
+) -> Result<(Vec<u8>, Vec<u64>), StorageError> {
+    let mut blob = Vec::new();
+    let mut chain = Vec::new();
+    let mut slot = first as i64;
+    while slot != NO_SLOT {
+        let s = slot as u64;
+        if s >= st.slot_count || chain.len() as u64 > st.slot_count {
+            return Err(StorageError::Corrupt(format!(
+                "{what}: slot pointer {s} out of range (count {})",
+                st.slot_count
+            )));
+        }
+        chain.push(s);
+        let off = slot_offset(st, s) as usize;
+        if off + CHUNK_HEADER as usize > file_bytes.len() {
+            return Err(StorageError::Corrupt(format!("{what}: slot {s} beyond file end")));
+        }
+        let mut r = ByteReader::new(&file_bytes[off..]);
+        let next = r.get_i64()?;
+        let len = r.get_u32()? as usize;
+        let crc = r.get_u32()?;
+        if len as u64 > st.slot_size - CHUNK_HEADER {
+            return Err(StorageError::Corrupt(format!(
+                "{what}: slot {s} chunk length {len} exceeds slot size"
+            )));
+        }
+        let start = off + CHUNK_HEADER as usize;
+        if start + len > file_bytes.len() {
+            return Err(StorageError::Corrupt(format!("{what}: slot {s} chunk beyond file end")));
+        }
+        let chunk = &file_bytes[start..start + len];
+        let mut guarded = ByteWriter::new();
+        guarded.put_i64(next);
+        guarded.put_u32(len as u32);
+        guarded.put_bytes(chunk);
+        if codec::crc32(&guarded.into_bytes()) != crc {
+            return Err(StorageError::Checksum {
+                context: "slot chunk",
+                detail: format!("{what}, slot {s}, file offset {start}"),
+            });
+        }
+        blob.extend_from_slice(chunk);
+        slot = next;
+    }
+    Ok((blob, chain))
+}
+
+struct Header {
+    seq: u64,
+    gen: u32,
+    page_size: u32,
+    slot_size: u32,
+    slot_count: u64,
+    next_page_id: u64,
+    dir_slot: i64,
+}
+
+fn encode_header(st: &StoreState, dir_slot: i64) -> Vec<u8> {
+    let mut p = ByteWriter::new();
+    p.put_u64(MAGIC);
+    p.put_u32(VERSION);
+    p.put_u64(st.seq);
+    p.put_u32(st.gen);
+    p.put_u32(st.page_size);
+    p.put_u32(st.slot_size as u32);
+    p.put_u64(st.slot_count);
+    p.put_u64(st.next_page_id);
+    p.put_i64(dir_slot);
+    let payload = p.into_bytes();
+    let mut w = ByteWriter::new();
+    w.put_u32(payload.len() as u32);
+    w.put_u32(codec::crc32(&payload));
+    w.put_bytes(&payload);
+    let mut bytes = w.into_bytes();
+    bytes.resize(HDR_SIZE as usize, 0);
+    bytes
+}
+
+fn parse_header(bytes: &[u8]) -> Option<Header> {
+    if bytes.len() < 8 || bytes.iter().all(|&b| b == 0) {
+        return None;
+    }
+    let mut r = ByteReader::new(bytes);
+    let len = r.get_u32().ok()? as usize;
+    let crc = r.get_u32().ok()?;
+    if 8 + len > bytes.len() {
+        return None;
+    }
+    let payload = &bytes[8..8 + len];
+    if codec::crc32(payload) != crc {
+        return None;
+    }
+    let mut r = ByteReader::new(payload);
+    if r.get_u64().ok()? != MAGIC || r.get_u32().ok()? != VERSION {
+        return None;
+    }
+    Some(Header {
+        seq: r.get_u64().ok()?,
+        gen: r.get_u32().ok()?,
+        page_size: r.get_u32().ok()?,
+        slot_size: r.get_u32().ok()?,
+        slot_count: r.get_u64().ok()?,
+        next_page_id: r.get_u64().ok()?,
+        dir_slot: r.get_i64().ok()?,
+    })
+}
+
+/// Pick the newest valid header. `None` means a fresh store (the WAL, if
+/// any, is the entire history — the legitimate state after a crash during
+/// the *first* checkpoint, whose header write may itself be torn; any
+/// later checkpoint always leaves the previous header intact in the
+/// alternate slot). An unreadable header region with an *empty* WAL has no
+/// such innocent explanation and is reported as corruption.
+fn read_headers(page_bytes: &[u8], wal_empty: bool) -> Result<Option<Header>, StorageError> {
+    if page_bytes.is_empty() {
+        return Ok(None);
+    }
+    let slot_a = page_bytes.get(0..HDR_SIZE as usize).unwrap_or(&[]);
+    let slot_b = page_bytes.get(HDR_SIZE as usize..2 * HDR_SIZE as usize).unwrap_or(&[]);
+    let best = match (parse_header(slot_a), parse_header(slot_b)) {
+        (Some(a), Some(b)) => Some(if a.seq >= b.seq { a } else { b }),
+        (Some(a), None) => Some(a),
+        (None, Some(b)) => Some(b),
+        (None, None) => None,
+    };
+    if best.is_none() && wal_empty {
+        return Err(StorageError::Checksum {
+            context: "page file header",
+            detail: "no valid header and no WAL to recover from".into(),
+        });
+    }
+    Ok(best)
+}
+
+fn checkpoint_locked(st: &mut StoreState, files: &mut Files) -> Result<(), StorageError> {
+    // Copy-on-write: slots released by this checkpoint stay out of the
+    // allocator until the new header lands, so the old checkpoint remains
+    // fully reachable if we crash before the switch.
+    let mut pending_free = Vec::new();
+    for id in std::mem::take(&mut st.ckpt_freed) {
+        if let Some(chain) = st.page_slots.remove(&id) {
+            pending_free.extend(chain);
+        }
+    }
+    let dirty: Vec<PageId> = {
+        let mut d: Vec<PageId> = std::mem::take(&mut st.ckpt_dirty).into_iter().collect();
+        d.sort();
+        d
+    };
+    let mut image_crcs = FxHashMap::default();
+    for id in dirty {
+        if let Some(old) = st.page_slots.remove(&id) {
+            pending_free.extend(old);
+        }
+        let Some(page) = st.mem.get(&id).map(Arc::clone) else { continue };
+        let image = codec::encode_page(page.tuples());
+        image_crcs.insert(id, codec::crc32(&image));
+        let chain = write_chain(st, &mut files.page, &image)?;
+        st.page_slots.insert(id, chain);
+    }
+
+    // Fresh directory: committed meta + every page's first slot and
+    // whole-image CRC (the chain CRCs guard each chunk and its linkage;
+    // the image CRC guards the reassembled whole).
+    pending_free.extend(std::mem::take(&mut st.dir_slots));
+    let mut d = ByteWriter::new();
+    d.put_blob(st.committed_meta.as_deref().unwrap_or(&[]));
+    d.put_u64(st.page_slots.len() as u64);
+    let mut entries: Vec<(PageId, u64)> =
+        st.page_slots.iter().map(|(id, chain)| (*id, chain[0])).collect();
+    entries.sort();
+    for (id, first) in entries {
+        let crc = image_crcs.get(&id).copied().unwrap_or_else(|| {
+            // Page carried over unchanged from the previous checkpoint:
+            // recompute from the live image.
+            codec::crc32(&codec::encode_page(st.mem[&id].tuples()))
+        });
+        d.put_u64(id.0);
+        d.put_u64(first);
+        d.put_u32(crc);
+    }
+    let dir_blob = d.into_bytes();
+    let dir_chain = write_chain(st, &mut files.page, &dir_blob)?;
+    let dir_slot = dir_chain[0] as i64;
+    st.dir_slots = dir_chain;
+
+    // Publish: the alternate header slot is the atomic switch.
+    st.seq += 1;
+    st.gen += 1;
+    let hdr = encode_header(st, dir_slot);
+    let hdr_off = (st.seq % 2) * HDR_SIZE;
+    physical_write(st, &mut files.page, hdr_off, &hdr)?;
+
+    // The WAL is now history; stale-generation records are ignored even
+    // if this truncate is lost to a crash.
+    physical_truncate(st, &mut files.wal, 0)?;
+    st.wal_len = 0;
+    st.free_slots.extend(pending_free);
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! The durable (file-backed) storage backend.
+//!
+//! * [`codec`] — little-endian byte codec, in-tree CRC-32, value/tuple/
+//!   page/schema encodings.
+//! * [`wal`] — write-ahead log record framing and the replay scanner.
+//! * [`file_store`] — the slotted page file, checkpointing, recovery, and
+//!   deterministic fault injection.
+
+pub mod codec;
+pub mod file_store;
+pub mod wal;
+
+pub use file_store::{FaultPlan, FileStore, RecoveryReport, PAGE_FILE, WAL_FILE};

@@ -1,0 +1,55 @@
+//! Typed storage-engine failures.
+//!
+//! Durable-store problems are *data-dependent* conditions (a torn file, a
+//! flipped bit, a crashed process), never engine bugs, so they surface as
+//! values rather than panics. The variants keep `Clone + PartialEq` so they
+//! can ride inside `EngineError` and be asserted on in tests.
+
+use std::fmt;
+
+/// Failures raised by the durable (file-backed) page store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An operating-system I/O failure (message-stringified so the error
+    /// stays `Clone`/`PartialEq`).
+    Io(String),
+    /// A checksum did not verify. `context` names the structure (page
+    /// image, WAL record, header, directory) and `detail` locates it.
+    Checksum {
+        /// What failed to verify (e.g. `"page image"`, `"slot chunk"`).
+        context: &'static str,
+        /// Where (file offset, page id, slot index — human-readable).
+        detail: String,
+    },
+    /// A structure decoded to something impossible (bad magic, truncated
+    /// payload, out-of-range slot pointer).
+    Corrupt(String),
+    /// An API precondition was violated (e.g. checkpoint requested in the
+    /// middle of an uncommitted batch).
+    Invalid(String),
+    /// The store has already simulated a crash (fault injection): further
+    /// durable operations are refused until the store is reopened.
+    Crashed,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(m) => write!(f, "storage I/O error: {m}"),
+            StorageError::Checksum { context, detail } => {
+                write!(f, "checksum mismatch in {context}: {detail}")
+            }
+            StorageError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
+            StorageError::Invalid(m) => write!(f, "invalid storage operation: {m}"),
+            StorageError::Crashed => write!(f, "store crashed (fault injection); reopen to recover"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}

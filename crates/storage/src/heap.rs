@@ -49,6 +49,14 @@ impl HeapFile {
         HeapFile { schema, pages: Arc::new(pages), tuple_count }
     }
 
+    /// Reassemble a heap file from previously persisted metadata (schema,
+    /// page ids in file order, tuple count). No I/O — the pages are assumed
+    /// to exist in the underlying store. Used by catalog recovery when a
+    /// file-backed database reopens.
+    pub fn from_parts(schema: Schema, pages: Vec<PageId>, tuple_count: usize) -> HeapFile {
+        HeapFile { schema, pages: Arc::new(pages), tuple_count }
+    }
+
     /// The tuple schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -28,17 +28,22 @@
 
 pub mod buffer;
 pub mod disk;
+pub mod durable;
+pub mod error;
 pub mod heap;
 pub mod sort;
 pub mod stats;
 
 pub use buffer::BufferPool;
-pub use disk::{Disk, Page, PageId};
+pub use disk::{Disk, DiskManager, MemBackend, Page, PageId};
+pub use durable::{FaultPlan, FileStore, RecoveryReport};
+pub use error::StorageError;
 pub use heap::HeapFile;
 pub use sort::{external_sort, external_sort_threads};
 pub use stats::{IoSnapshot, IoStats};
 
 use nsql_types::{Relation, Schema, Tuple};
+use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Default page size in bytes (a deliberately small page so that the paper's
@@ -77,6 +82,9 @@ struct StorageInner {
     buffer: Mutex<BufferPool>,
     page_size: usize,
     mode: IoMode,
+    /// Present when the backend is the durable file store (commit,
+    /// checkpoint, and fault-injection APIs hang off it).
+    durable: Option<Arc<FileStore>>,
 }
 
 /// Facade over the simulated disk and buffer pool.
@@ -97,13 +105,71 @@ impl Storage {
         let disk = Arc::new(Disk::new());
         let buffer = Mutex::new(BufferPool::new(Arc::clone(&disk), buffer_pages));
         Storage {
-            inner: Arc::new(StorageInner { disk, buffer, page_size, mode: IoMode::Counted }),
+            inner: Arc::new(StorageInner {
+                disk,
+                buffer,
+                page_size,
+                mode: IoMode::Counted,
+                durable: None,
+            }),
         }
     }
 
     /// Storage with the defaults used across the experiments.
     pub fn with_defaults() -> Storage {
         Storage::new(DEFAULT_BUFFER_PAGES, DEFAULT_PAGE_SIZE)
+    }
+
+    /// File-backed storage rooted at `dir`, running crash recovery on
+    /// open. `page_size` seeds a fresh store; an existing store keeps the
+    /// page size recorded in its header (so reopening reproduces the
+    /// original page packing regardless of the caller's default). I/O
+    /// counting is identical to the memory backend by construction: the
+    /// counter sits in [`Disk`], above the [`DiskManager`] seam.
+    pub fn file_backed(
+        buffer_pages: usize,
+        page_size: usize,
+        dir: &Path,
+    ) -> Result<(Storage, RecoveryReport), StorageError> {
+        let (store, report) = FileStore::open(dir, page_size)?;
+        let store = Arc::new(store);
+        let page_size = store.page_size();
+        let first_id = store.next_page_id();
+        let disk = Arc::new(Disk::with_backend(
+            Arc::clone(&store) as Arc<dyn DiskManager>,
+            first_id,
+        ));
+        let buffer = Mutex::new(BufferPool::new(Arc::clone(&disk), buffer_pages));
+        let storage = Storage {
+            inner: Arc::new(StorageInner {
+                disk,
+                buffer,
+                page_size,
+                mode: IoMode::Counted,
+                durable: Some(store),
+            }),
+        };
+        Ok((storage, report))
+    }
+
+    /// The durable backend, when this storage is file-backed.
+    pub fn durable(&self) -> Option<&Arc<FileStore>> {
+        self.inner.durable.as_ref()
+    }
+
+    /// Whether this storage is file-backed.
+    pub fn is_durable(&self) -> bool {
+        self.inner.durable.is_some()
+    }
+
+    /// Commit the open durable batch with an opaque metadata snapshot
+    /// (the catalog image handed back by recovery). No-op on memory
+    /// storage, so callers can commit unconditionally.
+    pub fn commit_durable(&self, meta: &[u8]) -> Result<(), StorageError> {
+        match &self.inner.durable {
+            Some(store) => store.commit(meta),
+            None => Ok(()),
+        }
     }
 
     /// A trace-mode view of this storage: same disk (pages written by either
@@ -120,6 +186,7 @@ impl Storage {
                 buffer,
                 page_size: self.inner.page_size,
                 mode: IoMode::Trace(sink),
+                durable: self.inner.durable.clone(),
             }),
         }
     }

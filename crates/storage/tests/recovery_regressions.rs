@@ -1,0 +1,268 @@
+//! Named, shrunk reproductions of recovery bugs found by the
+//! fault-injection harness and the corruption sweep (the PR 4 workflow:
+//! every divergence the property suites catch is pinned here forever,
+//! in its minimal form, so a regression is a named test failure rather
+//! than an anonymous property report).
+
+use nsql_storage::durable::codec;
+use nsql_storage::durable::FaultPlan;
+use nsql_storage::{Storage, StorageError};
+use nsql_testkit::TempDir;
+use nsql_types::{Tuple, Value};
+
+fn tuples(tag: i64, n: i64) -> Vec<Tuple> {
+    (0..n).map(|i| Tuple::new(vec![Value::Int(tag), Value::Int(i)])).collect()
+}
+
+/// Found by `random_workloads_recover_at_random_crash_points`, shrunk to
+/// `ops: [Commit], crash_frac: 0.0, torn: Some(60)`: a "torn" write whose
+/// byte budget covered the *entire* fatal op made the op complete, so a
+/// commit the harness model called lost was durably recovered. The fault
+/// model now caps the torn prefix at one byte less than the op: the fatal
+/// op never completes (a crash after a complete op is the same crash at
+/// the next site).
+#[test]
+fn torn_write_covering_whole_op_must_not_commit() {
+    let dir = TempDir::new("nsql-regr-torn-whole");
+    {
+        let (st, _) = Storage::file_backed(8, 256, dir.path()).unwrap();
+        // Crash at the very first WAL append with a torn budget far larger
+        // than any single commit record.
+        st.durable()
+            .unwrap()
+            .inject_fault(FaultPlan { crash_at_op: 0, torn_bytes: Some(10_000) });
+        st.commit_durable(b"commit-0").unwrap();
+        assert!(st.durable().unwrap().crashed());
+    }
+    let (st, report) = Storage::file_backed(8, 256, dir.path()).unwrap();
+    assert_eq!(st.durable().unwrap().committed_meta(), None, "{report:?}");
+    assert_eq!(report.commits_applied, 0);
+}
+
+/// Found by `flipped_bits_in_committed_pages_yield_typed_errors` (seed
+/// 0xc044, round 19): chunk CRCs originally covered only the payload, so
+/// flipping one bit in a chunk's `next` pointer (7 → 5) spliced two
+/// individually valid chunks into a plausible — and silently wrong — page
+/// image. Chunk CRCs now cover the header (linkage included), and the
+/// directory carries a whole-image CRC per page.
+#[test]
+fn chain_splice_via_next_pointer_flip_is_detected() {
+    let dir = TempDir::new("nsql-regr-splice");
+    {
+        let (st, _) = Storage::file_backed(8, 256, dir.path()).unwrap();
+        // Two multi-chunk pages (images larger than one slot) so every
+        // first chunk has a non-trivial `next` pointer.
+        let _a = st.write_new_page(tuples(1, 40));
+        let _b = st.write_new_page(tuples(2, 40));
+        st.commit_durable(b"v").unwrap();
+        st.durable().unwrap().checkpoint().unwrap();
+    }
+    let path = dir.path().join("pages.nsql");
+    let original = std::fs::read(&path).unwrap();
+    // Exhaustively flip every low bit of every chunk-header `next` byte in
+    // the slot region; none may open silently with different content.
+    let hdr = 2 * 256usize;
+    let slot_size = 256 + 16;
+    let mut checked = 0;
+    for slot in 0..(original.len() - hdr) / slot_size {
+        let off = hdr + slot * slot_size;
+        for bit in 0..4 {
+            let mut bytes = original.clone();
+            bytes[off] ^= 1 << bit;
+            if bytes == original {
+                continue;
+            }
+            std::fs::write(&path, &bytes).unwrap();
+            match Storage::file_backed(8, 256, dir.path()) {
+                Err(_) => checked += 1,
+                Ok((st, _)) => {
+                    // Only acceptable if the flip hit a dead slot.
+                    assert_eq!(st.live_pages(), 2, "slot {slot} bit {bit}: page lost");
+                    let mut pages = st.durable().unwrap().snapshot_pages();
+                    pages.sort_by_key(|(id, _)| *id);
+                    assert_eq!(pages[0].1, tuples(1, 40), "slot {slot} bit {bit}: spliced");
+                    assert_eq!(pages[1].1, tuples(2, 40), "slot {slot} bit {bit}: spliced");
+                }
+            }
+        }
+    }
+    std::fs::write(&path, &original).unwrap();
+    assert!(checked > 0, "sweep never hit a live chunk header");
+}
+
+/// A torn commit record rolls the batch back to the previous commit — the
+/// valid WAL prefix is the durable history.
+#[test]
+fn torn_commit_record_rolls_back_to_previous_commit() {
+    let dir = TempDir::new("nsql-regr-torn-commit");
+    let first_batch;
+    {
+        let (st, _) = Storage::file_backed(8, 256, dir.path()).unwrap();
+        let a = st.write_new_page(tuples(1, 3));
+        st.commit_durable(b"v1").unwrap();
+        first_batch = vec![a];
+        // Second batch: op 0 is the PageWrite append, op 1 the Commit
+        // append (fault installation resets the op counter). Crash on the
+        // commit record, leaving a 9-byte torn prefix.
+        st.durable().unwrap().inject_fault(FaultPlan { crash_at_op: 1, torn_bytes: Some(9) });
+        let _b = st.write_new_page(tuples(2, 3));
+        st.commit_durable(b"v2").unwrap();
+        assert!(st.durable().unwrap().crashed());
+    }
+    let (st, report) = Storage::file_backed(8, 256, dir.path()).unwrap();
+    assert!(report.torn_tail, "{report:?}");
+    assert_eq!(st.durable().unwrap().committed_meta().as_deref(), Some(&b"v1"[..]));
+    let pages = st.durable().unwrap().snapshot_pages();
+    assert_eq!(pages.len(), 1);
+    assert_eq!(pages[0].0, first_batch[0]);
+}
+
+/// A crash between the checkpoint's header write and its WAL truncate
+/// leaves stale-generation records behind; recovery must ignore them
+/// rather than replay them onto the already-checkpointed image.
+#[test]
+fn crash_between_header_write_and_wal_truncate_is_idempotent() {
+    // Dry run: count the ops in this workload's checkpoint (chunk
+    // writes…, header write, WAL truncate). The truncate is the last op.
+    let total = {
+        let dir = TempDir::new("nsql-regr-hdr-trunc-dry");
+        let (st, _) = Storage::file_backed(8, 256, dir.path()).unwrap();
+        let _a = st.write_new_page(tuples(1, 3));
+        st.commit_durable(b"v1").unwrap();
+        let fs = st.durable().unwrap();
+        fs.inject_fault(FaultPlan { crash_at_op: u64::MAX, torn_bytes: None });
+        fs.checkpoint().unwrap();
+        fs.write_ops()
+    };
+    assert!(total >= 3, "checkpoint should be several ops, got {total}");
+
+    // Identical store, crash exactly at the truncate (the header has
+    // landed; the old-generation WAL records survive on disk).
+    let dir = TempDir::new("nsql-regr-hdr-trunc");
+    {
+        let (st, _) = Storage::file_backed(8, 256, dir.path()).unwrap();
+        let _a = st.write_new_page(tuples(1, 3));
+        st.commit_durable(b"v1").unwrap();
+        let fs = st.durable().unwrap();
+        fs.inject_fault(FaultPlan { crash_at_op: total - 1, torn_bytes: None });
+        fs.checkpoint().unwrap();
+        assert!(fs.crashed(), "crash must land on the WAL truncate");
+    }
+    let (st, report) = Storage::file_backed(8, 256, dir.path()).unwrap();
+    // Stale-generation records exist but must be discarded, not replayed.
+    assert!(report.wal_records_scanned > 0, "{report:?}");
+    assert_eq!(report.wal_records_applied, 0, "{report:?}");
+    assert_eq!(st.durable().unwrap().committed_meta().as_deref(), Some(&b"v1"[..]));
+    assert_eq!(st.live_pages(), 1);
+    let pages = st.durable().unwrap().snapshot_pages();
+    assert_eq!(pages[0].1, tuples(1, 3));
+}
+
+/// A crash in the middle of a checkpoint's chunk writes must leave the
+/// previous checkpoint fully reachable (copy-on-write slot allocation).
+#[test]
+fn crash_mid_checkpoint_keeps_previous_checkpoint_reachable() {
+    // First pass: measure how many ops a second checkpoint takes.
+    let measure = {
+        let dir = TempDir::new("nsql-regr-cow-measure");
+        let (st, _) = Storage::file_backed(8, 256, dir.path()).unwrap();
+        let a = st.write_new_page(tuples(1, 30));
+        st.commit_durable(b"v1").unwrap();
+        st.durable().unwrap().checkpoint().unwrap();
+        st.free_page(a);
+        let _b = st.write_new_page(tuples(2, 30));
+        st.commit_durable(b"v2").unwrap();
+        let fs = st.durable().unwrap();
+        let before = fs.write_ops();
+        fs.checkpoint().unwrap();
+        fs.write_ops() - before
+    };
+    assert!(measure >= 3);
+    // Sweep every op inside that second checkpoint.
+    for crash_rel in 0..measure {
+        let dir = TempDir::new("nsql-regr-cow");
+        let b_id;
+        {
+            let (st, _) = Storage::file_backed(8, 256, dir.path()).unwrap();
+            let a = st.write_new_page(tuples(1, 30));
+            st.commit_durable(b"v1").unwrap();
+            st.durable().unwrap().checkpoint().unwrap();
+            st.free_page(a);
+            b_id = st.write_new_page(tuples(2, 30));
+            st.commit_durable(b"v2").unwrap();
+            let fs = st.durable().unwrap();
+            // Fault installation zeroes the op counter, so the crash site
+            // is just the offset within the checkpoint.
+            fs.inject_fault(FaultPlan { crash_at_op: crash_rel, torn_bytes: Some(7) });
+            fs.checkpoint().unwrap();
+            assert!(fs.crashed());
+        }
+        let (st, report) = Storage::file_backed(8, 256, dir.path()).unwrap();
+        // Whether or not the new header landed, the durable state is v2:
+        // either new checkpoint image, or old checkpoint + WAL replay.
+        assert_eq!(
+            st.durable().unwrap().committed_meta().as_deref(),
+            Some(&b"v2"[..]),
+            "crash at relative op {crash_rel}: {report:?}"
+        );
+        let pages = st.durable().unwrap().snapshot_pages();
+        assert_eq!(pages.len(), 1, "crash at relative op {crash_rel}");
+        assert_eq!(pages[0].0, b_id);
+        assert_eq!(pages[0].1, tuples(2, 30));
+    }
+}
+
+/// A freed page must not resurrect after recovery, even when the free and
+/// the pages around it span commits and a checkpoint.
+#[test]
+fn freed_page_does_not_resurrect() {
+    let dir = TempDir::new("nsql-regr-resurrect");
+    let (a, b);
+    {
+        let (st, _) = Storage::file_backed(8, 256, dir.path()).unwrap();
+        a = st.write_new_page(tuples(1, 4));
+        b = st.write_new_page(tuples(2, 4));
+        st.commit_durable(b"v1").unwrap();
+        st.durable().unwrap().checkpoint().unwrap();
+        st.free_page(a);
+        st.commit_durable(b"v2").unwrap();
+        // No checkpoint after the free: recovery must apply the PageFree
+        // record on top of the checkpoint image that still contains `a`.
+    }
+    let (st, _) = Storage::file_backed(8, 256, dir.path()).unwrap();
+    let pages = st.durable().unwrap().snapshot_pages();
+    assert_eq!(pages.len(), 1);
+    assert_eq!(pages[0].0, b);
+    assert_eq!(st.durable().unwrap().committed_meta().as_deref(), Some(&b"v2"[..]));
+    let _ = a;
+}
+
+/// The WAL scanner itself: a record claiming an absurd length is a torn
+/// tail, not a crash or an allocation bomb.
+#[test]
+fn forged_wal_length_is_survivable() {
+    let dir = TempDir::new("nsql-regr-forged-len");
+    {
+        let (st, _) = Storage::file_backed(8, 256, dir.path()).unwrap();
+        let _a = st.write_new_page(tuples(1, 3));
+        st.commit_durable(b"v1").unwrap();
+    }
+    let path = dir.path().join("wal.nsql");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.extend_from_slice(&[0xAB; 12]);
+    std::fs::write(&path, &bytes).unwrap();
+    let (st, report) = Storage::file_backed(8, 256, dir.path()).unwrap();
+    assert!(report.torn_tail);
+    assert_eq!(st.durable().unwrap().committed_meta().as_deref(), Some(&b"v1"[..]));
+    assert_eq!(st.live_pages(), 1);
+}
+
+/// Sanity for the codec invariant the directory image CRC rests on: page
+/// encoding is deterministic, so recomputing a carried-over page's CRC at
+/// checkpoint time matches the stored bytes.
+#[test]
+fn page_encoding_is_deterministic() {
+    let t = tuples(3, 17);
+    assert_eq!(codec::encode_page(&t), codec::encode_page(&t));
+}

@@ -29,9 +29,11 @@ pub mod bench;
 pub mod gen;
 pub mod prop;
 pub mod rng;
+pub mod tempdir;
 pub mod shrink;
 
 pub use bench::{black_box, Bench};
 pub use prop::{forall, forall_cfg, run_property, Config, Failure, PropResult};
 pub use rng::Rng;
+pub use tempdir::TempDir;
 pub use shrink::Shrink;

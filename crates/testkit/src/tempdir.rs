@@ -1,0 +1,66 @@
+//! Unique, self-cleaning temporary directories for file-backed tests.
+//!
+//! The workspace has zero crates-io dependencies, so this is the in-tree
+//! stand-in for `tempfile`: a directory under `NSQL_DATA_DIR` (or the
+//! system temp dir) whose name mixes the process id with a process-wide
+//! counter, removed recursively on drop. Tests that crash mid-run leave
+//! their directory behind, but never collide with a later run — and
+//! `scripts/verify.sh` points `NSQL_DATA_DIR` at a per-run `mktemp -d`
+//! that it removes on exit, so repeated verification runs accumulate no
+//! state.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory, created on construction and recursively
+/// deleted on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory whose name starts with `prefix`.
+    ///
+    /// Lives under `NSQL_DATA_DIR` when that is set (the verify-script
+    /// contract), else under the system temp dir.
+    pub fn new(prefix: &str) -> TempDir {
+        let base = std::env::var_os("NSQL_DATA_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = base.join(format!("{prefix}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_paths_and_cleanup() {
+        let a = TempDir::new("nsql-test");
+        let b = TempDir::new("nsql-test");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        std::fs::write(kept.join("f"), b"x").unwrap();
+        drop(a);
+        assert!(!kept.exists(), "drop must remove the tree");
+    }
+}

@@ -7,6 +7,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Per-run scratch space. NSQL_DATA_DIR is the contract documented in
+# nsql-testkit: every file-backed test and every NSQL_DURABILITY=file run
+# puts its page/WAL files under a private subdirectory of this root, so one
+# `rm -rf` on exit leaves nothing behind even if a test aborts mid-crash.
+tmp1=$(mktemp -d)
+NSQL_DATA_DIR=$(mktemp -d)
+export NSQL_DATA_DIR
+trap 'rm -rf "$tmp1" "$NSQL_DATA_DIR"' EXIT
+
 echo "==> cargo build --release (tier-1, step 1)"
 cargo build --release --offline
 
@@ -22,7 +31,6 @@ NSQL_THREADS=4 cargo test -q --workspace --offline >/dev/null
 
 echo "==> figure/table binaries are byte-identical under NSQL_THREADS=1 vs =4"
 # The binaries pin themselves serial; NSQL_THREADS must not leak through.
-tmp1=$(mktemp -d); trap 'rm -rf "$tmp1"' EXIT
 for bin in figure1 figure2 section7 ablation bugs extensions sweep; do
     NSQL_THREADS=1 cargo run --release --offline -q -p nsql-bench --bin "$bin" \
         > "$tmp1/$bin.t1.out"
@@ -31,6 +39,21 @@ for bin in figure1 figure2 section7 ablation bugs extensions sweep; do
     diff -q "$tmp1/$bin.t1.out" "$tmp1/$bin.t4.out" \
         || { echo "FAIL: $bin output differs across thread settings"; exit 1; }
 done
+
+echo "==> figure/table binaries are byte-identical memory vs file-backed"
+# Page I/O is counted above the DiskManager seam, so swapping the in-memory
+# store for the durable page file must not move a single counter: every
+# figure and table is reproduced byte-for-byte on the WAL-backed store.
+for bin in figure1 figure2 section7 ablation bugs extensions sweep; do
+    NSQL_DURABILITY=file NSQL_THREADS=1 \
+        cargo run --release --offline -q -p nsql-bench --bin "$bin" \
+        > "$tmp1/$bin.file.out"
+    diff -q "$tmp1/$bin.t1.out" "$tmp1/$bin.file.out" \
+        || { echo "FAIL: $bin output differs between storage backends"; exit 1; }
+done
+
+echo "==> recovery smoke (crash mid-commit at every write site, oracle-diff)"
+cargo run --release --offline -q -p nsql-bench --bin recovery_smoke
 
 echo "==> explain_smoke (EXPLAIN ANALYZE per transform type, exporter schema)"
 cargo run --release --offline -q -p nsql-bench --bin explain_smoke
@@ -41,8 +64,9 @@ echo "==> query-processing library crates are stdout-silent"
 # (testkit, bench) and binaries are exempt: stdout is their deliverable.
 if grep -rnE '(println|eprintln|print|eprint|dbg)!' \
     crates/types/src crates/obs/src crates/sql/src crates/storage/src \
-    crates/exec-par/src crates/engine/src crates/analyzer/src \
-    crates/core/src crates/db/src crates/oracle/src src/lib.rs \
+    crates/index/src crates/exec-par/src crates/engine/src \
+    crates/analyzer/src crates/core/src crates/db/src crates/oracle/src \
+    src/lib.rs \
     --include='*.rs' | grep -vE ':[0-9]+:\s*(//|///|//!)'; then
     echo "FAIL: stdout/stderr printing in a query-processing library crate"
     exit 1
@@ -61,8 +85,8 @@ echo "==> testkit is warnings-clean across all targets"
 RUSTFLAGS="-D warnings" cargo check -p nsql-testkit --all-targets --offline
 
 echo "==> hot-path crates carry no redundant clones (clippy)"
-cargo clippy -p nsql-engine -p nsql-storage --all-targets --offline -- \
-    -D clippy::redundant_clone
+cargo clippy -p nsql-engine -p nsql-storage -p nsql-index --all-targets \
+    --offline -- -D clippy::redundant_clone
 
 echo "==> bench smoke (3 samples per bench, results discarded)"
 NSQL_BENCH_SAMPLES=3 \

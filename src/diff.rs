@@ -26,7 +26,7 @@
 //! (`NSQL_TEST_SEED`) and shrinks greedily: table rows are removed first,
 //! then the query is structurally simplified.
 
-use nsql_db::{Database, DuplicateSemantics, JoinPolicy, QueryOptions, Strategy};
+use nsql_db::{Database, DuplicateSemantics, IndexUse, JoinPolicy, QueryOptions, Strategy};
 use nsql_engine::EngineError;
 use nsql_oracle::{Notes, Oracle, OracleError};
 use nsql_sql::{
@@ -692,6 +692,21 @@ fn pipelines() -> Vec<Pipeline> {
             transform: true,
             set_only: true,
         },
+        // Index-backed variants: every generated table carries a B+tree on
+        // `K` (built by `check_case`), so forcing the index path on and off
+        // diffs index-scan plans against full-scan plans against the oracle.
+        Pipeline {
+            name: "tr-ix-prefer",
+            opts: QueryOptions { index_use: IndexUse::Prefer, ..tr(JoinPolicy::CostBased, 1) },
+            transform: true,
+            set_only: false,
+        },
+        Pipeline {
+            name: "tr-ix-never",
+            opts: QueryOptions { index_use: IndexUse::Never, ..tr(JoinPolicy::CostBased, 1) },
+            transform: true,
+            set_only: false,
+        },
     ]
 }
 
@@ -722,6 +737,9 @@ pub fn check_case(case: &DiffCase) -> CaseOutcome {
     let mut db = Database::with_storage(8, 256);
     for (name, rel) in &case.tables {
         db.catalog_mut().load_table(name, rel).expect("unique generated table names");
+        // Every generated table has an Int `K` column; index it so the
+        // `tr-ix-*` pipelines exercise index restriction and back-joins.
+        db.catalog_mut().create_index(name, "K").expect("K column exists");
     }
     // The analyzer is (deliberately) stricter than the oracle in places —
     // e.g. ambiguity rules. A query it refuses runs on no pipeline, so

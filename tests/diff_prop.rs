@@ -3,8 +3,11 @@
 //! Random nested queries over random biased databases are evaluated by the
 //! naive `nsql-oracle` interpreter and by every engine pipeline — nested
 //! iteration (threads 1 and 4), the NEST-G transformation under every join
-//! policy (serial and parallel), and the duplicate-collapsing
-//! `ForceDistinct` mode — and compared at the strength the paper promises
+//! policy (serial and parallel), the duplicate-collapsing `ForceDistinct`
+//! mode, and the index-backed variants (every generated table carries a
+//! B+tree on `K`; `tr-ix-prefer` forces index restriction and index
+//! back-joins on, `tr-ix-never` forces them off) — and compared at the
+//! strength the paper promises
 //! (bag equality, downgraded or skipped only under the documented
 //! divergence licenses; see DESIGN.md "Oracle semantics").
 //!
@@ -46,5 +49,16 @@ fn every_pipeline_agrees_with_the_oracle() {
                 s.compared
             );
         }
+    }
+    // The index-backed pipelines must be in the sweep: preferring the index
+    // path and refusing it must both agree with the oracle on every case,
+    // otherwise an index scan returning a wrong range (or a back-join
+    // dropping/duplicating probes) would slip through as a silent plan
+    // difference rather than a caught divergence.
+    for ix in ["tr-ix-prefer", "tr-ix-never"] {
+        assert!(
+            stats.iter().any(|s| s.name == ix && s.compared + s.skipped > 0),
+            "index pipeline {ix} missing from the sweep"
+        );
     }
 }
