@@ -1,0 +1,135 @@
+//! Vectorized-equivalence property: on seeded benchmark workloads, every
+//! query strategy run under `ExecMode::Vector` returns bit-identical rows
+//! AND leaves a byte-identical four-counter page-I/O trace
+//! (reads/writes/hits/misses) compared to `ExecMode::Row` — at 1 and 4
+//! threads, end-to-end through the `Database` facade. The whole vectorized
+//! subsystem (batch kernels, per-binding memo, batched join/agg) must be
+//! invisible to everything except wall-clock time.
+//!
+//! `scripts/verify.sh` runs this suite on the memory backend and again
+//! under `NSQL_DURABILITY=file` (the workload databases honor the env).
+
+use nsql_bench::workload::{ja_workload, queries, WorkloadSpec, DEFAULT_SEED};
+use nsql_bench::Workload;
+use nsql_db::{Database, ExecMode, JoinPolicy, QueryOptions};
+use nsql_types::{Column, ColumnType, Relation, Schema, Tuple, Value};
+
+/// Canonically sorted bitwise row comparison — floats via `to_bits`, so a
+/// one-ULP kernel divergence (or an Int/Float type flip) fails loudly.
+fn assert_bit_identical(name: &str, row: &Relation, vec: &Relation) {
+    let canon = |r: &Relation| {
+        let mut rows: Vec<Tuple> = r.tuples().to_vec();
+        rows.sort_by(Tuple::total_cmp);
+        rows
+    };
+    let (a, b) = (canon(row), canon(vec));
+    assert_eq!(a.len(), b.len(), "{name}: row counts diverged");
+    for (x, y) in a.iter().zip(&b) {
+        for (u, v) in x.values().iter().zip(y.values()) {
+            let same = match (u, v) {
+                (Value::Float(p), Value::Float(q)) => p.to_bits() == q.to_bits(),
+                _ => u == v,
+            };
+            assert!(same, "{name}: bitwise divergence: {u:?} vs {v:?}");
+        }
+    }
+}
+
+/// Run `sql` under Row then Vector, asserting identical rows, identical
+/// reported I/O, and an identical four-counter storage trace.
+fn check(w: &Workload, sql: &str, name: &str, base: &QueryOptions) {
+    let s0 = w.db.storage().io_snapshot();
+    let row = w
+        .db
+        .query_with(sql, &QueryOptions { exec_mode: ExecMode::Row, ..base.clone() })
+        .unwrap();
+    let s1 = w.db.storage().io_snapshot();
+    let vec = w
+        .db
+        .query_with(sql, &QueryOptions { exec_mode: ExecMode::Vector, ..base.clone() })
+        .unwrap();
+    let s2 = w.db.storage().io_snapshot();
+    assert_bit_identical(name, &row.relation, &vec.relation);
+    assert_eq!(row.io, vec.io, "{name}: reported I/O totals diverged");
+    assert_eq!(
+        s1.since(&s0),
+        s2.since(&s1),
+        "{name}: vector mode changed the reads/writes/hits/misses trace"
+    );
+}
+
+const QUERIES: [(&str, &str); 4] = [
+    ("type-N", queries::TYPE_N),
+    ("type-J", queries::TYPE_J),
+    ("type-JA-count", queries::TYPE_JA_COUNT),
+    ("type-JA-max", queries::TYPE_JA_MAX),
+];
+
+#[test]
+fn vectorized_nested_iteration_equals_row_mode() {
+    for seed in [DEFAULT_SEED, 7] {
+        let w = ja_workload(WorkloadSpec::small(), seed);
+        for threads in [1usize, 4] {
+            for (name, sql) in QUERIES {
+                let base = QueryOptions { threads, ..QueryOptions::nested_iteration() };
+                check(&w, sql, &format!("ni/{name}/seed={seed}/threads={threads}"), &base);
+            }
+        }
+    }
+}
+
+#[test]
+fn vectorized_transform_equals_row_mode() {
+    let w = ja_workload(WorkloadSpec::small(), DEFAULT_SEED);
+    for (policy, pname) in [
+        (JoinPolicy::ForceMergeJoin, "merge"),
+        (JoinPolicy::ForceHashJoin, "hash"),
+        (JoinPolicy::CostBased, "cost"),
+    ] {
+        for threads in [1usize, 4] {
+            let base = QueryOptions {
+                join_policy: policy,
+                threads,
+                ..QueryOptions::transformed()
+            };
+            for (name, sql) in QUERIES {
+                check(&w, sql, &format!("tr/{pname}/{name}/threads={threads}"), &base);
+            }
+        }
+    }
+}
+
+/// The vectorized aggregation fold must preserve the exact-summation float
+/// invariant: `SUM`/`AVG` bit-identical to the row fold over mixed
+/// magnitudes, grouped and global.
+#[test]
+fn vectorized_float_aggregates_bit_identical() {
+    let schema = Schema::new(vec![
+        Column::new("GRP", ColumnType::Int),
+        Column::new("X", ColumnType::Float),
+    ]);
+    let mut rel = Relation::empty(schema);
+    let mut rng = nsql_testkit::Rng::from_seed(9);
+    for i in 0..4000i64 {
+        let x = match i % 7 {
+            0 => 1e12,
+            1 => -1e12,
+            2 => 0.1,
+            3 => -0.30000000000000004,
+            4 => 1e-9,
+            5 => 3.25,
+            _ => rng.gen_range(-1000..1000) as f64 / 8.0,
+        };
+        rel.push(Tuple::new(vec![Value::Int(i % 5), Value::Float(x)])).unwrap();
+    }
+    let mut db = Database::with_storage(64, 256);
+    db.catalog_mut().load_table("MEAS", &rel).expect("fresh catalog");
+    let w = Workload { db, spec: WorkloadSpec::small() };
+    for sql in [
+        "SELECT SUM(X), AVG(X) FROM MEAS",
+        "SELECT GRP, SUM(X), AVG(X) FROM MEAS GROUP BY GRP",
+    ] {
+        check(&w, sql, "float-agg/ni", &QueryOptions::nested_iteration());
+        check(&w, sql, "float-agg/tr", &QueryOptions::transformed());
+    }
+}

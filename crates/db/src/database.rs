@@ -299,12 +299,20 @@ impl Database {
         } else {
             opts.threads
         };
+        let vectorized = opts.exec_mode.vectorized();
         let mut explain = Vec::new();
         let mut temps = Vec::new();
         let relation = match opts.strategy {
             Strategy::NestedIteration => {
                 explain.push("strategy: nested iteration (System R)".to_string());
-                let mut evaluator = NestedIter::new(&self.catalog, storage.clone());
+                if vectorized {
+                    explain.push(
+                        "exec mode: vectorized (batch kernels, per-operator row fallback)"
+                            .to_string(),
+                    );
+                }
+                let mut evaluator = NestedIter::new(&self.catalog, storage.clone())
+                    .with_vectorized(vectorized);
                 let op = match &exec_obs {
                     Some(obs) => {
                         let op = obs.registry.op("nested iteration");
@@ -349,7 +357,8 @@ impl Database {
                 ));
                 explain.extend(plan.trace.iter().cloned());
                 explain.push(format!("canonical: {}", nsql_sql::print_query(&plan.canonical)));
-                let mut exec = Exec::with_threads(storage.clone(), threads);
+                let mut exec =
+                    Exec::with_threads(storage.clone(), threads).with_vectorized(vectorized);
                 if let Some(obs) = &exec_obs {
                     exec = exec.with_obs(obs.clone());
                 }
@@ -605,6 +614,44 @@ mod tests {
         assert_eq!(s1.since(&s0), s2.since(&s1));
         assert!(plain.obs.is_none());
         assert!(observed.obs.is_some());
+    }
+
+    #[test]
+    fn exec_mode_vector_is_invisible_except_in_explain() {
+        use crate::options::ExecMode;
+        let db = kiessling_db();
+        for base in [QueryOptions::nested_iteration(), QueryOptions::transformed()] {
+            let row = db
+                .query_with(Q2, &QueryOptions { exec_mode: ExecMode::Row, ..base.clone() })
+                .unwrap();
+            let vec = db
+                .query_with(Q2, &QueryOptions { exec_mode: ExecMode::Vector, ..base.clone() })
+                .unwrap();
+            assert_eq!(row.relation, vec.relation, "{base:?}");
+            assert_eq!(row.io, vec.io, "{base:?}");
+            let row_text = row.explain.join("\n");
+            let vec_text = vec.explain.join("\n");
+            assert!(!row_text.contains("vectorized"), "{row_text}");
+            assert!(vec_text.contains("exec mode: vectorized"), "{vec_text}");
+        }
+    }
+
+    #[test]
+    fn explain_analyze_marks_vectorized_operators() {
+        use crate::options::ExecMode;
+        let db = kiessling_db();
+        let opts = QueryOptions {
+            observe: true,
+            exec_mode: ExecMode::Vector,
+            ..QueryOptions::transformed()
+        };
+        let out = db.query_with(Q2, &opts).unwrap();
+        let obs = out.obs.expect("observe collects metrics");
+        assert!(
+            obs.ops.iter().any(|o| o.vectorized && o.batches > 0),
+            "{:#?}",
+            obs.ops
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub use database::{Database, OpenReport, QueryOutcome};
 pub use error::DbError;
 pub use explain::{ExplainReport, ObsReport, PredictedCost, TempStat};
 pub use options::{
-    DuplicateSemantics, Durability, IndexUse, JoinPolicy, QueryOptions, Strategy,
+    DuplicateSemantics, Durability, ExecMode, IndexUse, JoinPolicy, QueryOptions, Strategy,
 };
 
 /// Result alias.

@@ -121,6 +121,51 @@ pub enum DuplicateSemantics {
     ForceDistinct,
 }
 
+/// Which tuple-at-a-time representation the executor runs on.
+///
+/// Vectorized execution batches each page into column vectors and
+/// evaluates predicates, join probes, and aggregate folds with batch
+/// kernels; operators without a vectorized implementation (and blocks the
+/// predicate compiler declines) fall back to the row path per operator.
+/// Results, error values, page-I/O totals, and buffer hit/miss splits are
+/// byte-identical across modes — only CPU time changes (property-tested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Tuple-at-a-time interpretation (the historical baseline).
+    Row,
+    /// Columnar batch kernels with per-operator row-path fallback.
+    Vector,
+    /// Resolve from `NSQL_EXEC_MODE` (`vector`/`vectorized` → vectorized;
+    /// anything else, or unset → row).
+    #[default]
+    Auto,
+}
+
+impl ExecMode {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Row => "row",
+            ExecMode::Vector => "vector",
+            ExecMode::Auto => "auto",
+        }
+    }
+
+    /// Whether this mode (after `Auto` resolution) runs vectorized.
+    pub fn vectorized(self) -> bool {
+        match self {
+            ExecMode::Row => false,
+            ExecMode::Vector => true,
+            ExecMode::Auto => match std::env::var("NSQL_EXEC_MODE") {
+                Ok(v) => {
+                    v.eq_ignore_ascii_case("vector") || v.eq_ignore_ascii_case("vectorized")
+                }
+                Err(_) => false,
+            },
+        }
+    }
+}
+
 /// How to evaluate a query.
 #[derive(Debug, Clone, Default)]
 pub enum Strategy {
@@ -173,6 +218,9 @@ pub struct QueryOptions {
     /// pure side-state — it never changes the reported page-I/O totals,
     /// the hit/miss split, or the result rows (property-tested).
     pub observe: bool,
+    /// Row-at-a-time vs columnar batch execution (see [`ExecMode`]).
+    /// `Auto` (the default) resolves from `NSQL_EXEC_MODE`.
+    pub exec_mode: ExecMode,
 }
 
 impl QueryOptions {

@@ -41,6 +41,7 @@ pub mod ops;
 mod par;
 pub mod pred;
 pub mod provider;
+pub mod vec_exec;
 
 pub use error::EngineError;
 pub use expr::{CExpr, Joined, Projector, Row};

@@ -26,7 +26,9 @@ use crate::aggregate::AggState;
 use crate::error::EngineError;
 use crate::pred::{compare_values, not3};
 use crate::provider::TableProvider;
+use crate::vec_exec::{self, Lane3, Template, VPred};
 use crate::Result;
+use nsql_vec::Batch;
 use nsql_analyzer::resolve::level_column_refs;
 use nsql_sql::{
     AggArg, AggFunc, ColumnRef, CompareOp, InRhs, Operand, Predicate, Quantifier, QueryBlock,
@@ -115,7 +117,29 @@ struct IterShared {
     /// Per-query memo of [`is_correlated`](NestedIter::is_correlated),
     /// which is re-consulted for every outer binding.
     correlated: Mutex<FxHashMap<usize, bool>>,
+    /// Vectorized-path memo: each block's simple conjuncts compiled to a
+    /// predicate [`Template`], keyed by [`BlockInfo`] address. `None`
+    /// records a block whose predicates decline compilation, so the row
+    /// path is taken without recompiling per outer binding.
+    templates: Mutex<FxHashMap<usize, Option<Arc<Template>>>>,
+    /// Page → column-batch cache for the vectorized path. FROM files are
+    /// base tables, immutable for the duration of one query (temporaries
+    /// never reach the fast path), so content keyed by page id is stable;
+    /// cleared in teardown with the other per-query memos. The cache only
+    /// skips the row→column conversion — every access still charges
+    /// `read_page`, leaving counted I/O untouched.
+    batches: Mutex<FxHashMap<PageId, Arc<Batch>>>,
+    /// Per-distinct-binding memo for fully-simple blocks (single FROM
+    /// file, no nested conjuncts), keyed by block plus the outer values
+    /// its template depends on. A hit charges the block's entire
+    /// page-read sequence — exactly what re-evaluation would read — so
+    /// the memo saves CPU, never counted I/O. Errors are never memoized.
+    results: Mutex<FxHashMap<(usize, Tuple), Arc<Relation>>>,
 }
+
+/// Insert cap for [`IterShared::results`]: bounds memory on queries whose
+/// outer relation has very many distinct correlation values.
+const RESULT_MEMO_CAP: usize = 4096;
 
 /// The nested-iteration evaluator.
 pub struct NestedIter<'a, T: TableProvider + ?Sized> {
@@ -123,6 +147,7 @@ pub struct NestedIter<'a, T: TableProvider + ?Sized> {
     storage: Storage,
     shared: Arc<IterShared>,
     obs: Option<crate::ops::ExecObs>,
+    vectorized: bool,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -139,8 +164,12 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
                 cache: Mutex::new(FxHashMap::default()),
                 blocks: Mutex::new(FxHashMap::default()),
                 correlated: Mutex::new(FxHashMap::default()),
+                templates: Mutex::new(FxHashMap::default()),
+                batches: Mutex::new(FxHashMap::default()),
+                results: Mutex::new(FxHashMap::default()),
             }),
             obs: None,
+            vectorized: false,
         }
     }
 
@@ -152,6 +181,16 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
         self
     }
 
+    /// Enable the vectorized fast path: blocks with a single FROM file
+    /// evaluate their simple conjuncts with batch kernels, and fully-
+    /// simple correlated blocks memoize per distinct outer binding. Page
+    /// reads are charged identically either way, so results *and* counted
+    /// I/O are byte-identical with the row path.
+    pub fn with_vectorized(mut self, vectorized: bool) -> Self {
+        self.vectorized = vectorized;
+        self
+    }
+
     /// A worker's view of this evaluator: same tables, caches, and memos,
     /// different storage handle (a trace view during parallel evaluation).
     fn fork(&self, storage: Storage) -> NestedIter<'a, T> {
@@ -160,6 +199,7 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
             storage,
             shared: Arc::clone(&self.shared),
             obs: self.obs.clone(),
+            vectorized: self.vectorized,
         }
     }
 
@@ -185,6 +225,9 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
         }
         lock(&self.shared.blocks).clear();
         lock(&self.shared.correlated).clear();
+        lock(&self.shared.templates).clear();
+        lock(&self.shared.batches).clear();
+        lock(&self.shared.results).clear();
     }
 
     // ----------------------------------------------------------- parallel
@@ -313,13 +356,25 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
     /// with depth 0 of the enumeration unrolled over the morsel's pages.
     fn eval_morsel(
         &self,
-        info: &BlockInfo,
+        info: &Arc<BlockInfo>,
         pids: &[PageId],
         simple: &[&Predicate],
         nested: &[&Predicate],
     ) -> Result<Vec<Tuple>> {
         let scope_schema = &info.schema;
         let env = Env::default();
+        if self.vectorized && info.files.len() == 1 {
+            // The morsel covers a page subset, so block-level memoization
+            // does not apply; the template (closed at top level — any
+            // outer ref fails the empty env and declines) and batch
+            // kernels still do.
+            if let Some(tpl) = self.template_for(info, simple) {
+                if tpl.is_closed() {
+                    let vp = tpl.instantiate(&[]);
+                    return self.filter_pages_vec(&vp, info, pids, nested, &env);
+                }
+            }
+        }
         let mut survivors: Vec<Tuple> = Vec::new();
         for &pid in pids {
             let page = self.storage.read_page(pid);
@@ -414,9 +469,15 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
             Some(p) => p.conjuncts(),
             None => Vec::new(),
         };
-        let (simple, nested): (Vec<&&Predicate>, Vec<&&Predicate>) = conjuncts
-            .iter()
+        let (simple, nested): (Vec<&Predicate>, Vec<&Predicate>) = conjuncts
+            .into_iter()
             .partition(|p| !p.contains_subquery());
+
+        if self.vectorized {
+            if let Some(rel) = self.try_eval_block_vec(q, env, &info, &simple, &nested)? {
+                return Ok(rel);
+            }
+        }
 
         // Nested-iteration enumeration of the FROM product.
         let mut survivors: Vec<Tuple> = Vec::new();
@@ -439,6 +500,140 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
 
         // SELECT phase.
         self.eval_select(q, scope_schema, survivors, env)
+    }
+
+    // --------------------------------------------------- vectorized path
+
+    /// Recall (or compile) the block's simple conjuncts as a predicate
+    /// [`Template`], keyed by the block's memoized [`BlockInfo`] address.
+    /// `None` means the predicates declined compilation — e.g. a locally
+    /// ambiguous reference, whose error the row path raises lazily.
+    fn template_for(&self, info: &Arc<BlockInfo>, simple: &[&Predicate]) -> Option<Arc<Template>> {
+        let key = Arc::as_ptr(info) as usize;
+        if let Some(t) = lock(&self.shared.templates).get(&key) {
+            return t.clone();
+        }
+        let conj = Predicate::And(simple.iter().map(|p| (*p).clone()).collect());
+        let t = Template::compile(&info.schema, &conj).map(Arc::new);
+        lock(&self.shared.templates).insert(key, t.clone());
+        t
+    }
+
+    /// Row→column conversion for `page`, cached per page id (see
+    /// [`IterShared::batches`]).
+    fn batch_for(&self, pid: PageId, page: &nsql_storage::Page) -> Arc<Batch> {
+        if let Some(b) = lock(&self.shared.batches).get(&pid) {
+            return Arc::clone(b);
+        }
+        let b = Arc::new(Batch::from_tuples(page.tuples()));
+        lock(&self.shared.batches).insert(pid, Arc::clone(&b));
+        b
+    }
+
+    /// Vectorized evaluation of a block whose FROM clause is a single
+    /// file. Returns `Ok(None)` to decline — more than one FROM file, the
+    /// simple conjuncts don't compile, or an outer reference fails to
+    /// resolve eagerly (the row path may hide such an error behind
+    /// short-circuiting, so declining keeps error behaviour canonical).
+    fn try_eval_block_vec(
+        &self,
+        q: &QueryBlock,
+        env: &Env<'_>,
+        info: &Arc<BlockInfo>,
+        simple: &[&Predicate],
+        nested: &[&Predicate],
+    ) -> Result<Option<Relation>> {
+        if info.files.len() != 1 {
+            return Ok(None);
+        }
+        let Some(tpl) = self.template_for(info, simple) else {
+            return Ok(None);
+        };
+        let mut outer_vals = Vec::with_capacity(tpl.outer_refs.len());
+        for c in &tpl.outer_refs {
+            match env.lookup(c) {
+                Ok(v) => outer_vals.push(v),
+                Err(_) => return Ok(None),
+            }
+        }
+
+        // Fully-simple blocks depend only on (file contents, outer
+        // values): SELECT items must resolve locally (output_schema
+        // errors otherwise, and errors are never memoized), so the memo
+        // key below captures everything the result can depend on.
+        let memo_key = nested
+            .is_empty()
+            .then(|| (Arc::as_ptr(info) as usize, Tuple::new(outer_vals.clone())));
+        if let Some(key) = &memo_key {
+            if let Some(rel) = lock(&self.shared.results).get(key).cloned() {
+                // Charge the same page reads a re-evaluation would issue.
+                for &pid in info.files[0].page_ids() {
+                    let _ = self.storage.read_page(pid);
+                }
+                return Ok(Some((*rel).clone()));
+            }
+        }
+
+        let vp = tpl.instantiate(&outer_vals);
+        let survivors =
+            self.filter_pages_vec(&vp, info, info.files[0].page_ids(), nested, env)?;
+        let rel = self.eval_select(q, &info.schema, survivors, env)?;
+        if let Some(key) = memo_key {
+            let mut memo = lock(&self.shared.results);
+            if memo.len() < RESULT_MEMO_CAP {
+                memo.insert(key, Arc::new(rel.clone()));
+            }
+        }
+        Ok(Some(rel))
+    }
+
+    /// The vectorized binding loop: batch each page, evaluate the compiled
+    /// simple conjuncts over all lanes at once, then walk the lanes *in
+    /// row order* — an error lane stops exactly where the row path would
+    /// (after earlier bindings' nested-conjunct I/O, before later pages),
+    /// and each surviving lane runs the nested conjuncts row-wise.
+    fn filter_pages_vec(
+        &self,
+        vp: &VPred,
+        info: &BlockInfo,
+        pids: &[PageId],
+        nested: &[&Predicate],
+        env: &Env<'_>,
+    ) -> Result<Vec<Tuple>> {
+        let scope_schema = &info.schema;
+        let op = self.obs.as_ref().and_then(|o| o.current());
+        if let Some(op) = &op {
+            op.vectorized.store(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        let mut survivors: Vec<Tuple> = Vec::new();
+        for &pid in pids {
+            let page = self.storage.read_page(pid);
+            let batch = self.batch_for(pid, &page);
+            if let Some(op) = &op {
+                op.batches.add(0, 1);
+            }
+            let sel: Vec<u32> = (0..batch.len() as u32).collect();
+            let lanes = vec_exec::eval_pred(vp, &batch, &sel);
+            'lanes: for (pos, lane) in lanes.into_iter().enumerate() {
+                match lane {
+                    Lane3::Err(e) => return Err(e),
+                    Lane3::T => {
+                        let binding = Tuple::default().join(&page.tuples()[pos]);
+                        if !nested.is_empty() {
+                            let here = env.child(scope_schema, &binding);
+                            for p in nested {
+                                if self.eval_pred(p, &here)? != Some(true) {
+                                    continue 'lanes;
+                                }
+                            }
+                        }
+                        survivors.push(binding);
+                    }
+                    Lane3::F | Lane3::U => {}
+                }
+            }
+        }
+        Ok(survivors)
     }
 
     /// Depth-first enumeration of the FROM product: rescans inner files per

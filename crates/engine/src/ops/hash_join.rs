@@ -14,7 +14,9 @@ use crate::par::par_map_pages;
 use crate::pred::CPred;
 use crate::Result;
 use nsql_storage::HeapFile;
-use nsql_types::{FxHashMap, Relation, Tuple};
+use nsql_types::{FxHashMap, FxHasher, Relation, Tuple};
+use nsql_vec::Batch;
+use std::hash::Hasher;
 
 impl Exec {
     /// Hash equi-join on positionally-paired keys, with optional residual.
@@ -62,6 +64,9 @@ impl Exec {
         kind: JoinKind,
     ) -> Result<Vec<Tuple>> {
         assert_eq!(left_keys.len(), right_keys.len(), "key lists must pair up");
+        if self.vectorized {
+            return self.hash_join_tuples_vec(left, right, left_keys, right_keys, residual, kind);
+        }
         // Observability: build/probe wall-clock lands on the current
         // operator. Instant is only sampled when an operator is attached,
         // so the disabled path stays branch-only.
@@ -164,6 +169,191 @@ impl Exec {
         }
     }
 
+    /// Vectorized build/probe. Same contract as the row implementation —
+    /// output order, error behaviour, and counted page I/O are identical —
+    /// but both phases work on column batches: join keys hash straight from
+    /// typed column lanes into a `u64`-keyed index table (no per-row key
+    /// tuple allocation), candidates verify via `ValRef::total_eq` (the
+    /// mirror of the row path's `Tuple` key equality, including `NULL` and
+    /// `NaN` grouping and Int/Float cross-matching), and tuples materialize
+    /// only for rows that reach the residual or the output.
+    #[allow(clippy::too_many_arguments)]
+    fn hash_join_tuples_vec(
+        &self,
+        left: &HeapFile,
+        right: &HeapFile,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        residual: Option<&CPred>,
+        kind: JoinKind,
+    ) -> Result<Vec<Tuple>> {
+        let op = self.current_op();
+        let op_ref = op.as_deref();
+        if let Some(op) = &op {
+            op.vectorized.store(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        let build_start = op.as_ref().map(|_| std::time::Instant::now());
+
+        // Hash the key columns of one batch row. Internal to this join (both
+        // sides use it), built on the same ValRef hash stream as Value.
+        let key_hash = |b: &Batch, keys: &[usize], row: usize| -> u64 {
+            let mut h = FxHasher::default();
+            for &k in keys {
+                b.col(k).val_ref(row).hash_value(&mut h);
+            }
+            h.finish()
+        };
+        // Index one right batch into `table` as (batch, row) pairs.
+        let index_batch =
+            |b: &Batch, bi: u32, table: &mut FxHashMap<u64, Vec<(u32, u32)>>| {
+                for row in 0..b.len() {
+                    if right_keys.iter().any(|&k| b.col(k).val_ref(row).is_null()) {
+                        continue; // NULL keys never join
+                    }
+                    table
+                        .entry(key_hash(b, right_keys, row))
+                        .or_default()
+                        .push((bi, row as u32));
+                }
+            };
+
+        // Build: batches stay resident (the row build keeps the right side
+        // resident in its hash table too); buckets list rows in scan order.
+        let mut batches: Vec<Batch> = Vec::with_capacity(right.page_count());
+        let mut table: FxHashMap<u64, Vec<(u32, u32)>> = FxHashMap::default();
+        if self.threads > 1 && right.page_count() > 1 {
+            // Per-morsel private indexes merge in morsel order with the
+            // batch offset applied, so bucket order equals scan order.
+            let partials = par_map_pages(
+                &self.storage,
+                right.page_ids(),
+                self.threads,
+                op_ref,
+                |m, pages| {
+                    let mut bs: Vec<Batch> = Vec::with_capacity(pages.len());
+                    let mut t: FxHashMap<u64, Vec<(u32, u32)>> = FxHashMap::default();
+                    for page in pages {
+                        let b = Batch::from_tuples(page.tuples());
+                        index_batch(&b, bs.len() as u32, &mut t);
+                        bs.push(b);
+                        if let Some(op) = op_ref {
+                            op.batches.add(m, 1);
+                        }
+                    }
+                    (bs, t)
+                },
+            );
+            for (bs, partial) in partials {
+                let off = batches.len() as u32;
+                for (h, rows) in partial {
+                    table
+                        .entry(h)
+                        .or_default()
+                        .extend(rows.into_iter().map(|(bi, r)| (bi + off, r)));
+                }
+                batches.extend(bs);
+            }
+        } else {
+            for &pid in right.page_ids() {
+                let page = self.storage.read_page(pid);
+                let b = Batch::from_tuples(page.tuples());
+                index_batch(&b, batches.len() as u32, &mut table);
+                batches.push(b);
+                if let Some(op) = &op {
+                    op.batches.add(0, 1);
+                }
+            }
+        }
+
+        if let (Some(op), Some(t0)) = (&op, build_start) {
+            op.build_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+        }
+        let probe_start = op.as_ref().map(|_| std::time::Instant::now());
+
+        let right_arity = right.schema().arity();
+        // Probe one left batch row: verify hash candidates key-by-key, run
+        // the residual on materialized tuples (same 3VL evaluation as the
+        // row path), pad under LeftOuter.
+        let probe_lane = |lb: &Batch, row: usize, out: &mut Vec<Tuple>| -> Result<()> {
+            let mut matched = false;
+            if !left_keys.iter().any(|&k| lb.col(k).val_ref(row).is_null()) {
+                if let Some(cands) = table.get(&key_hash(lb, left_keys, row)) {
+                    let mut lt: Option<Tuple> = None;
+                    for &(bi, r) in cands {
+                        let rb = &batches[bi as usize];
+                        let r = r as usize;
+                        let keys_match = left_keys.iter().zip(right_keys).all(|(&lk, &rk)| {
+                            lb.col(lk).val_ref(row).total_eq(rb.col(rk).val_ref(r))
+                        });
+                        if !keys_match {
+                            continue; // u64 hash collision of a different key
+                        }
+                        let lt = lt.get_or_insert_with(|| lb.tuple(row));
+                        let rt = rb.tuple(r);
+                        let ok = match residual {
+                            Some(p) => p.accepts_row(&Joined::new(lt, &rt))?,
+                            None => true,
+                        };
+                        if ok {
+                            matched = true;
+                            out.push(lt.join(&rt));
+                        }
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                out.push(lb.tuple(row).join_nulls(right_arity));
+            }
+            Ok(())
+        };
+        if self.threads > 1 && left.page_count() > 1 {
+            // Same error contract as the row probe: morsels in flight still
+            // finish, the first morsel-order error is the one reported.
+            let partials: Vec<Result<Vec<Tuple>>> = par_map_pages(
+                &self.storage,
+                left.page_ids(),
+                self.threads,
+                op_ref,
+                |m, pages| {
+                    let mut out = Vec::new();
+                    for page in pages {
+                        let lb = Batch::from_tuples(page.tuples());
+                        if let Some(op) = op_ref {
+                            op.batches.add(m, 1);
+                        }
+                        for row in 0..lb.len() {
+                            probe_lane(&lb, row, &mut out)?;
+                        }
+                    }
+                    Ok(out)
+                },
+            );
+            let mut out = Vec::new();
+            for partial in partials {
+                out.extend(partial?);
+            }
+            self.finish_probe(&op, probe_start);
+            Ok(out)
+        } else {
+            // Serial probe stops at the first error, before reading further
+            // pages — exactly like the row path's streaming scan.
+            let mut out = Vec::new();
+            for &pid in left.page_ids() {
+                let page = self.storage.read_page(pid);
+                let lb = Batch::from_tuples(page.tuples());
+                if let Some(op) = &op {
+                    op.batches.add(0, 1);
+                }
+                for row in 0..lb.len() {
+                    probe_lane(&lb, row, &mut out)?;
+                }
+            }
+            self.finish_probe(&op, probe_start);
+            Ok(out)
+        }
+    }
+
     fn finish_probe(
         &self,
         op: &Option<std::sync::Arc<nsql_obs::OpMetrics>>,
@@ -244,6 +434,92 @@ mod tests {
                 vec![Some(1), Some(6), None, None],   // residual fails → padded
             ]
         );
+    }
+
+    #[test]
+    fn vectorized_hash_join_matches_row_join_exactly() {
+        // Rows, order, and counted I/O identical across modes and thread
+        // counts, including NULL keys, residuals, and LeftOuter padding.
+        let build = |st: &Storage| {
+            let schema = nsql_types::Schema::new(vec![
+                nsql_types::Column::qualified("L", "A", nsql_types::ColumnType::Int),
+                nsql_types::Column::qualified("L", "X", nsql_types::ColumnType::Int),
+            ]);
+            let l = HeapFile::from_tuples(
+                st,
+                schema,
+                (0..300).map(|i| {
+                    Tuple::new(vec![
+                        if i % 11 == 0 { Value::Null } else { Value::Int(i % 40) },
+                        Value::Int(i),
+                    ])
+                }),
+            );
+            let r = int_file(st, "R", &["B", "Y"], &(0..120).map(|i| vec![i % 50, i]).collect::<Vec<_>>().iter().map(|v| v.as_slice()).collect::<Vec<_>>());
+            (l, r)
+        };
+        let run = |vectorized: bool, threads: usize, kind: JoinKind, with_residual: bool| {
+            let e = Exec::with_threads(Storage::new(8, 256), threads).with_vectorized(vectorized);
+            let (l, r) = build(e.storage());
+            let res = on_pred(&l, &r, "L.X < R.Y");
+            e.storage().clear_buffer();
+            e.storage().reset_stats();
+            let out = e
+                .hash_join(&l, &r, &[0], &[0], with_residual.then_some(&res), kind)
+                .unwrap();
+            (rows_of(e.storage(), &out), e.storage().io_stats(), e.storage().buffer_stats())
+        };
+        for kind in [JoinKind::Inner, JoinKind::LeftOuter] {
+            for with_residual in [false, true] {
+                let (rows, io, buf) = run(false, 1, kind, with_residual);
+                for (vec, threads) in [(true, 1), (true, 4)] {
+                    let (r2, io2, buf2) = run(vec, threads, kind, with_residual);
+                    assert_eq!(r2, rows, "{kind:?} residual={with_residual} t={threads}");
+                    assert_eq!(io2, io, "{kind:?} residual={with_residual} t={threads}");
+                    assert_eq!(buf2, buf, "{kind:?} residual={with_residual} t={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_hash_join_groups_int_and_float_keys_like_row_path() {
+        // 3 and 3.0 share a bucket on the row path (Value total equality);
+        // the vectorized hash/verify pair must reproduce that.
+        let run = |vectorized: bool| {
+            let e = exec().with_vectorized(vectorized);
+            let st = e.storage().clone();
+            let ls = nsql_types::Schema::new(vec![nsql_types::Column::qualified(
+                "L",
+                "A",
+                nsql_types::ColumnType::Float,
+            )]);
+            let l = HeapFile::from_tuples(
+                &st,
+                ls,
+                vec![
+                    Tuple::new(vec![Value::Float(3.0)]),
+                    Tuple::new(vec![Value::Int(3)]),
+                    Tuple::new(vec![Value::Float(f64::NAN)]),
+                ],
+            );
+            let rs = nsql_types::Schema::new(vec![nsql_types::Column::qualified(
+                "R",
+                "B",
+                nsql_types::ColumnType::Int,
+            )]);
+            let r = HeapFile::from_tuples(
+                &st,
+                rs,
+                vec![Tuple::new(vec![Value::Int(3)]), Tuple::new(vec![Value::Float(f64::NAN)])],
+            );
+            let out = e.hash_join(&l, &r, &[0], &[0], None, JoinKind::Inner).unwrap();
+            e.collect(&out)
+        };
+        let row = run(false);
+        let vec = run(true);
+        assert!(row.same_bag(&vec), "row:\n{row}\nvec:\n{vec}");
+        assert_eq!(row.len(), 3, "3.0~3, 3~3, NaN~NaN");
     }
 
     #[test]

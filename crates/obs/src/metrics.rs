@@ -89,6 +89,10 @@ pub struct OpMetrics {
     pub rows_out: ShardedCounter,
     /// Morsel claims, sharded by worker id.
     pub morsels: ShardedCounter,
+    /// Column batches processed (vectorized execution; 0 on the row path).
+    pub batches: ShardedCounter,
+    /// Nonzero when the operator ran its vectorized implementation.
+    pub vectorized: AtomicU64,
     /// Pages read during the operator (snapshot delta).
     pub reads: AtomicU64,
     /// Pages written during the operator (snapshot delta).
@@ -121,6 +125,8 @@ impl OpMetrics {
             rows_in: self.rows_in.total(),
             rows_out: self.rows_out.total(),
             morsels_per_worker: self.morsels.per_shard(),
+            batches: self.batches.total(),
+            vectorized: self.vectorized.load(Ordering::Relaxed) != 0,
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
@@ -143,6 +149,10 @@ pub struct OpSnapshot {
     pub rows_out: u64,
     /// Morsel claims per worker (empty when the operator ran serially).
     pub morsels_per_worker: Vec<u64>,
+    /// Column batches processed (0 on the row path).
+    pub batches: u64,
+    /// Whether the operator ran vectorized.
+    pub vectorized: bool,
     /// Pages read.
     pub reads: u64,
     /// Pages written.
@@ -185,6 +195,9 @@ impl OpSnapshot {
         if !self.morsels_per_worker.is_empty() {
             let _ = write!(s, " morsels/worker {:?}", self.morsels_per_worker);
         }
+        if self.vectorized {
+            let _ = write!(s, ", {} batches [vectorized]", self.batches);
+        }
         s
     }
 
@@ -203,6 +216,8 @@ impl OpSnapshot {
                         .collect(),
                 ),
             ),
+            ("batches", Json::num(self.batches as f64)),
+            ("vectorized", Json::Bool(self.vectorized)),
             ("reads", Json::num(self.reads as f64)),
             ("writes", Json::num(self.writes as f64)),
             ("hits", Json::num(self.hits as f64)),

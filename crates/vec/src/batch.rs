@@ -1,0 +1,146 @@
+//! Aligned column vectors plus selection vectors — the unit of vectorized
+//! execution.
+//!
+//! A [`Batch`] holds the rows of one heap page pivoted into columns. Batch
+//! conversion happens *above* the storage seam (the page is read through
+//! the counted buffer pool first), so building a batch never performs or
+//! hides page I/O. Predicates refine a [`Sel`] selection vector over the
+//! batch instead of materializing intermediate rows; only rows that survive
+//! every conjunct are converted back to tuples.
+
+use crate::column::ColumnVector;
+use nsql_types::{Tuple, Value};
+
+/// A selection vector: row indices into a batch, ascending.
+pub type Sel = Vec<u32>;
+
+/// A fixed number of rows pivoted into aligned [`ColumnVector`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    cols: Vec<ColumnVector>,
+    len: usize,
+}
+
+impl Batch {
+    /// Pivot `rows` (all of the same arity) into columns.
+    ///
+    /// Zero-row input produces a zero-column batch: with no row to sniff an
+    /// arity from there is nothing to pivot, and no kernel reads columns of
+    /// an empty batch.
+    pub fn from_tuples(rows: &[Tuple]) -> Batch {
+        let len = rows.len();
+        let arity = rows.first().map_or(0, |t| t.values().len());
+        let mut cols = Vec::with_capacity(arity);
+        let mut scratch: Vec<Value> = Vec::with_capacity(len);
+        for c in 0..arity {
+            scratch.clear();
+            scratch.extend(rows.iter().map(|t| t.values()[c].clone()));
+            cols.push(ColumnVector::from_values(&scratch));
+        }
+        Batch { cols, len }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Column `i`.
+    pub fn col(&self, i: usize) -> &ColumnVector {
+        &self.cols[i]
+    }
+
+    /// A selection vector covering every row.
+    pub fn full_sel(&self) -> Sel {
+        (0..self.len as u32).collect()
+    }
+
+    /// Owned value at (`col`, `row`).
+    pub fn value(&self, col: usize, row: usize) -> Value {
+        self.cols[col].value(row)
+    }
+
+    /// Rebuild the tuple at `row`.
+    pub fn tuple(&self, row: usize) -> Tuple {
+        Tuple::new(self.cols.iter().map(|c| c.value(row)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vs: Vec<Value>) -> Tuple {
+        Tuple::new(vs)
+    }
+
+    #[test]
+    fn roundtrips_rows_through_columns() {
+        let rows = vec![
+            t(vec![Value::Int(1), Value::str("a"), Value::Null]),
+            t(vec![Value::Int(2), Value::Null, Value::Float(0.5)]),
+            t(vec![Value::Null, Value::str("b"), Value::Float(-1.0)]),
+        ];
+        let b = Batch::from_tuples(&rows);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.arity(), 3);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(&b.tuple(i), row);
+        }
+    }
+
+    #[test]
+    fn empty_batch_has_no_columns_and_full_sel_is_empty() {
+        let b = Batch::from_tuples(&[]);
+        assert!(b.is_empty());
+        assert_eq!(b.arity(), 0);
+        assert!(b.full_sel().is_empty());
+    }
+
+    /// Selection vectors are per-batch: indices survive refinement chains
+    /// and remain valid across the batch (page) boundary of the source rows
+    /// — each batch restarts at index 0.
+    #[test]
+    fn selection_vectors_stay_page_local_across_batch_boundaries() {
+        let page1: Vec<Tuple> = (0..5).map(|i| t(vec![Value::Int(i)])).collect();
+        let page2: Vec<Tuple> = (5..9).map(|i| t(vec![Value::Int(i)])).collect();
+        let (b1, b2) = (Batch::from_tuples(&page1), Batch::from_tuples(&page2));
+        // Refine "x >= 3" over both batches; indices are local to each.
+        let keep = |b: &Batch| -> Sel {
+            b.full_sel()
+                .into_iter()
+                .filter(|&i| matches!(b.value(0, i as usize), Value::Int(x) if x >= 3))
+                .collect()
+        };
+        assert_eq!(keep(&b1), vec![3, 4]);
+        assert_eq!(keep(&b2), vec![0, 1, 2, 3]);
+        // Gathering through the local selections yields the global rows.
+        let gathered: Vec<Tuple> = keep(&b1)
+            .iter()
+            .map(|&i| b1.tuple(i as usize))
+            .chain(keep(&b2).iter().map(|&i| b2.tuple(i as usize)))
+            .collect();
+        let expect: Vec<Tuple> = (3..9).map(|i| t(vec![Value::Int(i)])).collect();
+        assert_eq!(gathered, expect);
+    }
+
+    #[test]
+    fn null_only_rows_convert_both_ways() {
+        let rows = vec![t(vec![Value::Null, Value::Null]); 4];
+        let b = Batch::from_tuples(&rows);
+        assert_eq!(b.arity(), 2);
+        for i in 0..4 {
+            assert_eq!(b.tuple(i), rows[i]);
+        }
+    }
+}

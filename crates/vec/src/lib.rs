@@ -1,0 +1,29 @@
+//! Columnar batch layer for vectorized execution.
+//!
+//! This crate is pure data representation: typed [`ColumnVector`]s with
+//! validity [`Bitmap`]s, [`Batch`]es of aligned columns with [`Sel`]
+//! selection vectors, and the zero-allocation [`ValRef`] value view whose
+//! comparison/hash semantics mirror `nsql_types::Value` bit for bit. The
+//! vectorized *operators* (filter, hash join, aggregation, the
+//! nested-iteration block kernel) live in `nsql-engine`, which composes
+//! these pieces; keeping the crate free of engine dependencies lets the
+//! storage and engine layers both convert at their own seams.
+//!
+//! Invariants the kernels rely on (see DESIGN.md "Vectorized execution"):
+//!
+//! * batch conversion happens above the counted buffer pool — building or
+//!   caching a batch never performs page I/O;
+//! * a cleared validity bit is the *only* NULL carrier; payload slots under
+//!   it are placeholders and must never be interpreted;
+//! * [`ValRef`] ordering, equality, and hashing agree exactly with the
+//!   row-side `Value` implementations (cross-checked by unit tests), so a
+//!   pipeline may switch representation mid-stream without changing
+//!   results.
+
+pub mod batch;
+pub mod bitmap;
+pub mod column;
+
+pub use batch::{Batch, Sel};
+pub use bitmap::Bitmap;
+pub use column::{ColData, ColumnVector, StrCol, ValRef, DICT_MAX};

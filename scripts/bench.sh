@@ -4,6 +4,7 @@
 #   ./scripts/bench.sh [label]        # PR2 benches -> BENCH_pr2.json
 #   ./scripts/bench.sh sweep [label]  # thread sweep -> BENCH_pr3.json
 #   ./scripts/bench.sh obs [label]    # per-operator metrics -> BENCH_pr5.json
+#   ./scripts/bench.sh vec [label]    # exec-mode sweep -> BENCH_pr7.json
 #
 # The committed BENCH_pr2.json holds one line per benchmark per run,
 # tagged `"label":"baseline"` (recorded before the zero-copy hot-path
@@ -16,6 +17,11 @@
 # transform decision, predicted Section-7 costs, and the measured
 # per-operator metrics array (rows, page I/O, build/probe/wall timings);
 # the page-I/O counters are deterministic, the nanosecond timings are not.
+# BENCH_pr7.json holds the exec-mode sweep (row vs vectorized at 1 and 4
+# worker threads per cell); counted page I/Os are byte-identical between
+# the modes by construction (see DESIGN.md "Vectorized execution"), so
+# the medians isolate kernel speedup. Acceptance reads the threads=1
+# medians of the vec-ni-type-J and vec-hash-join groups.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +31,9 @@ if [ "${1:-}" = "sweep" ]; then
     shift
 elif [ "${1:-}" = "obs" ]; then
     mode=obs
+    shift
+elif [ "${1:-}" = "vec" ]; then
+    mode=vec
     shift
 fi
 label=${1:-current}
@@ -39,6 +48,10 @@ elif [ "$mode" = "obs" ]; then
     out=BENCH_pr5.json
     echo "==> cargo run -p nsql-bench --bin explain_smoke  (per-operator metrics)"
     NSQL_OBS_JSON="$tmp" cargo run --release --offline -q -p nsql-bench --bin explain_smoke
+elif [ "$mode" = "vec" ]; then
+    out=BENCH_pr7.json
+    echo "==> cargo bench -p nsql-bench --bench vec_sweep  (host: $(nproc) CPU(s))"
+    NSQL_BENCH_JSON="$tmp" cargo bench -p nsql-bench --bench vec_sweep --offline
 else
     out=BENCH_pr2.json
     for bench in nested_vs_transformed ja2_variants; do
@@ -50,7 +63,7 @@ fi
 # Tag each JSON line with the run label (and, for sweeps, the host CPU
 # count — medians at >1 thread only improve when the host has >1 CPU) and
 # append to the committed file.
-if [ "$mode" = "sweep" ]; then
+if [ "$mode" = "sweep" ] || [ "$mode" = "vec" ]; then
     sed "s/^{/{\"label\":\"$label\",\"ncpu\":$(nproc),/" "$tmp" >> "$out"
 else
     sed "s/^{/{\"label\":\"$label\",/" "$tmp" >> "$out"

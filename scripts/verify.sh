@@ -52,6 +52,23 @@ for bin in figure1 figure2 section7 ablation bugs extensions sweep; do
         || { echo "FAIL: $bin output differs between storage backends"; exit 1; }
 done
 
+echo "==> figure/table binaries are byte-identical row vs vectorized mode"
+# Vectorized execution is wall-clock only: every counted page I/O, every
+# row, every cost table must be byte-for-byte the row-mode output. The
+# `bugs` binary is exempt — it prints EXPLAIN, which intentionally gains
+# an "exec mode: vectorized" line (that is the one permitted difference).
+for bin in figure1 figure2 section7 ablation extensions sweep; do
+    NSQL_EXEC_MODE=vector NSQL_THREADS=1 \
+        cargo run --release --offline -q -p nsql-bench --bin "$bin" \
+        > "$tmp1/$bin.vec.out"
+    diff -q "$tmp1/$bin.t1.out" "$tmp1/$bin.vec.out" \
+        || { echo "FAIL: $bin output differs between exec modes"; exit 1; }
+done
+
+echo "==> vectorized-equivalence property on both storage backends"
+cargo test -q --offline -p nsql-bench --test vec_prop
+NSQL_DURABILITY=file cargo test -q --offline -p nsql-bench --test vec_prop >/dev/null
+
 echo "==> recovery smoke (crash mid-commit at every write site, oracle-diff)"
 cargo run --release --offline -q -p nsql-bench --bin recovery_smoke
 
@@ -64,7 +81,7 @@ echo "==> query-processing library crates are stdout-silent"
 # (testkit, bench) and binaries are exempt: stdout is their deliverable.
 if grep -rnE '(println|eprintln|print|eprint|dbg)!' \
     crates/types/src crates/obs/src crates/sql/src crates/storage/src \
-    crates/index/src crates/exec-par/src crates/engine/src \
+    crates/index/src crates/exec-par/src crates/engine/src crates/vec/src \
     crates/analyzer/src crates/core/src crates/db/src crates/oracle/src \
     src/lib.rs \
     --include='*.rs' | grep -vE ':[0-9]+:\s*(//|///|//!)'; then
@@ -85,8 +102,8 @@ echo "==> testkit is warnings-clean across all targets"
 RUSTFLAGS="-D warnings" cargo check -p nsql-testkit --all-targets --offline
 
 echo "==> hot-path crates carry no redundant clones (clippy)"
-cargo clippy -p nsql-engine -p nsql-storage -p nsql-index --all-targets \
-    --offline -- -D clippy::redundant_clone
+cargo clippy -p nsql-engine -p nsql-storage -p nsql-index -p nsql-vec \
+    --all-targets --offline -- -D clippy::redundant_clone
 
 echo "==> bench smoke (3 samples per bench, results discarded)"
 NSQL_BENCH_SAMPLES=3 \
@@ -95,5 +112,7 @@ NSQL_BENCH_SAMPLES=3 \
     cargo bench -p nsql-bench --offline --bench ja2_variants >/dev/null
 NSQL_BENCH_SAMPLES=3 \
     cargo bench -p nsql-bench --offline --bench par_sweep >/dev/null
+NSQL_BENCH_SAMPLES=1 \
+    cargo bench -p nsql-bench --offline --bench vec_sweep >/dev/null
 
 echo "verify: OK"

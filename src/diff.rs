@@ -26,7 +26,9 @@
 //! (`NSQL_TEST_SEED`) and shrinks greedily: table rows are removed first,
 //! then the query is structurally simplified.
 
-use nsql_db::{Database, DuplicateSemantics, IndexUse, JoinPolicy, QueryOptions, Strategy};
+use nsql_db::{
+    Database, DuplicateSemantics, ExecMode, IndexUse, JoinPolicy, QueryOptions, Strategy,
+};
 use nsql_engine::EngineError;
 use nsql_oracle::{Notes, Oracle, OracleError};
 use nsql_sql::{
@@ -635,12 +637,16 @@ struct Pipeline {
 
 /// The pipelines under differential test. Nested iteration runs at 1 and 4
 /// threads; the transformation runs under every join policy, in parallel,
-/// and in the duplicate-collapsing `ForceDistinct` mode.
+/// and in the duplicate-collapsing `ForceDistinct` mode. Row pipelines pin
+/// `ExecMode::Row` (not `Auto`) so the sweep diffs both representations
+/// even when `NSQL_EXEC_MODE` is set; the `*-vec` pipelines rerun the main
+/// shapes under the columnar batch kernels.
 fn pipelines() -> Vec<Pipeline> {
     let ni = |threads: usize| QueryOptions {
         strategy: Strategy::NestedIteration,
         cold_start: true,
         threads,
+        exec_mode: ExecMode::Row,
         ..Default::default()
     };
     let tr = |policy: JoinPolicy, threads: usize| QueryOptions {
@@ -648,6 +654,7 @@ fn pipelines() -> Vec<Pipeline> {
         join_policy: policy,
         cold_start: true,
         threads,
+        exec_mode: ExecMode::Row,
         ..Default::default()
     };
     vec![
@@ -704,6 +711,39 @@ fn pipelines() -> Vec<Pipeline> {
         Pipeline {
             name: "tr-ix-never",
             opts: QueryOptions { index_use: IndexUse::Never, ..tr(JoinPolicy::CostBased, 1) },
+            transform: true,
+            set_only: false,
+        },
+        // Vectorized variants: the same semantics under the columnar batch
+        // kernels, serial and morsel-parallel. Same license flags as their
+        // row counterparts — vectorization must be semantically invisible.
+        Pipeline {
+            name: "ni-vec",
+            opts: QueryOptions { exec_mode: ExecMode::Vector, ..ni(1) },
+            transform: false,
+            set_only: false,
+        },
+        Pipeline {
+            name: "ni-vec-par4",
+            opts: QueryOptions { exec_mode: ExecMode::Vector, ..ni(4) },
+            transform: false,
+            set_only: false,
+        },
+        Pipeline {
+            name: "tr-vec-cost",
+            opts: QueryOptions {
+                exec_mode: ExecMode::Vector,
+                ..tr(JoinPolicy::CostBased, 1)
+            },
+            transform: true,
+            set_only: false,
+        },
+        Pipeline {
+            name: "tr-vec-hash",
+            opts: QueryOptions {
+                exec_mode: ExecMode::Vector,
+                ..tr(JoinPolicy::ForceHashJoin, 1)
+            },
             transform: true,
             set_only: false,
         },
