@@ -21,11 +21,13 @@
 
 pub mod classify;
 pub mod error;
+pub mod normalize;
 pub mod resolve;
 pub mod tree;
 
 pub use classify::{classify_inner, NestingType};
 pub use error::AnalyzeError;
+pub use normalize::normalized_block_signature;
 pub use resolve::{block_schema, outer_column_refs, validate_query, Resolver, SchemaSource};
 pub use tree::{query_tree, QueryTree};
 

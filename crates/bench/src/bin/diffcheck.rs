@@ -9,7 +9,7 @@
 //!
 //! Pin a specific case with `NSQL_TEST_SEED=<hex> NSQL_DIFF_CASES=1`.
 
-use nested_query_opt::diff::run_diff_property;
+use nested_query_opt::diff::{run_cache_dml_property, run_diff_property};
 
 fn main() {
     let cases: u32 = std::env::var("NSQL_DIFF_CASES")
@@ -30,4 +30,18 @@ fn main() {
     }
     assert!(compared_somewhere, "diffcheck compared nothing — harness is broken");
     println!("diffcheck: {cases} cases, every pipeline agrees with the oracle");
+
+    // The DML-interleaved cache sweep: cache-on ≡ cache-off ≡ oracle, with
+    // random INSERTs between identical queries (see tests/diff_prop.rs).
+    let stats = run_cache_dml_property("diffcheck-cache", cases);
+    let mut compared_somewhere = false;
+    for s in &stats {
+        println!(
+            "diffcheck {:>14}: {:>5} compared, {:>4} skipped",
+            s.name, s.compared, s.skipped
+        );
+        compared_somewhere |= s.compared > 0;
+    }
+    assert!(compared_somewhere, "cache diffcheck compared nothing — harness is broken");
+    println!("diffcheck: {cases} cases, the cache is transparent under interleaved DML");
 }

@@ -24,17 +24,64 @@ fn store_err(e: StorageError) -> DbError {
     DbError::Engine(nsql_engine::EngineError::Storage(e))
 }
 
+/// Source of process-unique cache epochs: every catalog incarnation gets
+/// its own, so cross-query cache entries published against one catalog can
+/// never match another (in particular a database reopened after a crash).
+static NEXT_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 /// Catalog of base tables bound to one [`Storage`].
 pub struct Catalog {
     storage: Storage,
     tables: BTreeMap<String, HeapFile>,
     indexes: BTreeMap<String, Vec<Arc<BTreeIndex>>>,
+    /// Per-table DML generation stamps: bumped on every mutation of the
+    /// table (create/load/insert/drop/index change). Cache keys embed the
+    /// stamp, so stale entries silently stop matching even without the
+    /// proactive invalidation below.
+    generations: BTreeMap<String, u64>,
+    /// This incarnation's cache epoch (see [`NEXT_EPOCH`]).
+    epoch: u64,
+    /// Cross-query result cache to invalidate proactively on DML, so a
+    /// mutated table's entries free their bytes immediately instead of
+    /// lingering until eviction.
+    result_cache: Option<Arc<nsql_cache::QueryCache>>,
 }
 
 impl Catalog {
     /// Empty catalog over `storage`.
     pub fn new(storage: Storage) -> Catalog {
-        Catalog { storage, tables: BTreeMap::new(), indexes: BTreeMap::new() }
+        Catalog {
+            storage,
+            tables: BTreeMap::new(),
+            indexes: BTreeMap::new(),
+            generations: BTreeMap::new(),
+            epoch: NEXT_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            result_cache: None,
+        }
+    }
+
+    /// Attach the cross-query result cache to invalidate on DML.
+    pub fn set_result_cache(&mut self, cache: Arc<nsql_cache::QueryCache>) {
+        self.result_cache = Some(cache);
+    }
+
+    /// The DML generation stamp of `table` (0 before any tracked change).
+    pub fn generation(&self, table: &str) -> u64 {
+        self.generations.get(&table.to_ascii_uppercase()).copied().unwrap_or(0)
+    }
+
+    /// This catalog incarnation's cache epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Record a mutation of `key` (already uppercased): bump its
+    /// generation and drop any cache entries built over it.
+    fn touch(&mut self, key: &str) {
+        *self.generations.entry(key.to_string()).or_insert(0) += 1;
+        if let Some(cache) = &self.result_cache {
+            cache.invalidate_table(key);
+        }
     }
 
     /// The storage handle.
@@ -51,7 +98,8 @@ impl Catalog {
         }
         let schema = schema.requalify(&key);
         let file = HeapFile::from_tuples(&self.storage, schema, Vec::new());
-        self.tables.insert(key, file);
+        self.tables.insert(key.clone(), file);
+        self.touch(&key);
         self.persist()
     }
 
@@ -68,6 +116,7 @@ impl Catalog {
         for ix in self.indexes.remove(&key).unwrap_or_default() {
             ix.drop_pages(&self.storage);
         }
+        self.touch(&key);
         self.persist()
     }
 
@@ -96,6 +145,7 @@ impl Catalog {
         file.drop_pages(&self.storage);
         self.tables.insert(key.clone(), new_file);
         self.rebuild_indexes(&key);
+        self.touch(&key);
         self.persist()?;
         Ok(n)
     }
@@ -109,6 +159,7 @@ impl Catalog {
                 for ix in self.indexes.remove(&key).unwrap_or_default() {
                     ix.drop_pages(&self.storage);
                 }
+                self.touch(&key);
                 self.persist()
             }
             None => Err(DbError::Catalog(format!("unknown table {key}"))),
@@ -144,6 +195,7 @@ impl Catalog {
         let ix_name = format!("IX_{key}_{}", column.to_ascii_uppercase());
         let ix = BTreeIndex::build(&self.storage, &ix_name, col, &file);
         existing.push(Arc::new(ix));
+        self.touch(&key);
         self.persist()?;
         Ok(ix_name)
     }
@@ -271,6 +323,15 @@ impl TableProvider for Catalog {
 
     fn get_indexes(&self, table: &str) -> Vec<Arc<BTreeIndex>> {
         self.indexes(table).to_vec()
+    }
+
+    fn table_generation(&self, table: &str) -> Option<u64> {
+        let key = table.to_ascii_uppercase();
+        self.tables.contains_key(&key).then(|| self.generation(&key))
+    }
+
+    fn cache_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 

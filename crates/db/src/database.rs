@@ -70,6 +70,7 @@ static DATA_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 /// An embedded single-session database over the simulated storage engine.
 pub struct Database {
     catalog: Catalog,
+    cache: Arc<nsql_cache::QueryCache>,
     open_report: Option<OpenReport>,
     _data_dir: Option<OwnedDataDir>,
 }
@@ -108,11 +109,7 @@ impl Database {
         >,
     ) -> Database {
         match Durability::from_env() {
-            Durability::Memory => Database {
-                catalog: Catalog::new(memory()),
-                open_report: None,
-                _data_dir: None,
-            },
+            Durability::Memory => Database::assemble(Catalog::new(memory()), None, None),
             Durability::File(base) => {
                 // Bare `NSQL_DURABILITY=file` means "same engine, durable
                 // backend": each Database gets a private subdirectory so
@@ -135,13 +132,43 @@ impl Database {
                         path.display()
                     )
                 });
-                Database {
-                    catalog: Catalog::new(storage),
-                    open_report: None,
-                    _data_dir: owned.then_some(OwnedDataDir(path)),
-                }
+                Database::assemble(
+                    Catalog::new(storage),
+                    None,
+                    owned.then_some(OwnedDataDir(path)),
+                )
             }
         }
+    }
+
+    /// Assemble a database around `catalog`, attaching a fresh cross-query
+    /// result cache (default byte budget) to both.
+    fn assemble(
+        catalog: Catalog,
+        open_report: Option<OpenReport>,
+        data_dir: Option<OwnedDataDir>,
+    ) -> Database {
+        let mut db = Database {
+            catalog,
+            cache: Arc::new(nsql_cache::QueryCache::with_defaults()),
+            open_report,
+            _data_dir: data_dir,
+        };
+        db.catalog.set_result_cache(Arc::clone(&db.cache));
+        db
+    }
+
+    /// Replace the cross-query result cache — tests and multi-database
+    /// setups share one cache (and its byte budget) across instances;
+    /// epoch stamps keep entries from crossing catalog incarnations.
+    pub fn set_result_cache(&mut self, cache: Arc<nsql_cache::QueryCache>) {
+        self.cache = Arc::clone(&cache);
+        self.catalog.set_result_cache(cache);
+    }
+
+    /// The cross-query result cache.
+    pub fn result_cache(&self) -> &Arc<nsql_cache::QueryCache> {
+        &self.cache
     }
 
     /// Open (or create) a file-backed database rooted at `dir` with default
@@ -181,7 +208,7 @@ impl Database {
             indexes: catalog.index_count(),
             spans: tracer.finish(),
         };
-        Ok(Database { catalog, open_report: Some(report), _data_dir: None })
+        Ok(Database::assemble(catalog, Some(report), None))
     }
 
     /// The recovery/restore report, when this database came up via
@@ -300,6 +327,7 @@ impl Database {
             opts.threads
         };
         let vectorized = opts.exec_mode.vectorized();
+        let cache_mode = opts.cache.resolve();
         let mut explain = Vec::new();
         let mut temps = Vec::new();
         let relation = match opts.strategy {
@@ -313,6 +341,12 @@ impl Database {
                 }
                 let mut evaluator = NestedIter::new(&self.catalog, storage.clone())
                     .with_vectorized(vectorized);
+                if cache_mode.enabled() {
+                    evaluator = evaluator.with_query_cache(Arc::clone(&self.cache));
+                }
+                if let Some(budget) = opts.memo_budget {
+                    evaluator = evaluator.with_memo_budget(budget);
+                }
                 let op = match &exec_obs {
                     Some(obs) => {
                         let op = obs.registry.op("nested iteration");
@@ -339,6 +373,13 @@ impl Database {
                     }
                 }
                 tracer.end(span);
+                if cache_mode.enabled() {
+                    let (h, m) = evaluator.cache_counts();
+                    explain.push(format!(
+                        "cache: mode {}, inner-block {h} hit(s), {m} miss(es)",
+                        cache_mode.name()
+                    ));
+                }
                 rel?
             }
             Strategy::Transform => {
@@ -355,6 +396,12 @@ impl Database {
                     if plan.temp_count() == 1 { "" } else { "s" },
                     opts.join_policy.name()
                 ));
+                if vectorized {
+                    explain.push(
+                        "exec mode: vectorized (batch kernels, per-operator row fallback)"
+                            .to_string(),
+                    );
+                }
                 explain.extend(plan.trace.iter().cloned());
                 explain.push(format!("canonical: {}", nsql_sql::print_query(&plan.canonical)));
                 let mut exec =
@@ -364,6 +411,21 @@ impl Database {
                 }
                 let mut pe = PlanExecutor::new(exec, &self.catalog, opts.join_policy);
                 pe.set_index_use(opts.index_use);
+                if cache_mode.enabled() {
+                    explain.push(format!("cache: mode {}", cache_mode.name()));
+                    pe.set_cache(crate::result_cache::CacheCtx {
+                        cache: Arc::clone(&self.cache),
+                        fingerprint: format!(
+                            "policy={};index={};page={};buf={}",
+                            opts.join_policy.name(),
+                            opts.index_use.name(),
+                            storage.page_size(),
+                            storage.buffer_pages()
+                        ),
+                        epoch: self.catalog.epoch(),
+                        rewrite: cache_mode.rewrite(),
+                    });
+                }
                 let span = tracer.begin("execute plan");
                 let rel =
                     pe.execute_transform_plan(&plan, plan.needs_distinct_for_semantics);
@@ -385,6 +447,17 @@ impl Database {
             }
         };
         let io = storage.io_stats().since(&before);
+        if let Some(obs) = &exec_obs {
+            if cache_mode.enabled() {
+                let s = self.cache.stats();
+                obs.registry.event(format!(
+                    "cache: {} entries, {} bytes; lifetime hits {}, misses {}, \
+                     declines {}, evictions {}, invalidations {}",
+                    s.entries, s.bytes, s.hits, s.misses, s.declines, s.evictions,
+                    s.invalidations
+                ));
+            }
+        }
         let obs = exec_obs.map(|o| ObsReport {
             spans: tracer.finish(),
             ops: o.registry.snapshot(),

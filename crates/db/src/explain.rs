@@ -270,13 +270,26 @@ impl Database {
             let out = self.run_query(q, &run_opts)?;
             (out.explain, out.temps, Some(out.io), Some(out.relation.len()), out.obs)
         } else {
+            // Plain EXPLAIN renders the same per-strategy header lines an
+            // ANALYZE run would: strategy, exec mode, cache mode. The
+            // nested-iteration path used to print the bare strategy line
+            // only — keep the two paths in lockstep.
             let strategy = match opts.strategy {
                 Strategy::NestedIteration => {
-                    vec!["strategy: nested iteration (System R)".to_string()]
+                    let mut lines = vec!["strategy: nested iteration (System R)".to_string()];
+                    lines.extend(mode_lines(opts));
+                    lines
                 }
                 Strategy::Transform => {
                     let plan = nsql_core::transform_query(self.catalog(), q, &opts.unnest)?;
-                    let mut lines = plan.trace.clone();
+                    let mut lines = vec![format!(
+                        "strategy: transform ({} temp table{}), join policy: {}",
+                        plan.temp_count(),
+                        if plan.temp_count() == 1 { "" } else { "s" },
+                        opts.join_policy.name()
+                    )];
+                    lines.extend(mode_lines(opts));
+                    lines.extend(plan.trace.clone());
                     lines.push(format!(
                         "canonical: {}",
                         nsql_sql::print_query(&plan.canonical)
@@ -361,6 +374,22 @@ impl Database {
         let pt4 = pt3.max(pt);
         Some(Ja2Params { pi, pj, pt2, nt2, pt3, pt4, pt, b, fi_ni, ri_sorted: false })
     }
+}
+
+/// Execution-mode header lines shared by plain `EXPLAIN` across both
+/// strategies: vectorization and cache policy, after `Auto` resolution.
+fn mode_lines(opts: &QueryOptions) -> Vec<String> {
+    let mut lines = Vec::new();
+    if opts.exec_mode.vectorized() {
+        lines.push(
+            "exec mode: vectorized (batch kernels, per-operator row fallback)".to_string(),
+        );
+    }
+    let cache = opts.cache.resolve();
+    if cache.enabled() {
+        lines.push(format!("cache: mode {}", cache.name()));
+    }
+    lines
 }
 
 /// Name the algorithm that fired, from the NEST-G trace.

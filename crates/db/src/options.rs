@@ -166,6 +166,66 @@ impl ExecMode {
     }
 }
 
+/// Cross-query result caching policy (see `nsql-cache` and DESIGN.md
+/// "Result caching").
+///
+/// `On` serves only *exact* hits: same normalized computation, same
+/// binding, same catalog generations. Exact hits recharge the recorded
+/// page-access sequence, so results **and** counted I/O are byte-identical
+/// with an uncached run (checked by `scripts/verify.sh`). `Rewrite`
+/// additionally answers from materialized aggregate views when the
+/// Cohen-style soundness check proves the rewrite safe; derived answers
+/// rebuild the temp from cached tuples, so their I/O legitimately differs
+/// from a cold run (results never do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Never consult or populate the cache.
+    Off,
+    /// Exact hits only — I/O-transparent.
+    On,
+    /// Exact hits plus sound aggregate-view rewrites.
+    Rewrite,
+    /// Resolve from `NSQL_CACHE` (`on`/`1` → [`CacheMode::On`],
+    /// `rewrite` → [`CacheMode::Rewrite`]; anything else, or unset → off).
+    #[default]
+    Auto,
+}
+
+impl CacheMode {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheMode::Off => "off",
+            CacheMode::On => "on",
+            CacheMode::Rewrite => "rewrite",
+            CacheMode::Auto => "auto",
+        }
+    }
+
+    /// `Auto` resolved against the environment; other modes unchanged.
+    pub fn resolve(self) -> CacheMode {
+        match self {
+            CacheMode::Auto => match std::env::var("NSQL_CACHE") {
+                Ok(v) if v.eq_ignore_ascii_case("on") || v == "1" => CacheMode::On,
+                Ok(v) if v.eq_ignore_ascii_case("rewrite") => CacheMode::Rewrite,
+                _ => CacheMode::Off,
+            },
+            other => other,
+        }
+    }
+
+    /// Whether this mode (after `Auto` resolution) consults the cache.
+    pub fn enabled(self) -> bool {
+        !matches!(self.resolve(), CacheMode::Off)
+    }
+
+    /// Whether this mode (after `Auto` resolution) may answer via
+    /// aggregate-view rewrite.
+    pub fn rewrite(self) -> bool {
+        matches!(self.resolve(), CacheMode::Rewrite)
+    }
+}
+
 /// How to evaluate a query.
 #[derive(Debug, Clone, Default)]
 pub enum Strategy {
@@ -221,6 +281,13 @@ pub struct QueryOptions {
     /// Row-at-a-time vs columnar batch execution (see [`ExecMode`]).
     /// `Auto` (the default) resolves from `NSQL_EXEC_MODE`.
     pub exec_mode: ExecMode,
+    /// Cross-query result caching (see [`CacheMode`]). `Auto` (the
+    /// default) resolves from `NSQL_CACHE`.
+    pub cache: CacheMode,
+    /// Byte budget for nested iteration's per-query, per-distinct-binding
+    /// result memo. `None` keeps the engine default (1 MiB); the budget is
+    /// accounted with the same size estimate as the cross-query cache.
+    pub memo_budget: Option<usize>,
 }
 
 impl QueryOptions {

@@ -29,15 +29,18 @@ use crate::provider::TableProvider;
 use crate::vec_exec::{self, Lane3, Template, VPred};
 use crate::Result;
 use nsql_vec::Batch;
+use nsql_analyzer::normalized_block_signature;
 use nsql_analyzer::resolve::level_column_refs;
 use nsql_sql::{
     AggArg, AggFunc, ColumnRef, CompareOp, InRhs, Operand, Predicate, Quantifier, QueryBlock,
     ScalarExpr, SortDir,
 };
+use nsql_cache::{approx_relation_bytes, BlockEntry, QueryCache};
 use nsql_exec_par::{run_workers, Morsels};
 use nsql_storage::{HeapFile, PageId, Storage, TraceEvent};
 use nsql_types::{Column, ColumnType, FxHashMap, Relation, Schema, Tuple, Value};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Cached result of an uncorrelated inner block. Cloning is cheap: a
@@ -134,12 +137,50 @@ struct IterShared {
     /// its template depends on. A hit charges the block's entire
     /// page-read sequence — exactly what re-evaluation would read — so
     /// the memo saves CPU, never counted I/O. Errors are never memoized.
-    results: Mutex<FxHashMap<(usize, Tuple), Arc<Relation>>>,
+    results: Mutex<ResultMemo>,
+    /// Per-query memo of each block's normalized cross-query cache
+    /// signature (`None` records a block that declines normalization),
+    /// keyed by block address like [`IterShared::blocks`].
+    signatures: Mutex<FxHashMap<usize, Option<Arc<BlockSig>>>>,
+    /// Cross-query cache consults this query: hits and misses, for the
+    /// EXPLAIN line. Shared with worker forks so the parallel path counts
+    /// identically.
+    xq_hits: AtomicU64,
+    xq_misses: AtomicU64,
 }
 
-/// Insert cap for [`IterShared::results`]: bounds memory on queries whose
-/// outer relation has very many distinct correlation values.
-const RESULT_MEMO_CAP: usize = 4096;
+/// The per-binding result memo with its byte accounting: inserts stop once
+/// the approximate resident size reaches the budget (no eviction — entries
+/// die with the query), bounding memory on queries whose outer relation has
+/// very many distinct correlation values.
+#[derive(Default)]
+struct ResultMemo {
+    map: FxHashMap<(usize, Tuple), Arc<Relation>>,
+    bytes: usize,
+}
+
+/// Default byte budget for [`ResultMemo`], used when the caller does not
+/// configure one through [`NestedIter::with_memo_budget`].
+const DEFAULT_MEMO_BUDGET: usize = 1 << 20;
+
+/// A block's normalized cross-query cache identity: canonical text, the
+/// free (outer) references whose values form the binding key, and the
+/// single FROM table whose generation stamps the entry.
+struct BlockSig {
+    text: String,
+    free: Vec<ColumnRef>,
+    table: String,
+}
+
+/// One consult of the cross-query cache: the identity to probe with and,
+/// on a miss, publish under.
+struct XqProbe {
+    cache: Arc<QueryCache>,
+    sig: Arc<BlockSig>,
+    binding: Tuple,
+    generation: u64,
+    epoch: u64,
+}
 
 /// The nested-iteration evaluator.
 pub struct NestedIter<'a, T: TableProvider + ?Sized> {
@@ -148,6 +189,8 @@ pub struct NestedIter<'a, T: TableProvider + ?Sized> {
     shared: Arc<IterShared>,
     obs: Option<crate::ops::ExecObs>,
     vectorized: bool,
+    query_cache: Option<Arc<QueryCache>>,
+    memo_budget: usize,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -166,10 +209,15 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
                 correlated: Mutex::new(FxHashMap::default()),
                 templates: Mutex::new(FxHashMap::default()),
                 batches: Mutex::new(FxHashMap::default()),
-                results: Mutex::new(FxHashMap::default()),
+                results: Mutex::new(ResultMemo::default()),
+                signatures: Mutex::new(FxHashMap::default()),
+                xq_hits: AtomicU64::new(0),
+                xq_misses: AtomicU64::new(0),
             }),
             obs: None,
             vectorized: false,
+            query_cache: None,
+            memo_budget: DEFAULT_MEMO_BUDGET,
         }
     }
 
@@ -191,6 +239,33 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
         self
     }
 
+    /// Attach a cross-query result cache. Fully-simple inner blocks
+    /// (single FROM table, subquery-free WHERE) consult it per distinct
+    /// binding before evaluating and publish their results after; a hit
+    /// recharges the block's full-scan read sequence, so counted I/O is
+    /// byte-identical with an uncached evaluation.
+    pub fn with_query_cache(mut self, cache: Arc<QueryCache>) -> Self {
+        self.query_cache = Some(cache);
+        self
+    }
+
+    /// Byte budget for the per-query, per-distinct-binding result memo of
+    /// the vectorized path (default 1 MiB). The memo stops inserting at
+    /// the budget; hits charge I/O identically either way.
+    pub fn with_memo_budget(mut self, budget: usize) -> Self {
+        self.memo_budget = budget;
+        self
+    }
+
+    /// Cross-query cache consults so far: `(hits, misses)`. Zero/zero when
+    /// no cache is attached.
+    pub fn cache_counts(&self) -> (u64, u64) {
+        (
+            self.shared.xq_hits.load(Ordering::Relaxed),
+            self.shared.xq_misses.load(Ordering::Relaxed),
+        )
+    }
+
     /// A worker's view of this evaluator: same tables, caches, and memos,
     /// different storage handle (a trace view during parallel evaluation).
     fn fork(&self, storage: Storage) -> NestedIter<'a, T> {
@@ -200,6 +275,8 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
             shared: Arc::clone(&self.shared),
             obs: self.obs.clone(),
             vectorized: self.vectorized,
+            query_cache: self.query_cache.clone(),
+            memo_budget: self.memo_budget,
         }
     }
 
@@ -227,7 +304,10 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
         lock(&self.shared.correlated).clear();
         lock(&self.shared.templates).clear();
         lock(&self.shared.batches).clear();
-        lock(&self.shared.results).clear();
+        lock(&self.shared.signatures).clear();
+        let mut memo = lock(&self.shared.results);
+        memo.map.clear();
+        memo.bytes = 0;
     }
 
     // ----------------------------------------------------------- parallel
@@ -417,7 +497,15 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
                 TraceEvent::Read(pid) => {
                     let _ = self.storage.read_page(pid);
                 }
-                TraceEvent::Write => self.storage.charge_write(),
+                TraceEvent::ReadDirect(pid) => {
+                    let _ = self.storage.read_page_direct(pid);
+                }
+                TraceEvent::Write(_) => self.storage.charge_write(),
+                TraceEvent::Free(pid) => {
+                    // The physical free already happened (trace-mode frees
+                    // are physical); reproduce the buffer-frame release.
+                    let _ = self.storage.evict_page(pid);
+                }
                 TraceEvent::Marker(key) => {
                     if done.insert(key) {
                         if let Some(sub) = mat.get(&key) {
@@ -462,7 +550,28 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
 
     fn eval_block(&self, q: &QueryBlock, env: &Env<'_>) -> Result<Relation> {
         let info = self.block_info(q)?;
-        let scope_schema = &info.schema;
+
+        // Cross-query result cache: fully-simple blocks only. Such a block
+        // reads exactly one full scan of its FROM file regardless of
+        // predicate outcomes, so a hit can recharge the identical read
+        // sequence and return the stored result — counted I/O and the
+        // answer are byte-identical with re-evaluation. The probe is
+        // `None` (and evaluation proceeds untouched) when no cache is
+        // attached, the block doesn't normalize, the provider tracks no
+        // generation for the table, or a free reference fails to resolve.
+        let probe = self.xq_probe(q, &info, env);
+        if let Some(p) = &probe {
+            if let Some(rel) =
+                p.cache.find_block(&p.sig.text, &p.binding, &p.sig.table, p.generation, p.epoch)
+            {
+                self.shared.xq_hits.fetch_add(1, Ordering::Relaxed);
+                for &pid in info.files[0].page_ids() {
+                    let _ = self.storage.read_page(pid);
+                }
+                return Ok(rel.rel.clone());
+            }
+            self.shared.xq_misses.fetch_add(1, Ordering::Relaxed);
+        }
 
         // Partition top-level conjuncts: simple predicates first.
         let conjuncts: Vec<&Predicate> = match &q.where_clause {
@@ -473,22 +582,50 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
             .into_iter()
             .partition(|p| !p.contains_subquery());
 
-        if self.vectorized {
-            if let Some(rel) = self.try_eval_block_vec(q, env, &info, &simple, &nested)? {
-                return Ok(rel);
+        let rel = 'eval: {
+            if self.vectorized {
+                if let Some(rel) = self.try_eval_block_vec(q, env, &info, &simple, &nested)? {
+                    break 'eval rel;
+                }
             }
-        }
+            self.eval_block_rows(q, env, &info, &simple, &nested)?
+        };
 
-        // Nested-iteration enumeration of the FROM product.
+        // Publish only successful evaluations, so an entry can never mask
+        // an error a re-evaluation would raise.
+        if let Some(p) = probe {
+            p.cache.publish_block(BlockEntry {
+                signature: p.sig.text.clone(),
+                binding: p.binding,
+                table: p.sig.table.clone(),
+                generation: p.generation,
+                epoch: p.epoch,
+                rel: rel.clone(),
+            });
+        }
+        Ok(rel)
+    }
+
+    /// The row-at-a-time block body: nested-iteration enumeration of the
+    /// FROM product, then the SELECT phase.
+    fn eval_block_rows(
+        &self,
+        q: &QueryBlock,
+        env: &Env<'_>,
+        info: &Arc<BlockInfo>,
+        simple: &[&Predicate],
+        nested: &[&Predicate],
+    ) -> Result<Relation> {
+        let scope_schema = &info.schema;
         let mut survivors: Vec<Tuple> = Vec::new();
         self.enumerate(&info.files, 0, Tuple::default(), &mut |binding| {
             let here = env.child(scope_schema, &binding);
-            for p in &simple {
+            for p in simple {
                 if self.eval_pred(p, &here)? != Some(true) {
                     return Ok(());
                 }
             }
-            for p in &nested {
+            for p in nested {
                 if self.eval_pred(p, &here)? != Some(true) {
                     return Ok(());
                 }
@@ -497,9 +634,49 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
             survivors.push(binding);
             Ok(())
         })?;
-
-        // SELECT phase.
         self.eval_select(q, scope_schema, survivors, env)
+    }
+
+    /// Recall (or derive) the block's normalized signature, then bind its
+    /// free references against the current environment. Any failure —
+    /// no attached cache, non-simple block, generation-less provider,
+    /// unresolvable free reference — declines caching for this call.
+    fn xq_probe(&self, q: &QueryBlock, info: &Arc<BlockInfo>, env: &Env<'_>) -> Option<XqProbe> {
+        let cache = self.query_cache.as_ref()?;
+        let sig = self.block_signature(q, info)?;
+        let generation = self.tables.table_generation(&sig.table)?;
+        let mut vals = Vec::with_capacity(sig.free.len());
+        for c in &sig.free {
+            vals.push(env.lookup(c).ok()?);
+        }
+        Some(XqProbe {
+            cache: Arc::clone(cache),
+            sig,
+            binding: Tuple::new(vals),
+            generation,
+            epoch: self.tables.cache_epoch(),
+        })
+    }
+
+    /// Per-query memo of [`normalized_block_signature`] over this block,
+    /// classifying references against the block's own scope schema
+    /// (resolvable = local, ambiguous = bail, unknown = free).
+    fn block_signature(&self, q: &QueryBlock, info: &Arc<BlockInfo>) -> Option<Arc<BlockSig>> {
+        let key = q as *const QueryBlock as usize;
+        if let Some(s) = lock(&self.shared.signatures).get(&key) {
+            return s.clone();
+        }
+        let schema = &info.schema;
+        let classify = |c: &ColumnRef| match schema.resolve(c.table.as_deref(), &c.column) {
+            Ok(_) => Some(true),
+            Err(nsql_types::TypeError::AmbiguousColumn(_)) => None,
+            Err(_) => Some(false),
+        };
+        let sig = normalized_block_signature(q, &classify).map(|(text, free)| {
+            Arc::new(BlockSig { text, free, table: q.from[0].table.to_ascii_uppercase() })
+        });
+        lock(&self.shared.signatures).insert(key, sig.clone());
+        sig
     }
 
     // --------------------------------------------------- vectorized path
@@ -565,7 +742,7 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
             .is_empty()
             .then(|| (Arc::as_ptr(info) as usize, Tuple::new(outer_vals.clone())));
         if let Some(key) = &memo_key {
-            if let Some(rel) = lock(&self.shared.results).get(key).cloned() {
+            if let Some(rel) = lock(&self.shared.results).map.get(key).cloned() {
                 // Charge the same page reads a re-evaluation would issue.
                 for &pid in info.files[0].page_ids() {
                     let _ = self.storage.read_page(pid);
@@ -579,9 +756,11 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
             self.filter_pages_vec(&vp, info, info.files[0].page_ids(), nested, env)?;
         let rel = self.eval_select(q, &info.schema, survivors, env)?;
         if let Some(key) = memo_key {
+            let size = approx_relation_bytes(&rel);
             let mut memo = lock(&self.shared.results);
-            if memo.len() < RESULT_MEMO_CAP {
-                memo.insert(key, Arc::new(rel.clone()));
+            if memo.bytes + size <= self.memo_budget {
+                memo.map.insert(key, Arc::new(rel.clone()));
+                memo.bytes += size;
             }
         }
         Ok(Some(rel))

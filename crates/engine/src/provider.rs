@@ -18,6 +18,22 @@ pub trait TableProvider {
     fn get_indexes(&self, _table: &str) -> Vec<Arc<BTreeIndex>> {
         Vec::new()
     }
+
+    /// The DML generation stamp of `table`, when the provider tracks one
+    /// (the catalog bumps it on every INSERT/load/index change). `None`
+    /// means "unknown" and disables cross-query result caching for blocks
+    /// over this table — lightweight test providers stay uncacheable
+    /// rather than unsound.
+    fn table_generation(&self, _table: &str) -> Option<u64> {
+        None
+    }
+
+    /// The provider's cache epoch: a process-unique stamp per catalog
+    /// instance, so entries published against one catalog (or one
+    /// incarnation of a reopened database) can never match another.
+    fn cache_epoch(&self) -> u64 {
+        0
+    }
 }
 
 impl<T: TableProvider + ?Sized> TableProvider for &T {
@@ -27,6 +43,14 @@ impl<T: TableProvider + ?Sized> TableProvider for &T {
 
     fn get_indexes(&self, table: &str) -> Vec<Arc<BTreeIndex>> {
         (**self).get_indexes(table)
+    }
+
+    fn table_generation(&self, table: &str) -> Option<u64> {
+        (**self).table_generation(table)
+    }
+
+    fn cache_epoch(&self) -> u64 {
+        (**self).cache_epoch()
     }
 }
 
@@ -69,6 +93,20 @@ impl<T: TableProvider + ?Sized> TableProvider for OverlayProvider<'_, T> {
         } else {
             self.base.get_indexes(&key)
         }
+    }
+
+    fn table_generation(&self, table: &str) -> Option<u64> {
+        let key = table.to_ascii_uppercase();
+        if self.overlay.contains_key(&key) {
+            // Per-query temporaries have no cross-query identity.
+            None
+        } else {
+            self.base.table_generation(&key)
+        }
+    }
+
+    fn cache_epoch(&self) -> u64 {
+        self.base.cache_epoch()
     }
 }
 

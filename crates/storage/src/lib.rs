@@ -58,11 +58,20 @@ pub const DEFAULT_BUFFER_PAGES: usize = 6;
 /// `Storage` reproduces the serial buffer evolution and I/O totals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
-    /// A buffered page read (`read_page` or `read_page_direct`).
+    /// A buffered page read (`read_page`).
     Read(PageId),
-    /// A page write (`write_new_page`); replay charges the counter only —
-    /// the page itself was already written physically during tracing.
-    Write,
+    /// A direct (buffer-bypassing) page read (`read_page_direct`). Counted
+    /// the same as [`TraceEvent::Read`] but replay must not populate the
+    /// buffer, so the two are distinguished in the event stream.
+    ReadDirect(PageId),
+    /// A page write (`write_new_page`) of the given fresh page. Trace-mode
+    /// replay charges the counter only — the page itself was already written
+    /// physically during tracing. Result-cache replay allocates a *new*
+    /// page per event and maps old→new ids.
+    Write(PageId),
+    /// A page free (`free_page`). Freeing counts no I/O, but it evicts the
+    /// page from the buffer, so a faithful replay must reproduce it.
+    Free(PageId),
     /// A marker (e.g. "first use of cached subquery `key`"); replay hooks
     /// splice in a captured sub-trace at the first occurrence.
     Marker(usize),
@@ -85,6 +94,14 @@ struct StorageInner {
     /// Present when the backend is the durable file store (commit,
     /// checkpoint, and fault-injection APIs hang off it).
     durable: Option<Arc<FileStore>>,
+    /// When set, every *counted* I/O on this handle (and its clones) is
+    /// also appended to `record_sink`. The result cache uses this to
+    /// capture the exact page-access sequence of a temp materialization;
+    /// a later cache hit replays the sequence so the counted I/O and
+    /// buffer evolution are identical to a re-execution. One relaxed
+    /// atomic load per I/O when off.
+    recording: std::sync::atomic::AtomicBool,
+    record_sink: Mutex<Vec<TraceEvent>>,
 }
 
 /// Facade over the simulated disk and buffer pool.
@@ -111,6 +128,8 @@ impl Storage {
                 page_size,
                 mode: IoMode::Counted,
                 durable: None,
+                recording: std::sync::atomic::AtomicBool::new(false),
+                record_sink: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -147,6 +166,8 @@ impl Storage {
                 page_size,
                 mode: IoMode::Counted,
                 durable: Some(store),
+                recording: std::sync::atomic::AtomicBool::new(false),
+                record_sink: Mutex::new(Vec::new()),
             }),
         };
         Ok((storage, report))
@@ -187,6 +208,8 @@ impl Storage {
                 page_size: self.inner.page_size,
                 mode: IoMode::Trace(sink),
                 durable: self.inner.durable.clone(),
+                recording: std::sync::atomic::AtomicBool::new(false),
+                record_sink: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -213,6 +236,29 @@ impl Storage {
     /// uncounted during tracing.
     pub fn charge_write(&self) {
         self.inner.disk.charge_write();
+    }
+
+    /// Start mirroring every counted I/O on this handle into an internal
+    /// event sink (see [`Storage::take_recording`]). Recording is a pure
+    /// side channel: it never touches the I/O counters or the buffer.
+    pub fn start_recording(&self) {
+        self.inner.record_sink.lock().unwrap_or_else(PoisonError::into_inner).clear();
+        self.inner.recording.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Stop recording and return the captured counted-I/O event sequence.
+    pub fn take_recording(&self) -> Vec<TraceEvent> {
+        self.inner.recording.store(false, std::sync::atomic::Ordering::Release);
+        std::mem::take(
+            &mut *self.inner.record_sink.lock().unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    #[inline]
+    fn record(&self, ev: TraceEvent) {
+        if self.inner.recording.load(std::sync::atomic::Ordering::Acquire) {
+            self.inner.record_sink.lock().unwrap_or_else(PoisonError::into_inner).push(ev);
+        }
     }
 
     /// The page size in bytes.
@@ -268,7 +314,10 @@ impl Storage {
     /// Read a page through the buffer pool.
     pub fn read_page(&self, id: PageId) -> Arc<Page> {
         match &self.inner.mode {
-            IoMode::Counted => self.buffer().get(id),
+            IoMode::Counted => {
+                self.record(TraceEvent::Read(id));
+                self.buffer().get(id)
+            }
             IoMode::Trace(_) => {
                 self.trace(TraceEvent::Read(id));
                 self.inner.disk.read_uncounted(id)
@@ -281,12 +330,23 @@ impl Storage {
     /// analytical model exactly.
     pub fn read_page_direct(&self, id: PageId) -> Arc<Page> {
         match &self.inner.mode {
-            IoMode::Counted => self.inner.disk.read(id),
+            IoMode::Counted => {
+                self.record(TraceEvent::ReadDirect(id));
+                self.inner.disk.read(id)
+            }
             IoMode::Trace(_) => {
-                self.trace(TraceEvent::Read(id));
+                self.trace(TraceEvent::ReadDirect(id));
                 self.inner.disk.read_uncounted(id)
             }
         }
+    }
+
+    /// Read a page's tuples without counting, without touching the buffer,
+    /// and without recording. This is a side channel for observability and
+    /// result-cache publication (capturing a freshly materialized temp's
+    /// contents); it must never be used on a query-execution path.
+    pub fn read_page_tuples_uncounted(&self, id: PageId) -> Vec<Tuple> {
+        self.inner.disk.read_uncounted(id).tuples().to_vec()
     }
 
     /// Allocate and write a fresh page directly to disk (write-around:
@@ -294,12 +354,15 @@ impl Storage {
     pub fn write_new_page(&self, tuples: Vec<Tuple>) -> PageId {
         let id = self.inner.disk.alloc();
         match &self.inner.mode {
-            IoMode::Counted => self.inner.disk.write(id, Page::new(tuples)),
+            IoMode::Counted => {
+                self.record(TraceEvent::Write(id));
+                self.inner.disk.write(id, Page::new(tuples))
+            }
             IoMode::Trace(_) => {
                 // Physical write so later scans can see the page; the I/O
                 // charge happens at replay via `charge_write`.
                 self.inner.disk.write_uncounted(id, Page::new(tuples));
-                self.trace(TraceEvent::Write);
+                self.trace(TraceEvent::Write(id));
             }
         }
         id
@@ -333,8 +396,14 @@ impl Storage {
         self.buffer().evict_if_unpinned(id)
     }
 
-    /// Free a page (drops it from the buffer too). Freeing counts no I/O.
+    /// Free a page (drops it from the buffer too). Freeing counts no I/O,
+    /// but it is recorded/traced: dropping a page from the buffer frees a
+    /// frame, so a faithful replay must reproduce it.
     pub fn free_page(&self, id: PageId) {
+        match &self.inner.mode {
+            IoMode::Counted => self.record(TraceEvent::Free(id)),
+            IoMode::Trace(_) => self.trace(TraceEvent::Free(id)),
+        }
         self.buffer().evict(id);
         self.inner.disk.free(id);
     }
@@ -502,7 +571,7 @@ mod tests {
         let events = sink.lock().unwrap().clone();
         let mut expect: Vec<TraceEvent> =
             file.page_ids().iter().map(|&id| TraceEvent::Read(id)).collect();
-        expect.push(TraceEvent::Write);
+        expect.push(TraceEvent::Write(new_id));
         expect.push(TraceEvent::Marker(7));
         assert_eq!(events, expect);
 
@@ -543,11 +612,56 @@ mod tests {
                 TraceEvent::Read(id) => {
                     let _ = st.read_page(*id);
                 }
-                TraceEvent::Write => st.charge_write(),
+                TraceEvent::ReadDirect(id) => {
+                    let _ = st.read_page_direct(*id);
+                }
+                TraceEvent::Write(_) => st.charge_write(),
+                TraceEvent::Free(id) => {
+                    let _ = st.evict_page(*id);
+                }
                 TraceEvent::Marker(_) => {}
             }
         }
         assert_eq!(st.io_stats(), want);
+    }
+
+    #[test]
+    fn counted_recording_mirrors_io_without_perturbing_it() {
+        let st = Storage::new(3, 512);
+        let rel = int_relation(60);
+        let f = st.store_relation(&rel);
+        st.clear_buffer();
+        st.reset_stats();
+
+        // Recorded run: scan, write a page, free it, direct-read a page.
+        st.start_recording();
+        for &id in f.page_ids() {
+            let _ = st.read_page(id);
+        }
+        let tmp = st.write_new_page(vec![Tuple::new(vec![Value::Int(1)])]);
+        let _ = st.read_page_direct(f.page_ids()[0]);
+        st.free_page(tmp);
+        let recorded = st.take_recording();
+        let want = st.io_stats();
+
+        let mut expect: Vec<TraceEvent> =
+            f.page_ids().iter().map(|&id| TraceEvent::Read(id)).collect();
+        expect.push(TraceEvent::Write(tmp));
+        expect.push(TraceEvent::ReadDirect(f.page_ids()[0]));
+        expect.push(TraceEvent::Free(tmp));
+        assert_eq!(recorded, expect);
+
+        // An identical unrecorded run counts exactly the same.
+        st.clear_buffer();
+        st.reset_stats();
+        for &id in f.page_ids() {
+            let _ = st.read_page(id);
+        }
+        let tmp2 = st.write_new_page(vec![Tuple::new(vec![Value::Int(1)])]);
+        let _ = st.read_page_direct(f.page_ids()[0]);
+        st.free_page(tmp2);
+        assert_eq!(st.io_stats(), want, "recording must not change counted I/O");
+        assert!(st.take_recording().is_empty(), "recording was off for the second run");
     }
 
     #[test]

@@ -21,7 +21,12 @@
 # worker threads per cell); counted page I/Os are byte-identical between
 # the modes by construction (see DESIGN.md "Vectorized execution"), so
 # the medians isolate kernel speedup. Acceptance reads the threads=1
-# medians of the vec-ni-type-J and vec-hash-join groups.
+# medians of the vec-ni-type-J and vec-hash-join groups. BENCH_pr8.json
+# holds the result-cache sweep (cache=off vs primed cache=on per cell);
+# counted page I/Os are byte-identical between the cells by construction
+# (an exact hit recharges the recorded page events; see DESIGN.md "Result
+# caching"), so the medians isolate the evaluation work a hit avoids.
+# Acceptance reads the cache-ni-type-J and cache-ni-type-JA-count groups.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +39,9 @@ elif [ "${1:-}" = "obs" ]; then
     shift
 elif [ "${1:-}" = "vec" ]; then
     mode=vec
+    shift
+elif [ "${1:-}" = "cache" ]; then
+    mode=cache
     shift
 fi
 label=${1:-current}
@@ -52,6 +60,10 @@ elif [ "$mode" = "vec" ]; then
     out=BENCH_pr7.json
     echo "==> cargo bench -p nsql-bench --bench vec_sweep  (host: $(nproc) CPU(s))"
     NSQL_BENCH_JSON="$tmp" cargo bench -p nsql-bench --bench vec_sweep --offline
+elif [ "$mode" = "cache" ]; then
+    out=BENCH_pr8.json
+    echo "==> cargo bench -p nsql-bench --bench cache_warm  (host: $(nproc) CPU(s))"
+    NSQL_BENCH_JSON="$tmp" cargo bench -p nsql-bench --bench cache_warm --offline
 else
     out=BENCH_pr2.json
     for bench in nested_vs_transformed ja2_variants; do
@@ -63,7 +75,7 @@ fi
 # Tag each JSON line with the run label (and, for sweeps, the host CPU
 # count — medians at >1 thread only improve when the host has >1 CPU) and
 # append to the committed file.
-if [ "$mode" = "sweep" ] || [ "$mode" = "vec" ]; then
+if [ "$mode" = "sweep" ] || [ "$mode" = "vec" ] || [ "$mode" = "cache" ]; then
     sed "s/^{/{\"label\":\"$label\",\"ncpu\":$(nproc),/" "$tmp" >> "$out"
 else
     sed "s/^{/{\"label\":\"$label\",/" "$tmp" >> "$out"

@@ -65,6 +65,20 @@ for bin in figure1 figure2 section7 ablation extensions sweep; do
         || { echo "FAIL: $bin output differs between exec modes"; exit 1; }
 done
 
+echo "==> figure/table binaries are byte-identical cache-on vs cache-off"
+# Exact-hit caching recharges the recorded page-event sequence instead of
+# skipping it, so enabling the cache must not move a single counted I/O or
+# row anywhere in the figures. The `bugs` binary is exempt for the same
+# reason as the exec-mode loop: its EXPLAIN output intentionally gains
+# "cache: ..." lines.
+for bin in figure1 figure2 section7 ablation extensions sweep; do
+    NSQL_CACHE=on NSQL_THREADS=1 \
+        cargo run --release --offline -q -p nsql-bench --bin "$bin" \
+        > "$tmp1/$bin.cache.out"
+    diff -q "$tmp1/$bin.t1.out" "$tmp1/$bin.cache.out" \
+        || { echo "FAIL: $bin output differs with the result cache enabled"; exit 1; }
+done
+
 echo "==> vectorized-equivalence property on both storage backends"
 cargo test -q --offline -p nsql-bench --test vec_prop
 NSQL_DURABILITY=file cargo test -q --offline -p nsql-bench --test vec_prop >/dev/null
@@ -83,6 +97,7 @@ if grep -rnE '(println|eprintln|print|eprint|dbg)!' \
     crates/types/src crates/obs/src crates/sql/src crates/storage/src \
     crates/index/src crates/exec-par/src crates/engine/src crates/vec/src \
     crates/analyzer/src crates/core/src crates/db/src crates/oracle/src \
+    crates/cache/src \
     src/lib.rs \
     --include='*.rs' | grep -vE ':[0-9]+:\s*(//|///|//!)'; then
     echo "FAIL: stdout/stderr printing in a query-processing library crate"
@@ -102,7 +117,7 @@ echo "==> testkit is warnings-clean across all targets"
 RUSTFLAGS="-D warnings" cargo check -p nsql-testkit --all-targets --offline
 
 echo "==> hot-path crates carry no redundant clones (clippy)"
-cargo clippy -p nsql-engine -p nsql-storage -p nsql-index -p nsql-vec \
+cargo clippy -p nsql-engine -p nsql-storage -p nsql-index -p nsql-vec -p nsql-cache \
     --all-targets --offline -- -D clippy::redundant_clone
 
 echo "==> bench smoke (3 samples per bench, results discarded)"
@@ -114,5 +129,7 @@ NSQL_BENCH_SAMPLES=3 \
     cargo bench -p nsql-bench --offline --bench par_sweep >/dev/null
 NSQL_BENCH_SAMPLES=1 \
     cargo bench -p nsql-bench --offline --bench vec_sweep >/dev/null
+NSQL_BENCH_SAMPLES=1 \
+    cargo bench -p nsql-bench --offline --bench cache_warm >/dev/null
 
 echo "verify: OK"

@@ -27,7 +27,8 @@
 //! then the query is structurally simplified.
 
 use nsql_db::{
-    Database, DuplicateSemantics, ExecMode, IndexUse, JoinPolicy, QueryOptions, Strategy,
+    CacheMode, Database, DuplicateSemantics, ExecMode, IndexUse, JoinPolicy, QueryOptions,
+    Strategy,
 };
 use nsql_engine::EngineError;
 use nsql_oracle::{Notes, Oracle, OracleError};
@@ -910,6 +911,200 @@ pub fn check_case(case: &DiffCase) -> CaseOutcome {
     CaseOutcome::Agree(report)
 }
 
+// ------------------------------------------- the cache-transparency checker
+
+/// Cache transparency under interleaved DML: every generated query runs on
+/// a cache-off database and (twice — once to populate, once to hit) on a
+/// cache-on database, with deterministic random INSERTs into every table
+/// between rounds. The cache-on runs must be **bit-identical** to the
+/// cache-off run in both rows and counted page I/O, and the cache-off run
+/// must agree with the oracle under the standard license policy — so a
+/// stale cache entry surviving the inserts shows up as a three-way
+/// divergence, not a silent wrong answer.
+pub fn check_cache_dml_case(case: &DiffCase) -> CaseOutcome {
+    let sql = nsql_sql::print_query(&case.query);
+    let mut tables: Vec<(String, Relation)> = case.tables.clone();
+
+    let mut db_off = Database::with_storage(8, 256);
+    let mut db_on = Database::with_storage(8, 256);
+    for (name, rel) in &tables {
+        for db in [&mut db_off, &mut db_on] {
+            db.catalog_mut().load_table(name, rel).expect("unique generated table names");
+            db.catalog_mut().create_index(name, "K").expect("K column exists");
+        }
+    }
+    if nsql_analyzer::validate_query(db_off.catalog(), &case.query).is_err() {
+        return CaseOutcome::Agree(Vec::new());
+    }
+    let agg_or_exists = has_agg_or_exists_subquery(&case.query);
+    let any_aggregate = has_any_aggregate(&case.query);
+
+    // The DML stream is seeded from the query text (FNV-1a), so a replayed
+    // or shrunk case interleaves exactly the same inserts.
+    let mut seed = 0xcbf29ce484222325u64;
+    for b in sql.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x100000001b3);
+    }
+    let mut rng = Rng::from_seed(seed);
+
+    let base = |strategy: Strategy| QueryOptions {
+        strategy,
+        cold_start: true,
+        threads: 1,
+        exec_mode: ExecMode::Row,
+        ..Default::default()
+    };
+    let variants = [
+        ("ni-cache", base(Strategy::NestedIteration), false),
+        ("tr-cache", base(Strategy::Transform), true),
+    ];
+
+    let mut report = Vec::new();
+    for round in 0..2 {
+        if round > 0 {
+            // Interleaved DML: one or two fresh rows into every table, the
+            // same rows on both databases and in the oracle's image. Every
+            // cache entry touching these tables must now miss.
+            for (name, rel) in &mut tables {
+                let n = rng.gen_range(1usize..3);
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(Tuple::new(
+                        rel.schema().columns().iter().map(|c| gen_value(&mut rng, c.ty)).collect(),
+                    ));
+                }
+                db_off.catalog_mut().insert(name, rows.clone()).expect("insert into off db");
+                db_on.catalog_mut().insert(name, rows.clone()).expect("insert into on db");
+                let mut tuples = rel.tuples().to_vec();
+                tuples.extend(rows);
+                *rel = Relation::new(rel.schema().clone(), tuples).expect("same schema");
+            }
+        }
+        let mut oracle = Oracle::new();
+        for (name, rel) in &tables {
+            oracle.load(name.clone(), rel.clone());
+        }
+        let (oracle_rel, notes, oracle_card) = match oracle.eval_noted(&case.query) {
+            Ok((rel, notes)) => (Some(rel), notes, None),
+            Err(OracleError::ScalarSubqueryCardinality(n)) => (None, Notes::default(), Some(n)),
+            Err(_) => return CaseOutcome::Agree(Vec::new()),
+        };
+
+        for (name, opts, is_transform) in &variants {
+            let off_opts = QueryOptions { cache: CacheMode::Off, ..opts.clone() };
+            let on_opts = QueryOptions { cache: CacheMode::On, ..opts.clone() };
+            let off = db_off.run_query(&case.query, &off_opts);
+            // First cache-on run populates (miss), second one answers from
+            // the cache (hit) — both must be indistinguishable from off.
+            for label in ["populate", "hit"] {
+                let on = db_on.run_query(&case.query, &on_opts);
+                match (&off, &on) {
+                    (Ok(a), Ok(b)) => {
+                        if !a.relation.same_bag(&b.relation) {
+                            return CaseOutcome::Diverge(format!(
+                                "[{name}] round {round} ({label}): cache-on rows diverge \
+                                 from cache-off\n{sql}\noff:\n{}\non:\n{}\nexplain: {:#?}\n\
+                                 case:\n{case:?}",
+                                a.relation, b.relation, b.explain,
+                            ));
+                        }
+                        if (a.io.reads, a.io.writes) != (b.io.reads, b.io.writes) {
+                            return CaseOutcome::Diverge(format!(
+                                "[{name}] round {round} ({label}): cache-on I/O {:?} diverges \
+                                 from cache-off {:?}\n{sql}\nexplain: {:#?}\ncase:\n{case:?}",
+                                (b.io.reads, b.io.writes),
+                                (a.io.reads, a.io.writes),
+                                b.explain,
+                            ));
+                        }
+                    }
+                    (Err(a), Err(b)) if a.to_string() == b.to_string() => {}
+                    (a, b) => {
+                        return CaseOutcome::Diverge(format!(
+                            "[{name}] round {round} ({label}): cache-off returned {a:?} but \
+                             cache-on returned {b:?}\n{sql}\ncase:\n{case:?}",
+                        ));
+                    }
+                }
+            }
+
+            // Oracle gate on the cache-off run, under the standard license
+            // policy (see `check_case`).
+            if let Some(n) = oracle_card {
+                if *is_transform {
+                    report.push((*name, SKIP));
+                    continue;
+                }
+                match &off {
+                    Err(nsql_db::DbError::Engine(EngineError::ScalarSubqueryCardinality(m)))
+                        if *m == n =>
+                    {
+                        report.push((*name, COMPARED));
+                    }
+                    other => {
+                        return CaseOutcome::Diverge(format!(
+                            "[{name}] round {round}: oracle raised \
+                             ScalarSubqueryCardinality({n}) but the pipeline returned \
+                             {other:?}\n{sql}\ncase:\n{case:?}",
+                        ))
+                    }
+                }
+                continue;
+            }
+            let oracle_rel = oracle_rel.as_ref().expect("no cardinality error");
+            if *is_transform
+                && (notes.all_over_empty_or_null
+                    || (notes.null_outer_ref && agg_or_exists)
+                    || (notes.dup_in_match && any_aggregate))
+            {
+                report.push((*name, SKIP));
+                continue;
+            }
+            match &off {
+                Err(nsql_db::DbError::Transform(_))
+                | Err(nsql_db::DbError::Engine(EngineError::Unsupported(_)))
+                | Err(nsql_db::DbError::Engine(EngineError::Type(_)))
+                | Err(nsql_db::DbError::Type(_))
+                    if *is_transform =>
+                {
+                    report.push((*name, SKIP))
+                }
+                Err(e) => {
+                    return CaseOutcome::Diverge(format!(
+                        "[{name}] round {round}: oracle succeeded but the pipeline errored: \
+                         {e}\n{sql}\noracle:\n{oracle_rel}\ncase:\n{case:?}",
+                    ))
+                }
+                Ok(out) => {
+                    let agree = if *is_transform && notes.dup_in_match {
+                        out.relation.same_set(oracle_rel)
+                    } else {
+                        out.relation.same_bag(oracle_rel)
+                    };
+                    if !agree {
+                        return CaseOutcome::Diverge(format!(
+                            "[{name}] round {round}: disagreement with the oracle\n{sql}\n\
+                             oracle:\n{oracle_rel}\npipeline:\n{}\nnotes: {notes:?}\n\
+                             case:\n{case:?}",
+                            out.relation,
+                        ));
+                    }
+                    report.push((*name, COMPARED));
+                }
+            }
+        }
+    }
+    CaseOutcome::Agree(report)
+}
+
+/// Run `cases` random DML-interleaved cache-transparency cases (see
+/// [`check_cache_dml_case`]) under the property runner. Returns
+/// per-pipeline comparison totals.
+pub fn run_cache_dml_property(name: &str, cases: u32) -> Vec<PipelineStats> {
+    run_property_with(name, cases, check_cache_dml_case)
+}
+
 // ------------------------------------------------------------- the runner
 
 /// Comparison totals for one pipeline across a sweep.
@@ -928,11 +1123,22 @@ pub struct PipelineStats {
 /// (replayable seeds, greedy shrinking); panic with a shrunk counterexample
 /// on the first divergence. Returns per-pipeline comparison totals.
 pub fn run_diff_property(name: &str, cases: u32) -> Vec<PipelineStats> {
+    run_property_with(name, cases, check_case)
+}
+
+/// Shared property-runner plumbing for [`run_diff_property`] and
+/// [`run_cache_dml_property`]: generate, check, aggregate per-pipeline
+/// totals, panic with the shrunk counterexample on divergence.
+fn run_property_with(
+    name: &str,
+    cases: u32,
+    check: impl Fn(&DiffCase) -> CaseOutcome,
+) -> Vec<PipelineStats> {
     use std::cell::RefCell;
     let stats: RefCell<Vec<PipelineStats>> = RefCell::new(Vec::new());
     let cfg = nsql_testkit::Config::cases(cases);
     let failure = nsql_testkit::run_property(&cfg, name, gen_case, |case| {
-        match check_case(case) {
+        match check(case) {
             CaseOutcome::Agree(report) => {
                 let mut stats = stats.borrow_mut();
                 for (pname, compared) in report {

@@ -15,7 +15,7 @@
 //! counterexample (rows removed first, then the query simplified). Override
 //! the case count with `NSQL_TEST_CASES`.
 
-use nested_query_opt::diff::run_diff_property;
+use nested_query_opt::diff::{run_cache_dml_property, run_diff_property};
 
 /// The headline property: ≥600 generated query/database pairs, every
 /// pipeline, zero divergences. Nested iteration is never skipped; the
@@ -69,5 +69,32 @@ fn every_pipeline_agrees_with_the_oracle() {
             stats.iter().any(|s| s.name == v && s.compared + s.skipped > 0),
             "vectorized pipeline {v} missing from the sweep"
         );
+    }
+}
+
+/// Cache transparency under interleaved DML: every generated query runs
+/// cache-off once and cache-on twice (populate, then hit) on both
+/// strategies, with random INSERTs into every table between rounds. The
+/// cache-on runs must be bit-identical to cache-off in rows *and* counted
+/// page I/O, and cache-off must agree with the oracle — a stale entry
+/// surviving the inserts fails three ways at once.
+#[test]
+fn cache_is_transparent_under_interleaved_dml() {
+    let stats = run_cache_dml_property("cache_is_transparent_under_interleaved_dml", 600);
+    assert!(!stats.is_empty(), "sweep must have produced comparisons");
+    for v in ["ni-cache", "tr-cache"] {
+        let s = stats
+            .iter()
+            .find(|s| s.name == v)
+            .unwrap_or_else(|| panic!("cache pipeline {v} missing from the sweep"));
+        let total = s.compared + s.skipped;
+        eprintln!("pipeline {:>14}: {} compared, {} skipped ({} pairs)", s.name, s.compared, s.skipped, total);
+        if total >= 100 {
+            assert!(
+                s.compared * 2 > total,
+                "[{v}] licenses/refusals swallowed most cases: {} of {total} compared",
+                s.compared
+            );
+        }
     }
 }
