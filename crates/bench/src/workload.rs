@@ -175,6 +175,50 @@ pub fn n_workload(spec: WorkloadSpec, seed: u64) -> Workload {
     ja_workload(spec, seed)
 }
 
+/// A duplicate-heavy variant of [`ja_workload`]: `PARTS.PNUM` cycles
+/// through only `distinct_outer` values instead of being unique, and every
+/// `SUPPLY.PNUM` is drawn from that same small domain, so the correlation
+/// column carries massive duplication. This is the regime where batched
+/// correlated evaluation shines — sort/dedup collapses `f(i)·Ni` outer
+/// bindings to `distinct_outer` inner evaluations — and where the
+/// NEST-JA2/merge-join transform pays full-relation sorts for a handful of
+/// distinct groups. Same determinism contract as [`ja_workload`]: a pure
+/// function of `(spec, seed, distinct_outer)`.
+pub fn dup_workload(spec: WorkloadSpec, seed: u64, distinct_outer: usize) -> Workload {
+    let mut rng = Rng::from_seed(seed);
+    let (parts_schema, supply_schema) = schemas();
+    let grp_mod = (1.0 / spec.outer_selectivity).round().max(1.0) as i64;
+    let wide = (spec.inner_tuples as i64 * 20).max(1000);
+    let domain = distinct_outer.max(1) as i64;
+
+    let mut parts = Relation::empty(parts_schema);
+    for i in 0..spec.outer_tuples {
+        parts
+            .push(Tuple::new(vec![
+                Value::Int(i as i64 % domain),
+                Value::Int(rng.gen_range(0..6)),
+                Value::Int(i as i64 % grp_mod),
+                Value::Int(rng.gen_range(0..wide)),
+            ]))
+            .unwrap();
+    }
+    let mut supply = Relation::empty(supply_schema);
+    for _ in 0..spec.inner_tuples {
+        supply
+            .push(Tuple::new(vec![
+                Value::Int(rng.gen_range(0..domain)),
+                Value::Int(rng.gen_range(0..20)),
+                Value::Int(rng.gen_range(0..100)),
+                Value::Int(rng.gen_range(0..wide)),
+            ]))
+            .unwrap();
+    }
+    let mut db = Database::with_storage(spec.buffer_pages, spec.page_size);
+    db.catalog_mut().load_table("PARTS", &parts).expect("fresh catalog");
+    db.catalog_mut().load_table("SUPPLY", &supply).expect("fresh catalog");
+    Workload { db, spec }
+}
+
 /// The benchmark queries, one per nesting type (`GRP = 0` is the outer
 /// simple predicate giving `f(i)`).
 pub mod queries {
@@ -186,6 +230,13 @@ pub mod queries {
 
     /// Type-J: correlated membership.
     pub const TYPE_J: &str = "SELECT PNUM FROM PARTS WHERE GRP = 0 AND QOH IN \
+        (SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)";
+
+    /// Type-J with NOT IN — *outside* the transformable class (the NEST-*
+    /// rewrites have no sound join form for anti-membership under NULLs),
+    /// so the transform refuses it and the pre-batched status quo is
+    /// nested iteration.
+    pub const TYPE_J_NOT_IN: &str = "SELECT PNUM FROM PARTS WHERE GRP = 0 AND QOH NOT IN \
         (SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)";
 
     /// Type-JA: correlated aggregate (the Q2 shape, COUNT variant).

@@ -14,12 +14,40 @@
 //! total is 558. See `EXPERIMENTS.md` (E2).
 
 /// Sort cost: `2·P·log_{B-1}(P)`, 0 for relations of at most one page.
+///
+/// The `pages <= 1` guard is written as `!(pages > 1.0)` so a NaN page
+/// estimate (degenerate statistics) also short-circuits to 0 instead of
+/// propagating NaN into a strategy comparison.
 pub fn sort_cost(pages: f64, buffer: f64) -> f64 {
-    if pages <= 1.0 {
+    if !(pages > 1.0) {
         return 0.0;
     }
     let base = (buffer - 1.0).max(2.0);
     2.0 * pages * pages.log(base)
+}
+
+/// `a / b` with degenerate denominators guarded: a zero-row or zero-page
+/// statistic yields 0 instead of `inf`/NaN, so downstream comparisons stay
+/// well-ordered.
+pub fn safe_div(a: f64, b: f64) -> f64 {
+    if b > 0.0 && a.is_finite() {
+        a / b
+    } else {
+        0.0
+    }
+}
+
+/// Clamp a predicted cost into the comparable range: NaN and negative
+/// estimates (both only reachable from degenerate statistics) become
+/// `+inf`, so they can never *win* a `<` comparison by accident — NaN
+/// compares false against everything, which would otherwise silently keep
+/// whichever plan happened to be the running minimum.
+pub fn sanitize_cost(c: f64) -> f64 {
+    if c.is_nan() || c < 0.0 {
+        f64::INFINITY
+    } else {
+        c
+    }
 }
 
 /// Join method at one of the two NEST-JA2 joins.
@@ -176,6 +204,102 @@ pub fn transformed_merge_join_cost(pi: f64, pj: f64, b: f64) -> f64 {
     sort_cost(pi, b) + sort_cost(pj, b) + pi + pj
 }
 
+// --------------------------------------------- batched correlated evaluation
+
+/// Parameters for the batched-evaluation cost formula
+/// ([`batched_cost`]) — the Guravannavar-style third strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchedParams {
+    /// Pages of the outer relation `Ri`.
+    pub pi: f64,
+    /// Pages of the materialized binding temporary (the correlation
+    /// columns of the qualifying outer tuples, before dedup).
+    pub p_bind: f64,
+    /// Distinct correlation bindings `d` (≤ `fi·Ni`).
+    pub d: f64,
+    /// Pages of the inner relation `Rj`.
+    pub pj: f64,
+    /// Buffer pages `B`.
+    pub b: f64,
+}
+
+/// Page-I/O cost of batched correlated evaluation: scan `Ri` once, write
+/// the binding temporary, sort/dedup it with the (B−1)-way external sort,
+/// read the sorted bindings back, then evaluate the inner block once per
+/// *distinct* binding — `Rj` is rescanned per binding unless it fits in
+/// the buffer, exactly the cliff [`nested_iteration_cost_j`] models, but
+/// with `d` in place of `fi·Ni`. On duplicate-heavy outers `d ≪ fi·Ni`
+/// and the sort pays for itself.
+pub fn batched_cost(p: &BatchedParams) -> f64 {
+    let inner = if p.pj <= p.b - 1.0 { p.pj } else { p.d * p.pj };
+    sanitize_cost(p.pi + 2.0 * p.p_bind + sort_cost(p.p_bind, p.b) + inner)
+}
+
+/// The three executable strategies the planner compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// System R nested iteration.
+    NestedIteration,
+    /// Full decorrelation (NEST-G transformation, then the flat plan).
+    Transform,
+    /// Batched correlated evaluation over sorted/deduped bindings.
+    Batched,
+}
+
+impl StrategyKind {
+    /// Display name used in EXPLAIN output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::NestedIteration => "nested-iteration",
+            StrategyKind::Transform => "transform",
+            StrategyKind::Batched => "batched",
+        }
+    }
+}
+
+/// Predicted page-I/O cost of each executable strategy on one correlated
+/// query, all three [`sanitize_cost`]-guarded so NaN can never mis-rank.
+#[derive(Debug, Clone, Copy)]
+pub struct StrategyCosts {
+    /// Worst-case nested iteration ([`nested_iteration_cost_j`]).
+    pub nested_iteration: f64,
+    /// Cheapest NEST-JA2 method combination ([`ja2_cost`]), or the
+    /// merge-join canonical cost for non-JA shapes.
+    pub transform: f64,
+    /// Batched correlated evaluation ([`batched_cost`]).
+    pub batched: f64,
+}
+
+impl StrategyCosts {
+    /// The planner's pick: strict argmin over the sanitized costs. Ties
+    /// break in a pinned order — **transform ≺ batched ≺ nested
+    /// iteration** — so equal predictions keep the paper's headline
+    /// strategy and plans stay deterministic across platforms.
+    pub fn pick(&self) -> StrategyKind {
+        let ranked = [
+            (StrategyKind::Transform, sanitize_cost(self.transform)),
+            (StrategyKind::Batched, sanitize_cost(self.batched)),
+            (StrategyKind::NestedIteration, sanitize_cost(self.nested_iteration)),
+        ];
+        let mut best = ranked[0];
+        for cand in &ranked[1..] {
+            if cand.1 < best.1 {
+                best = *cand;
+            }
+        }
+        best.0
+    }
+
+    /// Cost of one strategy, sanitized.
+    pub fn of(&self, kind: StrategyKind) -> f64 {
+        sanitize_cost(match kind {
+            StrategyKind::NestedIteration => self.nested_iteration,
+            StrategyKind::Transform => self.transform,
+            StrategyKind::Batched => self.batched,
+        })
+    }
+}
+
 // ------------------------------------------------------- index access paths
 //
 // The 1987 model prices only scans and sorts because its System R substrate
@@ -313,6 +437,90 @@ mod tests {
         assert_eq!(index_restrict_cost(2.0, 100.0, 1.0), 102.0);
         // Never less than one leaf even for vanishing selectivity.
         assert_eq!(index_restrict_cost(3.0, 50.0, 0.0), 4.0);
+    }
+
+    #[test]
+    fn degenerate_statistics_never_produce_nan_or_inf() {
+        // Zero-row / zero-page statistics (empty tables, empty temps) and
+        // NaN estimates must stay finite through every formula a strategy
+        // comparison consumes.
+        assert_eq!(sort_cost(0.0, 6.0), 0.0);
+        assert_eq!(sort_cost(f64::NAN, 6.0), 0.0);
+        assert_eq!(sort_cost(5.0, f64::NAN), 2.0 * 5.0 * 5.0_f64.log(2.0));
+        assert_eq!(safe_div(10.0, 0.0), 0.0);
+        assert_eq!(safe_div(f64::NAN, 5.0), 0.0);
+        assert_eq!(safe_div(10.0, f64::NAN), 0.0);
+        let p = Ja2Params {
+            pi: 0.0,
+            pj: 0.0,
+            pt2: 0.0,
+            nt2: 0.0,
+            pt3: 0.0,
+            pt4: 0.0,
+            pt: 0.0,
+            b: 6.0,
+            fi_ni: 0.0,
+            ri_sorted: false,
+        };
+        for m1 in [JoinMethod::NestedLoop, JoinMethod::MergeJoin] {
+            for m2 in [JoinMethod::NestedLoop, JoinMethod::MergeJoin] {
+                assert!(ja2_cost(&p, m1, m2).total().is_finite());
+            }
+        }
+        assert!(nested_iteration_cost_j(0.0, 0.0, 6.0, 0.0).is_finite());
+        let empty = BatchedParams { pi: 0.0, p_bind: 0.0, d: 0.0, pj: 0.0, b: 6.0 };
+        assert_eq!(batched_cost(&empty), 0.0);
+    }
+
+    #[test]
+    fn nan_costs_are_sanitized_and_never_picked() {
+        assert_eq!(sanitize_cost(f64::NAN), f64::INFINITY);
+        assert_eq!(sanitize_cost(-3.0), f64::INFINITY);
+        assert_eq!(sanitize_cost(7.5), 7.5);
+        // A NaN entry must lose to any finite cost, whatever its position.
+        let c = StrategyCosts { nested_iteration: f64::NAN, transform: f64::NAN, batched: 9.0 };
+        assert_eq!(c.pick(), StrategyKind::Batched);
+        let c = StrategyCosts { nested_iteration: 4.0, transform: f64::NAN, batched: f64::NAN };
+        assert_eq!(c.pick(), StrategyKind::NestedIteration);
+        // All-NaN degenerates to the tie-break head, not to an arbitrary
+        // NaN-comparison artifact.
+        let c = StrategyCosts {
+            nested_iteration: f64::NAN,
+            transform: f64::NAN,
+            batched: f64::NAN,
+        };
+        assert_eq!(c.pick(), StrategyKind::Transform);
+    }
+
+    #[test]
+    fn equal_costs_tie_break_in_pinned_order() {
+        // transform ≺ batched ≺ nested iteration, pairwise and three-way.
+        let c = StrategyCosts { nested_iteration: 10.0, transform: 10.0, batched: 10.0 };
+        assert_eq!(c.pick(), StrategyKind::Transform);
+        let c = StrategyCosts { nested_iteration: 10.0, transform: 20.0, batched: 10.0 };
+        assert_eq!(c.pick(), StrategyKind::Batched);
+        let c = StrategyCosts { nested_iteration: 10.0, transform: 10.0, batched: 20.0 };
+        assert_eq!(c.pick(), StrategyKind::Transform);
+        // Strict improvement still wins over the tie-break order.
+        let c = StrategyCosts { nested_iteration: 5.0, transform: 10.0, batched: 7.0 };
+        assert_eq!(c.pick(), StrategyKind::NestedIteration);
+    }
+
+    #[test]
+    fn batched_wins_on_duplicate_heavy_outers() {
+        // Paper-example scale, but the outer's correlation column has only
+        // 4 distinct values among 100 qualifying tuples: batched pays one
+        // small sort and 4 inner scans where nested iteration pays 100 and
+        // NEST-JA2 pays its temp-building joins.
+        let p = Ja2Params::paper_example();
+        let ni = nested_iteration_cost_j(p.pi, p.pj, p.b, p.fi_ni);
+        let tr = ja2_cost(&p, JoinMethod::MergeJoin, JoinMethod::MergeJoin).total();
+        let bp = BatchedParams { pi: p.pi, p_bind: 2.0, d: 4.0, pj: p.pj, b: p.b };
+        let batched = batched_cost(&bp);
+        let costs =
+            StrategyCosts { nested_iteration: ni, transform: tr, batched };
+        assert!(batched < tr && batched < ni, "batched {batched:.0} vs tr {tr:.0} / ni {ni:.0}");
+        assert_eq!(costs.pick(), StrategyKind::Batched);
     }
 
     #[test]

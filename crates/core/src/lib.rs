@@ -49,12 +49,14 @@ pub mod nest_n_j;
 pub mod pipeline;
 pub mod qualify;
 pub mod rewrites;
+pub mod rules;
 
 pub use error::TransformError;
 pub use logical::{AggItem, JoinPred, LogicalJoinKind, LogicalPlan};
 pub use nest_g::{transform_query, transform_query_traced, JaVariant, UnnestOptions};
 pub use nest_ja2::Ja2Config;
 pub use pipeline::{TempTable, TransformPlan};
+pub use rules::{BlockRule, NestedShape, PlanRule, RuleEngine, RuleFiring};
 
 /// Result alias for transformation.
 pub type Result<T> = std::result::Result<T, TransformError>;

@@ -58,6 +58,12 @@ pub struct UnnestOptions {
     /// IN-merges (modern semijoin semantics; see the NEST-N-J duplicate
     /// caveat in DESIGN.md). The faithful default is off.
     pub preserve_duplicates: bool,
+    /// Run the plan-rule fixpoint engine ([`crate::rules`]) over the
+    /// temporary-table plans (predicate pushdown, projection pruning).
+    /// Off by default: the paper's literal temp shapes — including the
+    /// Section 5.2/5.4 demonstration variants whose *point* is a
+    /// suboptimal shape — are what the default pipeline pins.
+    pub logical_rules: bool,
 }
 
 /// Transform a nested query into a [`TransformPlan`]: temporary-table
@@ -93,11 +99,23 @@ pub fn transform_query_traced<S: SchemaSource>(
         tracer: tracer.clone(),
     };
     ctx.nest_g(&mut q, &[])?;
+    let Ctx { temps: mut out_temps, trace: mut out_trace, merged_in_membership, .. } = ctx;
+    if options.logical_rules {
+        let engine = crate::rules::RuleEngine::standard();
+        for temp in &mut out_temps {
+            let (optimized, firings) = tracer
+                .scope("logical rules", || engine.optimize(temp.plan.clone()));
+            for f in &firings {
+                out_trace.push(format!("rule {} on {}: {}", f.rule, temp.name, f.detail));
+            }
+            temp.plan = optimized;
+        }
+    }
     Ok(TransformPlan {
-        temps: ctx.temps,
+        temps: out_temps,
         canonical: q,
-        trace: ctx.trace,
-        needs_distinct_for_semantics: options.preserve_duplicates && ctx.merged_in_membership,
+        trace: out_trace,
+        needs_distinct_for_semantics: options.preserve_duplicates && merged_in_membership,
     })
 }
 
@@ -285,13 +303,23 @@ impl Ctx {
         // Postorder: flatten the inner block first.
         self.nest_g(&mut inner, chain)?;
 
-        let correlated = block_is_correlated(&inner);
-        let aggregate = inner.has_aggregate_select();
-        let inner_to_merge = match (correlated, aggregate) {
-            (false, false) => {
-                // Type-N.
+        // Classify and dispatch through the block-rule catalog: the rule's
+        // precondition runs before its rewrite, surfacing the same error
+        // the rewrite itself would raise.
+        let shape = crate::rules::NestedShape {
+            correlated: block_is_correlated(&inner),
+            aggregate: inner.has_aggregate_select(),
+        };
+        let rule = crate::rules::select_block_rule(
+            shape,
+            self.options.ja_variant == JaVariant::KimOriginal,
+        );
+        rule.precondition(&inner)?;
+        let inner_to_merge = match rule.action {
+            crate::rules::BlockAction::MergeNJ => {
+                let ty = if shape.correlated { 'J' } else { 'N' };
                 self.trace.push(format!(
-                    "type-N nesting: NEST-N-J merges [{}] into the outer block",
+                    "type-{ty} nesting: NEST-N-J merges [{}] into the outer block",
                     inner.from_names().join(", ")
                 ));
                 if via_membership {
@@ -299,7 +327,7 @@ impl Ctx {
                 }
                 inner
             }
-            (false, true) => {
+            crate::rules::BlockAction::TypeAConstant => {
                 // Type-A: one-row temporary, cross-joined.
                 self.trace.push("type-A nesting: inner block evaluates to a constant; \
                      materialized as a one-row temporary".to_string());
@@ -308,23 +336,12 @@ impl Ctx {
                 self.tracer.end(span);
                 out?
             }
-            (true, false) => {
-                // Type-J.
-                self.trace.push(format!(
-                    "type-J nesting: NEST-N-J merges [{}] into the outer block",
-                    inner.from_names().join(", ")
-                ));
-                if via_membership {
-                    self.merged_in_membership = true;
-                }
-                inner
-            }
-            (true, true) => {
+            crate::rules::BlockAction::NestJa2 => {
                 // Type-JA: reduce to type-J first.
                 let config = match self.options.ja_variant {
                     JaVariant::Ja2 => {
                         self.trace.push("type-JA nesting: applying NEST-JA2".to_string());
-                        Some(Ja2Config::default())
+                        Ja2Config::default()
                     }
                     JaVariant::Ja2NoProjection => {
                         self.trace.push(
@@ -332,7 +349,7 @@ impl Ctx {
                              (Section 5.4 demonstration variant)"
                                 .to_string(),
                         );
-                        Some(Ja2Config { project_outer: false, ..Ja2Config::default() })
+                        Ja2Config { project_outer: false, ..Ja2Config::default() }
                     }
                     JaVariant::Ja2LateRestriction => {
                         self.trace.push(
@@ -340,37 +357,33 @@ impl Ctx {
                              the join (Section 5.2 demonstration variant)"
                                 .to_string(),
                         );
-                        Some(Ja2Config { restrict_before_join: false, ..Ja2Config::default() })
+                        Ja2Config { restrict_before_join: false, ..Ja2Config::default() }
                     }
                     JaVariant::KimOriginal => {
-                        self.trace
-                            .push("type-JA nesting: applying Kim's NEST-JA (buggy baseline)".to_string());
-                        None
+                        unreachable!("the rule catalog routes KimOriginal to NestJaKim")
                     }
                 };
-                match config {
-                    Some(config) => {
-                        let span = self.tracer.begin("NEST-JA2");
-                        let out = apply_ja2(
-                            &inner,
-                            chain,
-                            &mut self.namer,
-                            &mut self.temps,
-                            &mut self.trace,
-                            config,
-                            &self.tracer,
-                        );
-                        self.tracer.end(span);
-                        out?
-                    }
-                    None => {
-                        let span = self.tracer.begin("NEST-JA (Kim)");
-                        let out =
-                            apply_ja_kim(&inner, &mut self.namer, &mut self.temps, &mut self.trace);
-                        self.tracer.end(span);
-                        out?
-                    }
-                }
+                let span = self.tracer.begin("NEST-JA2");
+                let out = apply_ja2(
+                    &inner,
+                    chain,
+                    &mut self.namer,
+                    &mut self.temps,
+                    &mut self.trace,
+                    config,
+                    &self.tracer,
+                );
+                self.tracer.end(span);
+                out?
+            }
+            crate::rules::BlockAction::NestJaKim => {
+                self.trace
+                    .push("type-JA nesting: applying Kim's NEST-JA (buggy baseline)".to_string());
+                let span = self.tracer.begin("NEST-JA (Kim)");
+                let out =
+                    apply_ja_kim(&inner, &mut self.namer, &mut self.temps, &mut self.trace);
+                self.tracer.end(span);
+                out?
             }
         };
         let merge_span = self.tracer.begin("NEST-N-J merge");
@@ -391,11 +404,7 @@ impl Ctx {
     /// Type-A: materialize the (uncorrelated, flat) aggregate block as a
     /// one-row temporary and return a block selecting its value.
     fn type_a_temp(&mut self, inner: QueryBlock) -> Result<QueryBlock> {
-        if inner.select.len() != 1 {
-            return Err(TransformError::Unsupported(
-                "type-A inner block must select exactly one aggregate".into(),
-            ));
-        }
+        check_type_a(&inner)?;
         let ScalarExpr::Aggregate(func, arg) = inner.select[0].expr.clone() else {
             return Err(TransformError::Internal("type-A without aggregate".into()));
         };
@@ -419,6 +428,21 @@ impl Ctx {
             order_by: vec![],
         })
     }
+}
+
+/// Type-A's applicability check, shared between [`Ctx::type_a_temp`] and
+/// the rule catalog's precondition step ([`crate::rules`]): the inner
+/// block must select exactly one item and it must be an aggregate.
+pub fn check_type_a(inner: &QueryBlock) -> Result<()> {
+    if inner.select.len() != 1 {
+        return Err(TransformError::Unsupported(
+            "type-A inner block must select exactly one aggregate".into(),
+        ));
+    }
+    if !matches!(inner.select[0].expr, ScalarExpr::Aggregate(..)) {
+        return Err(TransformError::Internal("type-A without aggregate".into()));
+    }
+    Ok(())
 }
 
 /// Syntactic correlation test on a fully-qualified, flat block: any level

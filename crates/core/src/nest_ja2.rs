@@ -228,7 +228,7 @@ pub fn apply_ja2<S: OuterScope + ?Sized>(
     let temp1_plan = LogicalPlan::Project {
         input: Box::new(
             LogicalPlan::Scan {
-                table: outer_base.clone(),
+                table: outer_base,
                 alias: Some(ja.outer_name.clone()),
             }
             .filtered(if outer_simple.is_empty() {

@@ -43,9 +43,16 @@ pub fn apply_ja_kim(
     // Step 1: Rt := GROUP BY over the restricted inner relation — no outer
     // join, no projection of the outer relation. (The bugs live here.)
     let temp_name = namer.fresh("TEMP");
-    let mut group_cols: Vec<ColumnRef> =
-        ja.correlations.iter().map(|c| c.inner_col.clone()).collect();
-    group_cols.dedup();
+    // The correlation list is in predicate order, not sorted, so
+    // `Vec::dedup` (consecutive-only) would let a repeated inner column
+    // survive when another column sits between its occurrences — an
+    // order-preserving containment check deduplicates correctly.
+    let mut group_cols: Vec<ColumnRef> = Vec::new();
+    for c in &ja.correlations {
+        if !group_cols.contains(&c.inner_col) {
+            group_cols.push(c.inner_col.clone());
+        }
+    }
     let agg_alias = "AGG".to_string();
     let plan = LogicalPlan::Aggregate {
         input: Box::new(inner_from_plan(inner)?.filtered(ja.local_pred.clone())),
@@ -142,6 +149,33 @@ mod tests {
         assert!(!has_join(input), "Kim's temp must not join the outer relation");
         let printed = nsql_sql::print_query(&replacement);
         assert_eq!(printed, "SELECT TEMP1.AGG FROM TEMP1 WHERE TEMP1.PNUM = PARTS.PNUM");
+    }
+
+    #[test]
+    fn group_by_dedups_non_adjacent_repeated_columns() {
+        // Shrunk regression for the consecutive-only `Vec::dedup` bug
+        // class (first found in NEST-JA2 by PR 4): SUPPLY.PNUM correlates
+        // twice with SUPPLY.QUAN correlating in between, so the repeated
+        // column is non-adjacent and `dedup()` let it survive into the
+        // GROUP BY list.
+        let inner = inner_of(
+            "SELECT PNUM FROM PARTS WHERE QOH = (SELECT MAX(QUAN) FROM SUPPLY \
+             WHERE SUPPLY.PNUM = PARTS.PNUM AND SUPPLY.QUAN = PARTS.QOH \
+             AND SUPPLY.PNUM < PARTS.PNUM)",
+        );
+        let mut namer = TempNamer::new(vec![]);
+        let mut temps = Vec::new();
+        let mut trace = Vec::new();
+        apply_ja_kim(&inner, &mut namer, &mut temps, &mut trace).unwrap();
+        let LogicalPlan::Aggregate { group_by, .. } = &temps[0].plan else { panic!() };
+        assert_eq!(
+            group_by,
+            &[
+                ColumnRef::qualified("SUPPLY", "PNUM"),
+                ColumnRef::qualified("SUPPLY", "QUAN")
+            ],
+            "repeated correlation column must appear once"
+        );
     }
 
     #[test]

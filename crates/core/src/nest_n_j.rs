@@ -50,16 +50,12 @@ impl MergeOutcome {
     }
 }
 
-/// Merge a flat `inner` block into `outer`, removing nothing from
-/// `outer.where_clause` — the caller replaces the nested predicate with the
-/// returned join predicate. `inner` must be fully qualified, flat (no
-/// subqueries), and select exactly one plain column.
-pub fn merge_inner(
-    outer: &mut QueryBlock,
-    connecting: Connecting,
-    mut inner: QueryBlock,
-    namer: &mut TempNamer,
-) -> Result<MergeOutcome> {
+/// NEST-N-J's applicability check, shared between [`merge_inner`] and the
+/// rule catalog's precondition step ([`crate::rules`]): the inner block
+/// must select exactly one column, carry no GROUP BY, and be flat (no
+/// subqueries left below — the recursive driver transforms children
+/// first).
+pub fn merge_precondition(inner: &QueryBlock) -> Result<()> {
     if inner.select.len() != 1 {
         return Err(TransformError::Unsupported(format!(
             "inner block must select exactly one column (found {})",
@@ -80,6 +76,20 @@ pub fn merge_inner(
             "NEST-N-J received a non-flat inner block; transform children first".into(),
         ));
     }
+    Ok(())
+}
+
+/// Merge a flat `inner` block into `outer`, removing nothing from
+/// `outer.where_clause` — the caller replaces the nested predicate with the
+/// returned join predicate. `inner` must be fully qualified, flat (no
+/// subqueries), and select exactly one plain column.
+pub fn merge_inner(
+    outer: &mut QueryBlock,
+    connecting: Connecting,
+    mut inner: QueryBlock,
+    namer: &mut TempNamer,
+) -> Result<MergeOutcome> {
+    merge_precondition(&inner)?;
 
     // Resolve FROM-name collisions by renaming the inner occurrence.
     let outer_names: Vec<String> =

@@ -45,6 +45,25 @@ pub struct Catalog {
     /// mutated table's entries free their bytes immediately instead of
     /// lingering until eviction.
     result_cache: Option<Arc<nsql_cache::QueryCache>>,
+    /// Per-table, per-column distinct-value counts, gathered while the
+    /// rows pass through memory (load/insert) — the statistic the batched
+    /// strategy's cost formula needs for `d`. Deliberately not persisted:
+    /// a restored catalog has no entry and cost estimation falls back to
+    /// the tuple count as a conservative upper bound.
+    stats: BTreeMap<String, Vec<usize>>,
+}
+
+/// Distinct values per column of an in-memory tuple set.
+fn column_distincts(tuples: &[nsql_types::Tuple], arity: usize) -> Vec<usize> {
+    (0..arity)
+        .map(|i| {
+            tuples
+                .iter()
+                .map(|t| t.get(i))
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        })
+        .collect()
 }
 
 impl Catalog {
@@ -57,7 +76,15 @@ impl Catalog {
             generations: BTreeMap::new(),
             epoch: NEXT_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             result_cache: None,
+            stats: BTreeMap::new(),
         }
+    }
+
+    /// Distinct values in `table`'s `col`-th column, when statistics were
+    /// gathered this incarnation. `None` after [`Catalog::restore`] —
+    /// callers fall back to the tuple count as an upper bound.
+    pub fn distinct_count(&self, table: &str, col: usize) -> Option<usize> {
+        self.stats.get(&table.to_ascii_uppercase())?.get(col).copied()
     }
 
     /// Attach the cross-query result cache to invalidate on DML.
@@ -97,6 +124,7 @@ impl Catalog {
             return Err(DbError::Catalog(format!("table {key} already exists")));
         }
         let schema = schema.requalify(&key);
+        self.stats.insert(key.clone(), vec![0; schema.arity()]);
         let file = HeapFile::from_tuples(&self.storage, schema, Vec::new());
         self.tables.insert(key.clone(), file);
         self.touch(&key);
@@ -109,6 +137,10 @@ impl Catalog {
         let key = name.to_ascii_uppercase();
         let requalified =
             Relation::new(rel.schema().requalify(&key), rel.tuples().to_vec())?;
+        self.stats.insert(
+            key.clone(),
+            column_distincts(requalified.tuples(), requalified.schema().arity()),
+        );
         let file = self.storage.store_relation(&requalified);
         if let Some(old) = self.tables.insert(key.clone(), file) {
             old.drop_pages(&self.storage);
@@ -141,6 +173,7 @@ impl Catalog {
         let n = rows.len();
         let all: Vec<nsql_types::Tuple> =
             file.scan(&self.storage).chain(rows).collect();
+        self.stats.insert(key.clone(), column_distincts(&all, schema.arity()));
         let new_file = HeapFile::from_tuples(&self.storage, schema, all);
         file.drop_pages(&self.storage);
         self.tables.insert(key.clone(), new_file);
@@ -159,6 +192,7 @@ impl Catalog {
                 for ix in self.indexes.remove(&key).unwrap_or_default() {
                     ix.drop_pages(&self.storage);
                 }
+                self.stats.remove(&key);
                 self.touch(&key);
                 self.persist()
             }

@@ -330,7 +330,55 @@ impl Database {
         let cache_mode = opts.cache.resolve();
         let mut explain = Vec::new();
         let mut temps = Vec::new();
-        let relation = match opts.strategy {
+        let relation = match opts.strategy.resolve() {
+            Strategy::Auto => unreachable!("Strategy::resolve never returns Auto"),
+            Strategy::Batched => {
+                explain.push(
+                    "strategy: batched correlated evaluation (sort-deduplicated outer bindings)"
+                        .to_string(),
+                );
+                let mut evaluator = NestedIter::new(&self.catalog, storage.clone());
+                if cache_mode.enabled() {
+                    evaluator = evaluator.with_query_cache(Arc::clone(&self.cache));
+                }
+                if let Some(budget) = opts.memo_budget {
+                    evaluator = evaluator.with_memo_budget(budget);
+                }
+                let op = match &exec_obs {
+                    Some(obs) => {
+                        let op = obs.registry.op("batched evaluation");
+                        obs.set_current(Some(Arc::clone(&op)));
+                        evaluator = evaluator.with_obs(obs.clone());
+                        Some(op)
+                    }
+                    None => None,
+                };
+                let span = tracer.begin("execute: batched");
+                let io0 = storage.io_snapshot();
+                let t0 = Instant::now();
+                let rel = evaluator.eval_query_batched(q, threads);
+                if let Some(op) = &op {
+                    op.wall_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let d = storage.io_snapshot().since(&io0);
+                    op.reads.fetch_add(d.reads, Ordering::Relaxed);
+                    op.writes.fetch_add(d.writes, Ordering::Relaxed);
+                    op.hits.fetch_add(d.hits, Ordering::Relaxed);
+                    op.misses.fetch_add(d.misses, Ordering::Relaxed);
+                    if let Ok(rel) = &rel {
+                        op.rows_out.add(0, rel.len() as u64);
+                    }
+                }
+                tracer.end(span);
+                if cache_mode.enabled() {
+                    let (h, m) = evaluator.cache_counts();
+                    explain.push(format!(
+                        "cache: mode {}, inner-block {h} hit(s), {m} miss(es)",
+                        cache_mode.name()
+                    ));
+                }
+                rel?
+            }
             Strategy::NestedIteration => {
                 explain.push("strategy: nested iteration (System R)".to_string());
                 if vectorized {

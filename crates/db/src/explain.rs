@@ -14,11 +14,16 @@
 
 use crate::options::{QueryOptions, Strategy};
 use crate::{Database, Result};
+use nsql_analyzer::resolve::level_column_refs;
 use nsql_analyzer::{query_tree, NestingType};
-use nsql_core::cost::{ja2_cost, nested_iteration_cost_j, Ja2Params, JoinMethod};
+use nsql_core::cost::{
+    batched_cost, ja2_cost, nested_iteration_cost_j, transformed_merge_join_cost,
+    BatchedParams, Ja2Params, JoinMethod, StrategyCosts, StrategyKind,
+};
 use nsql_obs::{Json, OpSnapshot, SpanNode};
 use nsql_sql::{InRhs, Operand, Predicate, QueryBlock};
 use nsql_storage::IoStats;
+use nsql_types::Schema;
 
 /// Size of one materialized temporary, reported by the plan executor.
 #[derive(Debug, Clone)]
@@ -121,6 +126,12 @@ pub struct ExplainReport {
     /// Worst-case nested-iteration cost of the same query (the paper's
     /// baseline), when the tree has a correlated (J/JA) block.
     pub predicted_nested_iteration: Option<f64>,
+    /// Predicted cost of each executable strategy — nested iteration,
+    /// transform, batched — plus the planner's pick, for every nested
+    /// query (correlated or not; `None` only for flat queries, which have
+    /// no strategy choice). Rendered whatever strategy the options pin,
+    /// so EXPLAIN always shows what the cost model *would* choose.
+    pub strategy_costs: Option<StrategyCosts>,
     /// Measured page I/O (ANALYZE only).
     pub io: Option<IoStats>,
     /// Result cardinality (ANALYZE only).
@@ -161,6 +172,17 @@ impl ExplainReport {
                 let marker = if p.total() == best { "  * " } else { "    " };
                 out.push(format!("{marker}{}", p.render()));
             }
+        }
+        if let Some(sc) = &self.strategy_costs {
+            out.push("strategy costs (three-way, page I/Os):".to_string());
+            let pick = sc.pick();
+            for kind in
+                [StrategyKind::NestedIteration, StrategyKind::Transform, StrategyKind::Batched]
+            {
+                let marker = if kind == pick { "  * " } else { "    " };
+                out.push(format!("{marker}{}: {:.1}", kind.name(), sc.of(kind)));
+            }
+            out.push(format!("planner pick: {}", pick.name()));
         }
         if self.analyze {
             out.push("measured:".to_string());
@@ -226,6 +248,18 @@ impl ExplainReport {
                     None => Json::Null,
                 },
             ),
+            (
+                "strategy_costs",
+                match &self.strategy_costs {
+                    Some(sc) => Json::obj([
+                        ("nested_iteration", Json::num(sc.of(StrategyKind::NestedIteration))),
+                        ("transform", Json::num(sc.of(StrategyKind::Transform))),
+                        ("batched", Json::num(sc.of(StrategyKind::Batched))),
+                        ("pick", Json::str(sc.pick().name())),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
             ("io", io),
             (
                 "rows",
@@ -274,10 +308,25 @@ impl Database {
             // ANALYZE run would: strategy, exec mode, cache mode. The
             // nested-iteration path used to print the bare strategy line
             // only — keep the two paths in lockstep.
-            let strategy = match opts.strategy {
+            let strategy = match opts.strategy.resolve() {
+                Strategy::Auto => unreachable!("Strategy::resolve never returns Auto"),
                 Strategy::NestedIteration => {
                     let mut lines = vec!["strategy: nested iteration (System R)".to_string()];
                     lines.extend(mode_lines(opts));
+                    lines
+                }
+                Strategy::Batched => {
+                    // Batched evaluation is a row strategy — no vectorized
+                    // header line, matching the ANALYZE path.
+                    let mut lines = vec![
+                        "strategy: batched correlated evaluation \
+                         (sort-deduplicated outer bindings)"
+                            .to_string(),
+                    ];
+                    let cache = opts.cache.resolve();
+                    if cache.enabled() {
+                        lines.push(format!("cache: mode {}", cache.name()));
+                    }
                     lines
                 }
                 Strategy::Transform => {
@@ -300,8 +349,10 @@ impl Database {
             (strategy, Vec::new(), None, None, None)
         };
 
-        let chosen = match opts.strategy {
+        let chosen = match opts.strategy.resolve() {
+            Strategy::Auto => unreachable!("Strategy::resolve never returns Auto"),
             Strategy::NestedIteration => "nested iteration (System R baseline)".to_string(),
+            Strategy::Batched => "batched correlated evaluation".to_string(),
             Strategy::Transform => chosen_from_trace(&strategy),
         };
 
@@ -331,6 +382,15 @@ impl Database {
         } else {
             None
         };
+        // Every nested query gets the three-way comparison — uncorrelated
+        // blocks too (there batched's binding set collapses to one empty
+        // binding, pricing the evaluate-once plan). Flat queries have no
+        // strategy choice and render no block.
+        let strategy_costs = if first_subquery(q).is_some() {
+            self.strategy_costs_for(q, &temps, is_ja)
+        } else {
+            None
+        };
 
         Ok(ExplainReport {
             sql: nsql_sql::print_query(q),
@@ -340,6 +400,7 @@ impl Database {
             strategy,
             predicted,
             predicted_nested_iteration,
+            strategy_costs,
             io,
             rows,
             obs,
@@ -373,6 +434,90 @@ impl Database {
         };
         let pt4 = pt3.max(pt);
         Some(Ja2Params { pi, pj, pt2, nt2, pt3, pt4, pt, b, fi_ni, ri_sorted: false })
+    }
+
+    /// Predicted cost of all three executable strategies on `q`'s (first)
+    /// correlated block. Transform is the cheapest NEST-JA2 method
+    /// combination for type-JA shapes and the canonical merge join
+    /// otherwise; batched uses the catalog's distinct-count statistics for
+    /// `d` (falling back to the qualifying-tuple count — i.e. "no better
+    /// than nested iteration's rescans" — when the catalog was restored
+    /// without statistics).
+    fn strategy_costs_for(
+        &self,
+        q: &QueryBlock,
+        temps: &[TempStat],
+        is_ja: bool,
+    ) -> Option<StrategyCosts> {
+        let p = self.ja2_params_for(q, temps)?;
+        let nested_iteration = nested_iteration_cost_j(p.pi, p.pj, p.b, p.fi_ni);
+        let transform = if is_ja {
+            let methods = [JoinMethod::NestedLoop, JoinMethod::MergeJoin];
+            let mut best = f64::INFINITY;
+            for m_temp in methods {
+                for m_final in methods {
+                    best = best.min(ja2_cost(&p, m_temp, m_final).total());
+                }
+            }
+            best
+        } else {
+            transformed_merge_join_cost(p.pi, p.pj, p.b)
+        };
+
+        // Batched parameters: the correlation columns are the inner
+        // block's free references; their catalog distinct counts bound the
+        // number of inner evaluations `d` (a product for multi-column
+        // correlations, capped by the qualifying-tuple count).
+        let outer_ref = q.from.first()?;
+        let outer = self.catalog().table(&outer_ref.table)?;
+        let inner_block = first_subquery(q)?;
+        let mut inner_local = Schema::default();
+        for tref in &inner_block.from {
+            if let Some(f) = self.catalog().table(&tref.table) {
+                inner_local = inner_local.join(&f.schema().requalify(tref.effective_name()));
+            }
+        }
+        let mut corr_cols: Vec<usize> = Vec::new();
+        let mut free_refs = false;
+        for c in level_column_refs(inner_block) {
+            if inner_local.try_resolve(c.table.as_deref(), &c.column).is_some() {
+                continue; // bound by the inner block's own FROM
+            }
+            free_refs = true;
+            let idx = outer
+                .schema()
+                .try_resolve(c.table.as_deref(), &c.column)
+                .or_else(|| outer.schema().try_resolve(None, &c.column));
+            if let Some(i) = idx {
+                if !corr_cols.contains(&i) {
+                    corr_cols.push(i);
+                }
+            }
+        }
+        let (d, p_bind) = if !free_refs {
+            // Uncorrelated inner block: every outer row shares the single
+            // empty binding, so batched evaluates the inner exactly once
+            // and the binding temporary is one page of nothing.
+            (1.0, 1.0)
+        } else {
+            let mut d = 1.0;
+            let mut have_stats = !corr_cols.is_empty();
+            for &i in &corr_cols {
+                match self.catalog().distinct_count(&outer_ref.table, i) {
+                    Some(n) => d *= n.max(1) as f64,
+                    None => have_stats = false,
+                }
+            }
+            let d = if have_stats { d.min(p.fi_ni) } else { p.fi_ni };
+            // The binding temporary is the correlation columns of the
+            // qualifying outer tuples — the outer's pages scaled to the
+            // narrower rows, never below one page.
+            let width = corr_cols.len().max(1) as f64;
+            let arity = outer.schema().arity().max(1) as f64;
+            (d, (p.pi * width / arity).ceil().max(1.0))
+        };
+        let batched = batched_cost(&BatchedParams { pi: p.pi, p_bind, d, pj: p.pj, b: p.b });
+        Some(StrategyCosts { nested_iteration, transform, batched })
     }
 }
 

@@ -227,15 +227,55 @@ impl CacheMode {
 }
 
 /// How to evaluate a query.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Strategy {
     /// System R semantics: direct nested iteration (the paper's baseline
     /// and the semantic ground truth).
     NestedIteration,
     /// Transform to canonical form first (NEST-G driving NEST-N-J and
     /// NEST-JA2 / Kim's NEST-JA), then execute the flat query.
-    #[default]
     Transform,
+    /// Batched correlated evaluation (Guravannavar & Sudarshan): sort and
+    /// deduplicate the outer correlation bindings with the external sort,
+    /// evaluate the inner block once per *distinct* binding, then replay
+    /// the memoized answers over the outer rows in their original order.
+    /// Results and error semantics are identical to nested iteration; the
+    /// inner block runs `D` times instead of `N` times.
+    Batched,
+    /// Resolve from `NSQL_STRATEGY` (`nested-iteration`/`ni` → nested
+    /// iteration, `batched` → batched; anything else, or unset →
+    /// transform). The default, so the env knob steers default-option
+    /// runs while explicitly pinned options stay untouched.
+    #[default]
+    Auto,
+}
+
+impl Strategy {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::NestedIteration => "nested-iteration",
+            Strategy::Transform => "transform",
+            Strategy::Batched => "batched",
+            Strategy::Auto => "auto",
+        }
+    }
+
+    /// `Auto` resolved against the environment; other strategies unchanged.
+    pub fn resolve(self) -> Strategy {
+        match self {
+            Strategy::Auto => match std::env::var("NSQL_STRATEGY") {
+                Ok(v) if v.eq_ignore_ascii_case("nested-iteration")
+                    || v.eq_ignore_ascii_case("ni") =>
+                {
+                    Strategy::NestedIteration
+                }
+                Ok(v) if v.eq_ignore_ascii_case("batched") => Strategy::Batched,
+                _ => Strategy::Transform,
+            },
+            other => other,
+        }
+    }
 }
 
 /// Full option set for [`crate::Database::query_with`].
@@ -315,6 +355,15 @@ impl QueryOptions {
         QueryOptions {
             strategy: Strategy::Transform,
             join_policy: JoinPolicy::CostBased,
+            cold_start: true,
+            ..QueryOptions::default()
+        }
+    }
+
+    /// Batched correlated evaluation, cold buffer.
+    pub fn batched() -> QueryOptions {
+        QueryOptions {
+            strategy: Strategy::Batched,
             cold_start: true,
             ..QueryOptions::default()
         }

@@ -1,0 +1,222 @@
+//! Plain `EXPLAIN` and `EXPLAIN ANALYZE` must tell the same story.
+//!
+//! The plain report predicts; the ANALYZE report executes. For every
+//! executable strategy — nested iteration, the NEST-* transformation, and
+//! batched correlated evaluation — the two reports must agree on the
+//! decision-shaped lines: the strategy header, whether an exec-mode line
+//! is present, and the cache-mode prefix (ANALYZE appends hit/miss counts
+//! to the same line). A drift here means EXPLAIN is describing a plan the
+//! executor does not run.
+//!
+//! The three-way strategy-cost block is also pinned: every nested query —
+//! correlated or not — must render predicted costs for all three
+//! strategies plus the planner's pick, identically in both reports and
+//! regardless of which strategy the options force. Only flat queries
+//! (no subquery, hence no strategy choice) omit the block.
+
+use nsql_db::{CacheMode, Database, QueryOptions, Strategy};
+
+const SETUP: &str = "CREATE TABLE PARTS (PNUM INT, QOH INT);
+     CREATE TABLE SUPPLY (PNUM INT, QUAN INT, SHIPDATE DATE);
+     INSERT INTO PARTS VALUES (3, 6), (10, 1), (8, 0);
+     INSERT INTO SUPPLY VALUES
+       (3, 4, 7-3-79), (3, 2, 10-1-78), (10, 1, 6-8-78),
+       (10, 2, 8-10-81), (8, 5, 5-7-83);";
+
+/// Kiessling's Q2 — correlated type-JA nesting (the COUNT-bug query).
+const Q2: &str = "SELECT PNUM FROM PARTS WHERE QOH = \
+    (SELECT COUNT(SHIPDATE) FROM SUPPLY \
+     WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)";
+
+/// An uncorrelated type-A query: still nested, so it still gets the
+/// three-way cost block (batched prices the evaluate-once plan, `d = 1`).
+const Q_TYPE_A: &str = "SELECT PNUM FROM PARTS WHERE QOH = \
+    (SELECT MAX(QUAN) FROM SUPPLY)";
+
+/// A flat query: no subquery, no strategy choice, no cost block.
+const Q_FLAT: &str = "SELECT PNUM FROM PARTS WHERE QOH = 0";
+
+fn mem_db() -> Database {
+    let mut db = Database::new();
+    db.execute_script(SETUP).unwrap();
+    db
+}
+
+fn strategies() -> [(&'static str, Strategy); 3] {
+    [
+        ("nested-iteration", Strategy::NestedIteration),
+        ("transform", Strategy::Transform),
+        ("batched", Strategy::Batched),
+    ]
+}
+
+fn opts(strategy: &Strategy, cache: CacheMode) -> QueryOptions {
+    QueryOptions {
+        strategy: strategy.clone(),
+        cache,
+        cold_start: true,
+        threads: 1,
+        ..QueryOptions::default()
+    }
+}
+
+/// The first `strategy:` line of a report's strategy log.
+fn strategy_line(lines: &[String]) -> &String {
+    lines
+        .iter()
+        .find(|l| l.starts_with("strategy:"))
+        .expect("every report logs a strategy line")
+}
+
+/// Plain EXPLAIN and EXPLAIN ANALYZE agree on the strategy header, the
+/// presence of an exec-mode line, and the cache-mode prefix, under every
+/// strategy and with the cache on or off.
+#[test]
+fn plain_and_analyze_reports_agree_on_decision_lines() {
+    let db = mem_db();
+    for (name, strategy) in strategies() {
+        for cache in [CacheMode::Off, CacheMode::On] {
+            let o = opts(&strategy, cache);
+            let plain = db.explain_query(Q2, false, &o).unwrap();
+            let analyzed = db.explain_query(Q2, true, &o).unwrap();
+
+            assert_eq!(
+                strategy_line(&plain.strategy),
+                strategy_line(&analyzed.strategy),
+                "[{name}] strategy header drifted between EXPLAIN and ANALYZE"
+            );
+            assert_eq!(
+                plain.chosen, analyzed.chosen,
+                "[{name}] chosen algorithm drifted between EXPLAIN and ANALYZE"
+            );
+
+            // Exec-mode line: present for both or for neither. Batched is a
+            // row-at-a-time strategy and must not advertise a vectorized
+            // mode it will never run.
+            let exec = |r: &nsql_db::ExplainReport| {
+                r.strategy.iter().any(|l| l.starts_with("exec mode:"))
+            };
+            assert_eq!(
+                exec(&plain),
+                exec(&analyzed),
+                "[{name}] exec-mode line presence drifted"
+            );
+
+            // Cache line: ANALYZE appends observed hit/miss counts to the
+            // same prefix plain EXPLAIN prints.
+            let cache_line = |r: &nsql_db::ExplainReport| {
+                r.strategy.iter().find(|l| l.starts_with("cache: mode")).cloned()
+            };
+            match (cache_line(&plain), cache_line(&analyzed)) {
+                (None, None) => assert!(
+                    !cache.enabled(),
+                    "[{name}] cache enabled but neither report mentions it"
+                ),
+                (Some(p), Some(a)) => assert!(
+                    a.starts_with(&p),
+                    "[{name}] ANALYZE cache line {a:?} does not extend plain line {p:?}"
+                ),
+                (p, a) => panic!("[{name}] cache line presence drifted: {p:?} vs {a:?}"),
+            }
+        }
+    }
+}
+
+/// A correlated query renders the three-way cost block — all three
+/// strategies finite, a pick marked — in both reports, for every pinned
+/// strategy, and the numbers are identical everywhere (the cost model
+/// consults the catalog, not the executor).
+#[test]
+fn correlated_queries_render_three_way_costs_under_every_strategy() {
+    let db = mem_db();
+    let mut seen = Vec::new();
+    for (name, strategy) in strategies() {
+        let o = opts(&strategy, CacheMode::Off);
+        for analyze in [false, true] {
+            let report = db.explain_query(Q2, analyze, &o).unwrap();
+            let sc = report.strategy_costs.unwrap_or_else(|| {
+                panic!("[{name}, analyze={analyze}] correlated query lost its strategy costs")
+            });
+            for kind in [
+                nsql_core::cost::StrategyKind::NestedIteration,
+                nsql_core::cost::StrategyKind::Transform,
+                nsql_core::cost::StrategyKind::Batched,
+            ] {
+                assert!(
+                    sc.of(kind).is_finite() && sc.of(kind) >= 0.0,
+                    "[{name}] {} cost must be a finite non-negative page count",
+                    kind.name()
+                );
+            }
+            let rendered = report.render_lines().join("\n");
+            assert!(
+                rendered.contains("strategy costs (three-way, page I/Os):"),
+                "[{name}] rendered report lost the cost block"
+            );
+            assert!(
+                rendered.contains(&format!("planner pick: {}", sc.pick().name())),
+                "[{name}] rendered report lost the planner pick"
+            );
+            seen.push((sc.of(nsql_core::cost::StrategyKind::Batched), sc.pick()));
+        }
+    }
+    // The cost block is a property of the query and catalog, not of the
+    // pinned strategy or of whether the query ran.
+    assert!(
+        seen.windows(2).all(|w| w[0] == w[1]),
+        "three-way costs drifted across strategies/analyze: {seen:?}"
+    );
+}
+
+/// An uncorrelated (type-A) query is still nested, so it still renders the
+/// three-way block — with batched priced as a single inner evaluation
+/// (`d = 1`), which can never beat evaluating the inner once via the
+/// transform but must be finite and present. A flat query renders none.
+#[test]
+fn uncorrelated_nested_queries_render_costs_flat_queries_do_not() {
+    let db = mem_db();
+    for (name, strategy) in strategies() {
+        let o = opts(&strategy, CacheMode::Off);
+        for analyze in [false, true] {
+            let report = db.explain_query(Q_TYPE_A, analyze, &o).unwrap();
+            let sc = report.strategy_costs.unwrap_or_else(|| {
+                panic!("[{name}, analyze={analyze}] uncorrelated nested query lost its cost block")
+            });
+            for kind in [
+                nsql_core::cost::StrategyKind::NestedIteration,
+                nsql_core::cost::StrategyKind::Transform,
+                nsql_core::cost::StrategyKind::Batched,
+            ] {
+                assert!(
+                    sc.of(kind).is_finite() && sc.of(kind) >= 0.0,
+                    "[{name}] {} cost must be a finite non-negative page count",
+                    kind.name()
+                );
+            }
+
+            let flat = db.explain_query(Q_FLAT, analyze, &o).unwrap();
+            assert!(
+                flat.strategy_costs.is_none(),
+                "[{name}, analyze={analyze}] flat query grew a cost block"
+            );
+        }
+    }
+}
+
+/// EXPLAIN ANALYZE under the batched strategy actually executes: it
+/// reports rows and I/O, and the rows match nested iteration's.
+#[test]
+fn batched_analyze_executes_and_matches_nested_iteration() {
+    let db = mem_db();
+    let ba = db.explain_query(Q2, true, &opts(&Strategy::Batched, CacheMode::Off)).unwrap();
+    let ni = db
+        .explain_query(Q2, true, &opts(&Strategy::NestedIteration, CacheMode::Off))
+        .unwrap();
+    assert_eq!(ba.rows, ni.rows, "batched ANALYZE returned a different cardinality");
+    let io = ba.io.expect("ANALYZE reports I/O");
+    assert!(io.total() > 0, "batched execution must be accounted");
+    assert!(
+        strategy_line(&ba.strategy).contains("batched"),
+        "batched ANALYZE must label its strategy"
+    );
+}

@@ -30,14 +30,15 @@ use crate::vec_exec::{self, Lane3, Template, VPred};
 use crate::Result;
 use nsql_vec::Batch;
 use nsql_analyzer::normalized_block_signature;
-use nsql_analyzer::resolve::level_column_refs;
+use nsql_analyzer::resolve::{level_column_refs, predicate_column_refs};
 use nsql_sql::{
     AggArg, AggFunc, ColumnRef, CompareOp, InRhs, Operand, Predicate, Quantifier, QueryBlock,
     ScalarExpr, SortDir,
 };
 use nsql_cache::{approx_relation_bytes, BlockEntry, QueryCache};
 use nsql_exec_par::{run_workers, Morsels};
-use nsql_storage::{HeapFile, PageId, Storage, TraceEvent};
+use nsql_storage::sort::SortKey;
+use nsql_storage::{external_sort_threads, HeapFile, PageId, Storage, TraceEvent};
 use nsql_types::{Column, ColumnType, FxHashMap, Relation, Schema, Tuple, Value};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -58,6 +59,16 @@ enum Cached {
 enum UseKind {
     Scalar,
     List,
+}
+
+/// How batched evaluation handles one nested conjunct: a verdict memo
+/// keyed by the candidate's projection onto the conjunct's free outer
+/// columns, or per-row fallback when those columns cannot be determined.
+/// Verdicts memoize errors too ([`EngineError`] is `Clone`), deferred to
+/// the replay phase so surfaced errors match nested iteration.
+enum BatchPlan {
+    PerRow,
+    Memo(Vec<usize>, FxHashMap<Tuple, Result<Option<bool>>>),
 }
 
 /// Resolved FROM clause of a block: the (requalified) files and the scope
@@ -515,6 +526,216 @@ impl<'a, T: TableProvider + ?Sized> NestedIter<'a, T> {
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------ batched
+
+    /// Evaluate a top-level query with **batched correlated evaluation**
+    /// (Guravannavar & Sudarshan): instead of re-evaluating a correlated
+    /// conjunct once per qualifying outer tuple, project the outer bindings
+    /// onto the columns the conjunct actually depends on, sort-deduplicate
+    /// them with the counted external sort, evaluate the conjunct once per
+    /// *distinct* binding, and replay the memoized verdicts over the outer
+    /// rows in their original order.
+    ///
+    /// Three phases:
+    ///
+    /// 1. **Collect** — enumerate the FROM product and apply the simple
+    ///    (subquery-free) conjuncts, keeping candidates in enumeration
+    ///    order.
+    /// 2. **Batch** — per nested conjunct, find its free outer columns
+    ///    ([`conjunct_outer_cols`](Self::conjunct_outer_cols)); materialize
+    ///    the candidates' projection onto those columns as a temporary
+    ///    file, `external_sort_threads(..., unique, threads)` it, and
+    ///    evaluate the conjunct once per surviving distinct binding into a
+    ///    verdict memo. Errors are memoized too — not raised here.
+    /// 3. **Replay** — walk the candidates in original order, consulting
+    ///    each conjunct's memo with the candidate's projected key and
+    ///    short-circuiting on the first non-true verdict, exactly like
+    ///    nested iteration. The SELECT phase is shared with the other
+    ///    strategies.
+    ///
+    /// Results and surfaced errors match nested iteration: the replay
+    /// consults exactly the `(conjunct, binding)` pairs nested iteration
+    /// would evaluate, in the same order, so the first error it raises is
+    /// the one nested iteration would raise (errors batched eagerly but
+    /// never consulted are swallowed — as nested iteration never evaluates
+    /// them at all). Counted I/O is thread-invariant by construction: the
+    /// only parallel step is the external sort, whose counted I/O is
+    /// proven thread-invariant; everything else runs serially. The
+    /// vectorized fast path is deliberately not consulted — batching is a
+    /// row-strategy.
+    pub fn eval_query_batched(&self, q: &QueryBlock, threads: usize) -> Result<Relation> {
+        let result = self.eval_batched(q, threads);
+        self.teardown();
+        result
+    }
+
+    fn eval_batched(&self, q: &QueryBlock, threads: usize) -> Result<Relation> {
+        let info = self.block_info(q)?;
+        let scope_schema = &info.schema;
+        let conjuncts: Vec<&Predicate> = match &q.where_clause {
+            Some(p) => p.conjuncts(),
+            None => Vec::new(),
+        };
+        let (simple, nested): (Vec<&Predicate>, Vec<&Predicate>) =
+            conjuncts.into_iter().partition(|p| !p.contains_subquery());
+        if nested.is_empty() {
+            // Nothing to batch — the block is flat; evaluate it directly.
+            return self.eval_block(q, &Env::default());
+        }
+        let env = Env::default();
+
+        // Phase 1: candidates surviving the simple conjuncts, in
+        // enumeration order (the order nested iteration would visit them).
+        let mut candidates: Vec<Tuple> = Vec::new();
+        self.enumerate(&info.files, 0, Tuple::default(), &mut |binding| {
+            let here = env.child(scope_schema, &binding);
+            for p in &simple {
+                if self.eval_pred(p, &here)? != Some(true) {
+                    return Ok(());
+                }
+            }
+            drop(here);
+            candidates.push(binding);
+            Ok(())
+        })?;
+
+        // Phase 2: one verdict memo per nested conjunct, keyed by the
+        // candidate's projection onto the conjunct's free outer columns.
+        let mut plans: Vec<BatchPlan> = Vec::with_capacity(nested.len());
+        for p in &nested {
+            let Some(idx) = self.conjunct_outer_cols(p, scope_schema)? else {
+                // A free reference resolves past this block (deeper
+                // nesting) or ambiguously — evaluate this conjunct per
+                // row, where nested iteration's scope chain applies.
+                plans.push(BatchPlan::PerRow);
+                continue;
+            };
+            let mut memo: FxHashMap<Tuple, Result<Option<bool>>> = FxHashMap::default();
+            if candidates.is_empty() {
+                // No candidate will ever consult the memo; skip the work.
+            } else if idx.is_empty() {
+                // The conjunct is closed over this block's scope: one
+                // evaluation covers every candidate (`project(&[])` maps
+                // each candidate to the empty key).
+                memo.insert(Tuple::default(), self.eval_pred(p, &env));
+            } else {
+                let proj_schema = scope_schema.project(&idx);
+                let file = HeapFile::from_tuples(
+                    &self.storage,
+                    proj_schema.clone(),
+                    candidates.iter().map(|t| t.project(&idx)),
+                );
+                let keys: Vec<SortKey> = (0..idx.len()).map(SortKey::asc).collect();
+                let sorted =
+                    external_sort_threads(&self.storage, &file, &keys, true, threads);
+                file.drop_pages(&self.storage);
+                let visit = |b: &Tuple| -> std::result::Result<(), std::convert::Infallible> {
+                    let here = env.child(&proj_schema, b);
+                    memo.insert(b.clone(), self.eval_pred(p, &here));
+                    Ok(())
+                };
+                match sorted.try_for_each(&self.storage, visit) {
+                    Ok(()) => {}
+                }
+                sorted.drop_pages(&self.storage);
+            }
+            plans.push(BatchPlan::Memo(idx, memo));
+        }
+
+        // Phase 3: replay in original order with nested iteration's
+        // conjunct order and short-circuiting.
+        let mut survivors: Vec<Tuple> = Vec::new();
+        'cand: for binding in candidates {
+            for (p, plan) in nested.iter().zip(&plans) {
+                let verdict = match plan {
+                    BatchPlan::PerRow => {
+                        let here = env.child(scope_schema, &binding);
+                        self.eval_pred(p, &here)?
+                    }
+                    BatchPlan::Memo(idx, memo) => memo
+                        .get(&binding.project(idx))
+                        .cloned()
+                        .expect("batched memo covers every candidate binding")?,
+                };
+                if verdict != Some(true) {
+                    continue 'cand;
+                }
+            }
+            survivors.push(binding);
+        }
+        self.eval_select(q, scope_schema, survivors, &env)
+    }
+
+    /// The outer-scope columns a nested conjunct depends on: every free
+    /// column reference — at the conjunct's own level or free within its
+    /// subquery blocks — resolved to an index in `scope_schema`
+    /// (deduplicated, first-occurrence order). `Ok(None)` means some free
+    /// reference does not resolve (or resolves ambiguously) against this
+    /// block's scope — e.g. it belongs to a still-outer scope when this
+    /// block is itself nested — and the caller must fall back to per-row
+    /// evaluation for that conjunct.
+    fn conjunct_outer_cols(
+        &self,
+        p: &Predicate,
+        scope_schema: &Schema,
+    ) -> Result<Option<Vec<usize>>> {
+        let mut refs: Vec<ColumnRef> = Vec::new();
+        for c in predicate_column_refs(p) {
+            refs.push(c.clone());
+        }
+        let mut subs = Vec::new();
+        collect_subqueries(p, &mut subs);
+        let mut scopes: Vec<Schema> = Vec::new();
+        for sub in subs {
+            self.collect_block_free_refs(sub, &mut scopes, &mut refs)?;
+        }
+        let mut idx: Vec<usize> = Vec::new();
+        for c in &refs {
+            match scope_schema.try_resolve(c.table.as_deref(), &c.column) {
+                Some(i) => {
+                    if !idx.contains(&i) {
+                        idx.push(i);
+                    }
+                }
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(idx))
+    }
+
+    /// Mirror of [`subtree_has_free_refs`](Self::subtree_has_free_refs)
+    /// that *collects* the free references instead of testing for their
+    /// presence.
+    fn collect_block_free_refs(
+        &self,
+        q: &QueryBlock,
+        scopes: &mut Vec<Schema>,
+        out: &mut Vec<ColumnRef>,
+    ) -> Result<()> {
+        let mut local = Schema::default();
+        for tref in &q.from {
+            let file = self
+                .tables
+                .get_table(&tref.table)
+                .ok_or_else(|| EngineError::UnknownTable(tref.table.clone()))?;
+            local = local.join(&file.schema().requalify(tref.effective_name()));
+        }
+        scopes.push(local);
+        for c in level_column_refs(q) {
+            let bound = scopes
+                .iter()
+                .any(|s| s.try_resolve(c.table.as_deref(), &c.column).is_some());
+            if !bound {
+                out.push(c.clone());
+            }
+        }
+        for sub in subquery_children(q) {
+            self.collect_block_free_refs(sub, scopes, out)?;
+        }
+        scopes.pop();
+        Ok(())
     }
 
     // ------------------------------------------------------------- blocks

@@ -6,7 +6,7 @@
 
 use nsql_storage::durable::codec;
 use nsql_storage::durable::FaultPlan;
-use nsql_storage::{Storage, StorageError};
+use nsql_storage::Storage;
 use nsql_testkit::TempDir;
 use nsql_types::{Tuple, Value};
 

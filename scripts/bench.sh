@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Wall-clock bench runner with machine-readable JSON output.
 #
-#   ./scripts/bench.sh [label]        # PR2 benches -> BENCH_pr2.json
-#   ./scripts/bench.sh sweep [label]  # thread sweep -> BENCH_pr3.json
-#   ./scripts/bench.sh obs [label]    # per-operator metrics -> BENCH_pr5.json
-#   ./scripts/bench.sh vec [label]    # exec-mode sweep -> BENCH_pr7.json
+#   ./scripts/bench.sh [label]           # PR2 benches -> BENCH_pr2.json
+#   ./scripts/bench.sh sweep [label]     # thread sweep -> BENCH_pr3.json
+#   ./scripts/bench.sh obs [label]       # per-operator metrics -> BENCH_pr5.json
+#   ./scripts/bench.sh vec [label]       # exec-mode sweep -> BENCH_pr7.json
+#   ./scripts/bench.sh cache [label]     # result-cache sweep -> BENCH_pr8.json
+#   ./scripts/bench.sh strategy [label]  # three-way strategy sweep -> BENCH_pr9.json
 #
 # The committed BENCH_pr2.json holds one line per benchmark per run,
 # tagged `"label":"baseline"` (recorded before the zero-copy hot-path
@@ -27,6 +29,12 @@
 # (an exact hit recharges the recorded page events; see DESIGN.md "Result
 # caching"), so the medians isolate the evaluation work a hit avoids.
 # Acceptance reads the cache-ni-type-J and cache-ni-type-JA-count groups.
+# BENCH_pr9.json holds the three-way strategy sweep (nested iteration vs
+# the NEST-* transform vs batched correlated evaluation per cell) over a
+# duplicate-heavy and a unique-correlation workload; acceptance reads the
+# strategy-dup-type-J-notin group, where the query sits outside the
+# transformable class (the transform cell times refusal + nested-iteration
+# fallback) and batched must beat both incumbents.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +50,9 @@ elif [ "${1:-}" = "vec" ]; then
     shift
 elif [ "${1:-}" = "cache" ]; then
     mode=cache
+    shift
+elif [ "${1:-}" = "strategy" ]; then
+    mode=strategy
     shift
 fi
 label=${1:-current}
@@ -64,6 +75,10 @@ elif [ "$mode" = "cache" ]; then
     out=BENCH_pr8.json
     echo "==> cargo bench -p nsql-bench --bench cache_warm  (host: $(nproc) CPU(s))"
     NSQL_BENCH_JSON="$tmp" cargo bench -p nsql-bench --bench cache_warm --offline
+elif [ "$mode" = "strategy" ]; then
+    out=BENCH_pr9.json
+    echo "==> cargo bench -p nsql-bench --bench strategy_sweep  (host: $(nproc) CPU(s))"
+    NSQL_BENCH_JSON="$tmp" cargo bench -p nsql-bench --bench strategy_sweep --offline
 else
     out=BENCH_pr2.json
     for bench in nested_vs_transformed ja2_variants; do
@@ -75,7 +90,7 @@ fi
 # Tag each JSON line with the run label (and, for sweeps, the host CPU
 # count — medians at >1 thread only improve when the host has >1 CPU) and
 # append to the committed file.
-if [ "$mode" = "sweep" ] || [ "$mode" = "vec" ] || [ "$mode" = "cache" ]; then
+if [ "$mode" = "sweep" ] || [ "$mode" = "vec" ] || [ "$mode" = "cache" ] || [ "$mode" = "strategy" ]; then
     sed "s/^{/{\"label\":\"$label\",\"ncpu\":$(nproc),/" "$tmp" >> "$out"
 else
     sed "s/^{/{\"label\":\"$label\",/" "$tmp" >> "$out"

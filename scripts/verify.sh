@@ -65,6 +65,19 @@ for bin in figure1 figure2 section7 ablation extensions sweep; do
         || { echo "FAIL: $bin output differs between exec modes"; exit 1; }
 done
 
+echo "==> figure/table binaries are byte-identical under NSQL_STRATEGY=batched"
+# NSQL_STRATEGY only steers Strategy::Auto (default-option runs); every
+# figure/table binary pins its strategy explicitly, so the env knob must
+# not move a single byte of any published number — including the `bugs`
+# binary's EXPLAIN output, whose strategy lines are part of the figure.
+for bin in figure1 figure2 section7 ablation bugs extensions sweep; do
+    NSQL_STRATEGY=batched NSQL_THREADS=1 \
+        cargo run --release --offline -q -p nsql-bench --bin "$bin" \
+        > "$tmp1/$bin.strat.out"
+    diff -q "$tmp1/$bin.t1.out" "$tmp1/$bin.strat.out" \
+        || { echo "FAIL: $bin output differs under NSQL_STRATEGY=batched"; exit 1; }
+done
+
 echo "==> figure/table binaries are byte-identical cache-on vs cache-off"
 # Exact-hit caching recharges the recorded page-event sequence instead of
 # skipping it, so enabling the cache must not move a single counted I/O or
@@ -110,6 +123,9 @@ NSQL_DIFF_CASES=200 cargo run --release --offline -q -p nsql-bench --bin diffche
 echo "==> diff_prop smoke at a pinned seed (debug path, shrinker wired in)"
 NSQL_TEST_SEED=0xd1ffc4ec NSQL_TEST_CASES=60 cargo test -q --offline --test diff_prop
 
+echo "==> batched_prop smoke (thread/backend I/O invariance + metamorphic mutations)"
+NSQL_TEST_SEED=0xba7c4ed0 NSQL_TEST_CASES=60 cargo test -q --offline --test batched_prop
+
 echo "==> cargo bench --no-run (bench targets compile offline)"
 cargo bench -p nsql-bench --no-run --offline
 
@@ -117,7 +133,10 @@ echo "==> testkit is warnings-clean across all targets"
 RUSTFLAGS="-D warnings" cargo check -p nsql-testkit --all-targets --offline
 
 echo "==> hot-path crates carry no redundant clones (clippy)"
+# nsql-core is included for the rule engine and cost model: rule firings
+# clone plan fragments, and a redundant clone there multiplies per query.
 cargo clippy -p nsql-engine -p nsql-storage -p nsql-index -p nsql-vec -p nsql-cache \
+    -p nsql-core \
     --all-targets --offline -- -D clippy::redundant_clone
 
 echo "==> bench smoke (3 samples per bench, results discarded)"
@@ -131,5 +150,7 @@ NSQL_BENCH_SAMPLES=1 \
     cargo bench -p nsql-bench --offline --bench vec_sweep >/dev/null
 NSQL_BENCH_SAMPLES=1 \
     cargo bench -p nsql-bench --offline --bench cache_warm >/dev/null
+NSQL_BENCH_SAMPLES=1 \
+    cargo bench -p nsql-bench --offline --bench strategy_sweep >/dev/null
 
 echo "verify: OK"

@@ -11,7 +11,7 @@
 //! ```text
 //! .help                 this text
 //! .tables               list tables
-//! .strategy ni|cost|merge|nl|hash
+//! .strategy ni|cost|merge|nl|hash|batched
 //!                       evaluation strategy for subsequent SELECTs
 //! .variant ja2|kim|noproj|late
 //!                       type-JA algorithm (kim/noproj/late are the paper's
@@ -73,7 +73,10 @@ impl Shell {
                         self.opts.strategy = Strategy::Transform;
                         self.opts.join_policy = JoinPolicy::ForceHashJoin;
                     }
-                    _ => println!("usage: .strategy ni|cost|merge|nl|hash"),
+                    Some("batched") => {
+                        self.opts.strategy = Strategy::Batched;
+                    }
+                    _ => println!("usage: .strategy ni|cost|merge|nl|hash|batched"),
                 }
                 println!("ok");
             }
@@ -176,7 +179,7 @@ fn print_help() {
         "SQL (terminated by ';'): CREATE TABLE, INSERT INTO … VALUES, SELECT,\n\
          EXPLAIN SELECT … (transform decision + predicted Section-7 costs),\n\
          EXPLAIN ANALYZE SELECT … (adds measured per-operator metrics + spans)\n\
-         .tables | .demo | .strategy ni|cost|merge|nl|hash | .variant ja2|kim|noproj|late\n\
+         .tables | .demo | .strategy ni|cost|merge|nl|hash|batched | .variant ja2|kim|noproj|late\n\
          .explain SELECT … | .tree SELECT … | .quit"
     );
 }

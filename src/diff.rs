@@ -5,12 +5,15 @@
 //! comparison is type-compatible, NULLs and duplicate rows are injected
 //! deliberately); [`check_case`] evaluates the query with the naive
 //! tuple-at-a-time oracle (`nsql-oracle`) and with every engine pipeline —
-//! nested iteration at 1 and 4 threads, the NEST-G transformation under
+//! nested iteration at 1 and 4 threads, batched correlated evaluation at 1
+//! and 4 threads (plus a cache-on variant), the NEST-G transformation under
 //! each join policy, and the duplicate-collapsing `ForceDistinct` variant —
 //! and compares results at exactly the strength the paper promises:
 //!
 //! * nested iteration must be **bag-equal** to the oracle, always, at every
-//!   thread count;
+//!   thread count; batched correlated evaluation is held to the same
+//!   full-strength contract (its replay phase consults exactly the
+//!   conjunct/binding pairs nested iteration would, in the same order);
 //! * transformed plans must be bag-equal except where a documented
 //!   divergence license applies (tracked by [`nsql_oracle::Notes`], written
 //!   up in DESIGN.md "Oracle semantics"): the `ALL`-over-empty-or-NULL
@@ -637,14 +640,24 @@ struct Pipeline {
 }
 
 /// The pipelines under differential test. Nested iteration runs at 1 and 4
-/// threads; the transformation runs under every join policy, in parallel,
-/// and in the duplicate-collapsing `ForceDistinct` mode. Row pipelines pin
+/// threads; batched correlated evaluation runs at 1 and 4 threads plus a
+/// cache-on variant (held to nested iteration's full-strength contract:
+/// bag-equal always, cardinality errors reproduced); the transformation
+/// runs under every join policy, in parallel, and in the
+/// duplicate-collapsing `ForceDistinct` mode. Row pipelines pin
 /// `ExecMode::Row` (not `Auto`) so the sweep diffs both representations
 /// even when `NSQL_EXEC_MODE` is set; the `*-vec` pipelines rerun the main
 /// shapes under the columnar batch kernels.
 fn pipelines() -> Vec<Pipeline> {
     let ni = |threads: usize| QueryOptions {
         strategy: Strategy::NestedIteration,
+        cold_start: true,
+        threads,
+        exec_mode: ExecMode::Row,
+        ..Default::default()
+    };
+    let ba = |threads: usize| QueryOptions {
+        strategy: Strategy::Batched,
         cold_start: true,
         threads,
         exec_mode: ExecMode::Row,
@@ -661,6 +674,19 @@ fn pipelines() -> Vec<Pipeline> {
     vec![
         Pipeline { name: "ni-serial", opts: ni(1), transform: false, set_only: false },
         Pipeline { name: "ni-par4", opts: ni(4), transform: false, set_only: false },
+        // Batched correlated evaluation: same per-row semantics as nested
+        // iteration (replay consults exactly the conjunct/binding pairs
+        // nested iteration would evaluate, in the same order), so it takes
+        // the unlicensed arm of the checker. The `threads` knob only
+        // parallelizes the binding sort.
+        Pipeline { name: "ba-serial", opts: ba(1), transform: false, set_only: false },
+        Pipeline { name: "ba-par4", opts: ba(4), transform: false, set_only: false },
+        Pipeline {
+            name: "ba-cache",
+            opts: QueryOptions { cache: CacheMode::On, ..ba(1) },
+            transform: false,
+            set_only: false,
+        },
         Pipeline {
             name: "tr-cost-serial",
             opts: tr(JoinPolicy::CostBased, 1),

@@ -2,7 +2,8 @@
 //!
 //! Random nested queries over random biased databases are evaluated by the
 //! naive `nsql-oracle` interpreter and by every engine pipeline — nested
-//! iteration (threads 1 and 4), the NEST-G transformation under every join
+//! iteration (threads 1 and 4), batched correlated evaluation (threads 1
+//! and 4, plus a cache-on variant), the NEST-G transformation under every join
 //! policy (serial and parallel), the duplicate-collapsing `ForceDistinct`
 //! mode, and the index-backed variants (every generated table carries a
 //! B+tree on `K`; `tr-ix-prefer` forces index restriction and index
@@ -69,6 +70,18 @@ fn every_pipeline_agrees_with_the_oracle() {
             stats.iter().any(|s| s.name == v && s.compared + s.skipped > 0),
             "vectorized pipeline {v} missing from the sweep"
         );
+    }
+    // The batched-evaluation pipelines must be in the sweep, and — like
+    // nested iteration — are never licensed away: sort-deduplicating the
+    // outer bindings and replaying memoized verdicts must be bag-equal to
+    // the oracle on every case, serial and parallel, cache on or off, and
+    // must surface the same scalar-cardinality errors.
+    for b in ["ba-serial", "ba-par4", "ba-cache"] {
+        let s = stats
+            .iter()
+            .find(|s| s.name == b)
+            .unwrap_or_else(|| panic!("batched pipeline {b} missing from the sweep"));
+        assert_eq!(s.skipped, 0, "[{b}] batched pipelines have no divergence licenses");
     }
 }
 
