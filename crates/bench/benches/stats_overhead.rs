@@ -1,0 +1,54 @@
+//! Wall-clock overhead of the always-on statistics registry.
+//!
+//! Each group runs one (workload, query, strategy) cell twice: `stats=off`
+//! (registry disabled — the per-call cost is one relaxed atomic load) and
+//! `stats=on` (per-table counters, fingerprint aggregation, and the
+//! latency histogram all collecting). Counted page I/Os are byte-identical
+//! between the cells by construction — collection is pure side-state off
+//! the per-page hot loop (enforced by `tests/stats_prop.rs`) — so the
+//! median movement isolates the registry's CPU cost. `scripts/bench.sh
+//! stats` records the results to BENCH_pr10.json; acceptance reads the
+//! stats-ni-type-J group and asks the stats=on median to sit within 2% of
+//! stats=off.
+//!
+//! ```sh
+//! cargo bench -p nsql-bench --bench stats_overhead
+//! ```
+
+use nsql_bench::workload::{ja_workload, queries, seed_from_env, Workload, WorkloadSpec};
+use nsql_db::QueryOptions;
+use nsql_testkit::bench::{black_box, Bench};
+use nsql_testkit::bench_main;
+
+fn sweep(c: &mut Bench, group_name: &str, w: &Workload, sql: &'static str, base: &QueryOptions) {
+    let mut group = c.group(group_name);
+    group.sample_size(10);
+    let opts = QueryOptions { threads: 1, ..base.clone() };
+    for (cell, enabled) in [("stats=off", false), ("stats=on", true)] {
+        w.db.stats().set_enabled(enabled);
+        group.bench_function(cell, |b| {
+            b.iter(|| {
+                let out = w.db.query_with(black_box(sql), &opts).expect("query runs");
+                black_box(out.relation.len())
+            })
+        });
+    }
+    w.db.stats().set_enabled(true);
+}
+
+/// Nested iteration on the paper-scale type-J workload — the acceptance
+/// cell: per-binding inner evaluation is the engine's tightest statement
+/// loop, so registry cost has the least work to hide behind.
+fn bench_nested_iteration(c: &mut Bench) {
+    let w = ja_workload(WorkloadSpec::kim_scale(), seed_from_env());
+    sweep(c, "stats-ni-type-J", &w, queries::TYPE_J, &QueryOptions::nested_iteration());
+}
+
+/// Transform path on the type-JA workload: temp materialization and the
+/// canonical join dominate; the registry's share must stay invisible.
+fn bench_transformed(c: &mut Bench) {
+    let w = ja_workload(WorkloadSpec::kim_scale_ja(), seed_from_env());
+    sweep(c, "stats-tr-type-JA-count", &w, queries::TYPE_JA_COUNT, &QueryOptions::transformed());
+}
+
+bench_main!(bench_nested_iteration, bench_transformed);

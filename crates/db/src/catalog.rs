@@ -7,18 +7,23 @@
 //! [`Catalog::restore`] rebuilds the in-memory maps without any page I/O.
 
 use crate::error::DbError;
+use crate::stat_views;
 use crate::Result;
 use nsql_analyzer::resolve::SchemaSource;
 use nsql_engine::TableProvider;
 use nsql_index::BTreeIndex;
+use nsql_obs::stats::{thread_shard, StatsRegistry, TableCounters};
 use nsql_storage::durable::codec::{self, ByteReader, ByteWriter};
 use nsql_storage::{HeapFile, PageId, Storage, StorageError};
 use nsql_types::{Relation, Schema};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Version tag leading every catalog snapshot (room to evolve the layout).
-const SNAPSHOT_VERSION: u32 = 1;
+/// v1: tables + indexes. v2: adds per-table per-column distinct counts, so
+/// the three-way cost comparison keeps its statistics across restarts;
+/// v1 snapshots still restore (without stats).
+const SNAPSHOT_VERSION: u32 = 2;
 
 fn store_err(e: StorageError) -> DbError {
     DbError::Engine(nsql_engine::EngineError::Storage(e))
@@ -47,10 +52,28 @@ pub struct Catalog {
     result_cache: Option<Arc<nsql_cache::QueryCache>>,
     /// Per-table, per-column distinct-value counts, gathered while the
     /// rows pass through memory (load/insert) — the statistic the batched
-    /// strategy's cost formula needs for `d`. Deliberately not persisted:
-    /// a restored catalog has no entry and cost estimation falls back to
-    /// the tuple count as a conservative upper bound.
+    /// strategy's cost formula needs for `d`. Persisted in the v2 catalog
+    /// snapshot, so the three-way cost comparison keeps its statistics
+    /// across restarts; a v1 snapshot (or a table never loaded through
+    /// memory) has no entry and cost estimation falls back to the tuple
+    /// count as a conservative upper bound.
     stats: BTreeMap<String, Vec<usize>>,
+    /// The cumulative statistics registry shared with the owning
+    /// `Database`. Per-table access counters are bumped here at the
+    /// table-fetch and DML seams; the `nsql_stat_*` views render it.
+    stats_registry: Arc<StatsRegistry>,
+    /// Cached handles into the registry's per-table counters, maintained
+    /// alongside `tables`. The table-fetch seam sits on nested iteration's
+    /// per-binding loop, so it must not take the registry's map lock (or
+    /// allocate a key) per call — it bumps these pre-resolved relaxed
+    /// atomics instead, gated on one `enabled()` load.
+    counters: BTreeMap<String, Arc<TableCounters>>,
+    /// Materialized `nsql_stat_*` views, keyed by uppercase view name.
+    /// Heap files on uncounted system pages; refreshed once per statement
+    /// for the views that statement references (interior mutability:
+    /// refresh and lazy materialization happen behind `&self` during
+    /// planning and execution).
+    system_views: Mutex<BTreeMap<String, HeapFile>>,
 }
 
 /// Distinct values per column of an in-memory tuple set.
@@ -67,7 +90,9 @@ fn column_distincts(tuples: &[nsql_types::Tuple], arity: usize) -> Vec<usize> {
 }
 
 impl Catalog {
-    /// Empty catalog over `storage`.
+    /// Empty catalog over `storage`. The statistics registry is created
+    /// here (honouring `NSQL_STATS`) and shared outward via
+    /// [`Catalog::stats_registry`].
     pub fn new(storage: Storage) -> Catalog {
         Catalog {
             storage,
@@ -77,7 +102,54 @@ impl Catalog {
             epoch: NEXT_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             result_cache: None,
             stats: BTreeMap::new(),
+            stats_registry: Arc::new(StatsRegistry::from_env()),
+            counters: BTreeMap::new(),
+            system_views: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// The cumulative statistics registry this catalog reports into.
+    pub fn stats_registry(&self) -> Arc<StatsRegistry> {
+        Arc::clone(&self.stats_registry)
+    }
+
+    /// Re-materialize the `nsql_stat_*` views named in `referenced`
+    /// (non-view names are ignored). Called once per statement with the
+    /// statement's full recursive table list, so every scan inside the
+    /// statement — nested blocks included — sees one consistent snapshot.
+    /// Views land on uncounted system pages: refreshing moves no counter.
+    pub fn refresh_stat_views<'a>(&self, referenced: impl IntoIterator<Item = &'a str>) {
+        for name in referenced {
+            if stat_views::is_stat_view(name) {
+                self.materialize_stat_view(&name.to_ascii_uppercase());
+            }
+        }
+    }
+
+    fn materialize_stat_view(&self, key: &str) -> Option<HeapFile> {
+        let base: Vec<String> = self.tables.keys().cloned().collect();
+        let rel =
+            stat_views::stat_view_relation(key, &self.stats_registry, &base, &self.storage)?;
+        let file = self.storage.store_relation_system(&rel);
+        let mut views = self.system_views.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(old) = views.insert(key.to_string(), file.clone()) {
+            old.drop_pages(&self.storage);
+        }
+        Some(file)
+    }
+
+    /// The current materialization of a stat view, building it on first
+    /// touch (a statement-start refresh normally got there first).
+    fn stat_view_file(&self, key: &str) -> Option<HeapFile> {
+        if let Some(f) = self
+            .system_views
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+        {
+            return Some(f.clone());
+        }
+        self.materialize_stat_view(key)
     }
 
     /// Distinct values in `table`'s `col`-th column, when statistics were
@@ -120,11 +192,15 @@ impl Catalog {
     /// name) and no rows.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
         let key = name.to_ascii_uppercase();
+        if stat_views::is_stat_view(&key) {
+            return Err(DbError::Catalog(format!("{key} is a reserved system view name")));
+        }
         if self.tables.contains_key(&key) {
             return Err(DbError::Catalog(format!("table {key} already exists")));
         }
         let schema = schema.requalify(&key);
         self.stats.insert(key.clone(), vec![0; schema.arity()]);
+        self.counters.insert(key.clone(), self.stats_registry.table_entry(&key));
         let file = HeapFile::from_tuples(&self.storage, schema, Vec::new());
         self.tables.insert(key.clone(), file);
         self.touch(&key);
@@ -135,6 +211,16 @@ impl Catalog {
     /// Replaces any previous table of the same name, including its indexes.
     pub fn load_table(&mut self, name: &str, rel: &Relation) -> Result<()> {
         let key = name.to_ascii_uppercase();
+        if stat_views::is_stat_view(&key) {
+            return Err(DbError::Catalog(format!("{key} is a reserved system view name")));
+        }
+        let counters = self
+            .counters
+            .entry(key.clone())
+            .or_insert_with(|| self.stats_registry.table_entry(&key));
+        if self.stats_registry.enabled() {
+            counters.tuples_written.add(thread_shard(), rel.tuples().len() as u64);
+        }
         let requalified =
             Relation::new(rel.schema().requalify(&key), rel.tuples().to_vec())?;
         self.stats.insert(
@@ -171,6 +257,11 @@ impl Catalog {
             }
         }
         let n = rows.len();
+        if self.stats_registry.enabled() {
+            if let Some(t) = self.counters.get(&key) {
+                t.tuples_written.add(thread_shard(), n as u64);
+            }
+        }
         let all: Vec<nsql_types::Tuple> =
             file.scan(&self.storage).chain(rows).collect();
         self.stats.insert(key.clone(), column_distincts(&all, schema.arity()));
@@ -193,6 +284,9 @@ impl Catalog {
                     ix.drop_pages(&self.storage);
                 }
                 self.stats.remove(&key);
+                // Keep the registry's entry (dropped tables stay in the
+                // history the views render); only the hot-path cache goes.
+                self.counters.remove(&key);
                 self.touch(&key);
                 self.persist()
             }
@@ -282,8 +376,8 @@ impl Catalog {
     }
 
     /// Serialize the catalog: every table's schema, page ids, and tuple
-    /// count, plus every index. The snapshot is self-describing — restoring
-    /// needs no page reads.
+    /// count, plus every index, plus (v2) the per-column distinct counts.
+    /// The snapshot is self-describing — restoring needs no page reads.
     pub fn snapshot(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.put_u32(SNAPSHOT_VERSION);
@@ -302,6 +396,16 @@ impl Catalog {
                 ix.encode(&mut w);
             }
         }
+        // v2 trailer: per-table per-column distinct counts, so the
+        // three-way cost comparison reopens with its statistics intact.
+        w.put_u32(self.stats.len() as u32);
+        for (key, counts) in &self.stats {
+            w.put_str(key);
+            w.put_u32(counts.len() as u32);
+            for &d in counts {
+                w.put_u64(d as u64);
+            }
+        }
         w.into_bytes()
     }
 
@@ -315,7 +419,7 @@ impl Catalog {
         };
         let mut r = ByteReader::new(bytes);
         let version = r.get_u32().map_err(store_err)?;
-        if version != SNAPSHOT_VERSION {
+        if !(1..=SNAPSHOT_VERSION).contains(&version) {
             return Err(store_err(StorageError::Corrupt(format!(
                 "unsupported catalog snapshot version {version}"
             ))));
@@ -335,9 +439,25 @@ impl Catalog {
             for _ in 0..n_ixs {
                 ixs.push(Arc::new(BTreeIndex::decode(&mut r).map_err(store_err)?));
             }
+            cat.counters.insert(key.clone(), cat.stats_registry.table_entry(&key));
             cat.tables.insert(key.clone(), HeapFile::from_parts(schema, pages, tuple_count));
             if !ixs.is_empty() {
                 cat.indexes.insert(key, ixs);
+            }
+        }
+        // v2 trailer: distinct-count statistics. A v1 snapshot ends here
+        // and restores without stats (cost estimation falls back to tuple
+        // counts, as before).
+        if version >= 2 {
+            let n_stats = r.get_u32().map_err(store_err)?;
+            for _ in 0..n_stats {
+                let key = r.get_str().map_err(store_err)?;
+                let arity = r.get_u32().map_err(store_err)? as usize;
+                let mut counts = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    counts.push(r.get_u64().map_err(store_err)? as usize);
+                }
+                cat.stats.insert(key, counts);
             }
         }
         Ok(cat)
@@ -346,13 +466,41 @@ impl Catalog {
 
 impl SchemaSource for Catalog {
     fn table_schema(&self, table: &str) -> Option<Schema> {
-        self.tables.get(&table.to_ascii_uppercase()).map(|f| f.schema().clone())
+        let key = table.to_ascii_uppercase();
+        if let Some(schema) = stat_views::stat_view_schema(&key) {
+            return Some(schema);
+        }
+        self.tables.get(&key).map(|f| f.schema().clone())
     }
 }
 
 impl TableProvider for Catalog {
     fn get_table(&self, table: &str) -> Option<HeapFile> {
-        self.tables.get(&table.to_ascii_uppercase()).cloned()
+        let key = table.to_ascii_uppercase();
+        if stat_views::is_stat_view(&key) {
+            // System views scan like tables but are never access-counted
+            // themselves: they report the registry, they don't feed it.
+            return self.stat_view_file(&key);
+        }
+        let file = self.tables.get(&key).cloned();
+        if let Some(f) = &file {
+            // Every heap-file fetch is the head of a scan (operators pull
+            // the file once, then iterate its pages), so this one seam
+            // charges both the scan and its tuple volume. It also sits on
+            // nested iteration's per-binding loop, so it goes through the
+            // pre-resolved counter cache — one relaxed load when disabled,
+            // two relaxed adds when enabled, never the registry map lock.
+            // Pure side-state: counted I/O is untouched, figures cannot
+            // move.
+            if self.stats_registry.enabled() {
+                if let Some(t) = self.counters.get(&key) {
+                    let shard = thread_shard();
+                    t.scans.add(shard, 1);
+                    t.tuples_read.add(shard, f.tuple_count() as u64);
+                }
+            }
+        }
+        file
     }
 
     fn get_indexes(&self, table: &str) -> Vec<Arc<BTreeIndex>> {
@@ -366,6 +514,14 @@ impl TableProvider for Catalog {
 
     fn cache_epoch(&self) -> u64 {
         self.epoch
+    }
+
+    fn note_index_probes(&self, table: &str, probes: u64) {
+        if self.stats_registry.enabled() {
+            if let Some(t) = self.counters.get(&table.to_ascii_uppercase()) {
+                t.index_probes.add(thread_shard(), probes);
+            }
+        }
     }
 }
 
@@ -422,5 +578,96 @@ mod tests {
         cat.drop_table("T").unwrap();
         assert!(cat.get_table("T").is_none());
         assert!(cat.drop_table("T").is_err());
+    }
+
+    #[test]
+    fn stat_view_names_are_reserved() {
+        let mut cat = Catalog::new(Storage::with_defaults());
+        assert!(cat.create_table("nsql_stat_tables", schema()).is_err());
+        let rel = Relation::empty(schema());
+        assert!(cat.load_table("NSQL_STAT_CACHE", &rel).is_err());
+    }
+
+    #[test]
+    fn get_table_serves_stat_views_and_counts_base_scans() {
+        let mut cat = Catalog::new(Storage::with_defaults());
+        cat.create_table("T", schema()).unwrap();
+        cat.insert("T", vec![Tuple::new(vec![Value::Int(1), Value::Int(2)])]).unwrap();
+        let _ = cat.get_table("T").unwrap();
+        let _ = cat.get_table("T").unwrap();
+        cat.refresh_stat_views(["nsql_stat_tables"]);
+        let view = cat.get_table("nsql_stat_tables").unwrap();
+        let rows: Vec<_> = view.scan(cat.storage()).collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::Str("T".into()));
+        assert_eq!(rows[0].get(1), &Value::Int(2), "two scans of T");
+        assert_eq!(rows[0].get(4), &Value::Int(1), "one tuple written");
+        // Views have a schema but no generation (uncacheable) and are
+        // absent from the base-table list.
+        assert!(cat.table_schema("NSQL_STAT_TABLES").is_some());
+        assert!(cat.table_generation("NSQL_STAT_TABLES").is_none());
+        assert!(!cat.table_names().contains(&"NSQL_STAT_TABLES"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_distinct_counts() {
+        let mut cat = Catalog::new(Storage::with_defaults());
+        cat.create_table("T", schema()).unwrap();
+        cat.insert(
+            "T",
+            vec![
+                Tuple::new(vec![Value::Int(1), Value::Int(7)]),
+                Tuple::new(vec![Value::Int(2), Value::Int(7)]),
+                Tuple::new(vec![Value::Int(2), Value::Int(8)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(cat.distinct_count("T", 0), Some(2));
+        assert_eq!(cat.distinct_count("T", 1), Some(2));
+        let snap = cat.snapshot();
+        let restored = Catalog::restore(Storage::with_defaults(), Some(&snap)).unwrap();
+        assert_eq!(restored.distinct_count("T", 0), Some(2));
+        assert_eq!(restored.distinct_count("T", 1), Some(2));
+        assert_eq!(restored.distinct_count("T", 9), None);
+    }
+
+    #[test]
+    fn v1_snapshots_still_restore_without_stats() {
+        // Hand-build a v1 image: same layout, version 1, no stats trailer.
+        let mut cat = Catalog::new(Storage::with_defaults());
+        cat.create_table("T", schema()).unwrap();
+        let v2 = cat.snapshot();
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        let mut v1 = w.into_bytes();
+        // Body up to the stats trailer: everything after the version word,
+        // minus the trailer this catalog wrote (one u32 count + one entry).
+        let body_start = 4;
+        let mut trailer = ByteWriter::new();
+        trailer.put_u32(cat_stats_len(&cat) as u32);
+        for (key, counts) in cat_stats(&cat) {
+            trailer.put_str(key);
+            trailer.put_u32(counts.len() as u32);
+            for &d in counts {
+                trailer.put_u64(d as u64);
+            }
+        }
+        let trailer_len = trailer.into_bytes().len();
+        v1.extend_from_slice(&v2[body_start..v2.len() - trailer_len]);
+        let restored = Catalog::restore(Storage::with_defaults(), Some(&v1)).unwrap();
+        assert!(restored.get_table("T").is_some());
+        assert_eq!(restored.distinct_count("T", 0), None, "v1 carries no stats");
+        // Unknown future versions are still rejected.
+        let mut bad = ByteWriter::new();
+        bad.put_u32(99);
+        assert!(Catalog::restore(Storage::with_defaults(), Some(&bad.into_bytes())).is_err());
+    }
+
+    fn cat_stats(cat: &Catalog) -> &BTreeMap<String, Vec<usize>> {
+        &cat.stats
+    }
+
+    fn cat_stats_len(cat: &Catalog) -> usize {
+        cat.stats.len()
     }
 }

@@ -6,9 +6,10 @@ use crate::explain::{ObsReport, TempStat};
 use crate::options::{Durability, QueryOptions, Strategy};
 use crate::plan_exec::PlanExecutor;
 use crate::Result;
-use nsql_analyzer::{query_tree, validate_query, QueryTree};
+use nsql_analyzer::{query_fingerprint, query_tree, validate_query, QueryTree};
 use nsql_core::{transform_query, transform_query_traced, TransformPlan};
 use nsql_engine::{Exec, ExecObs, NestedIter};
+use nsql_obs::stats::{CacheCounters, SlowQuery, StatementSample, StatsRegistry};
 use nsql_obs::{IoDelta, SpanNode, Tracer};
 use nsql_sql::{parse_statements, QueryBlock, Statement};
 use nsql_storage::{IoStats, RecoveryReport, Storage};
@@ -232,6 +233,12 @@ impl Database {
         self.catalog.storage()
     }
 
+    /// The engine-wide cumulative statistics registry (shared with the
+    /// catalog, which serves it through the `nsql_stat_*` system views).
+    pub fn stats(&self) -> Arc<StatsRegistry> {
+        self.catalog.stats_registry()
+    }
+
     /// Run a `;`-separated SQL script: `CREATE TABLE` / `INSERT` /
     /// `SELECT`. Returns the result of the last SELECT, if any; SELECTs use
     /// the default (transform, cost-based) options.
@@ -305,12 +312,81 @@ impl Database {
         (tracer, Some(ExecObs::new()))
     }
 
+    /// Statement-level wrapper around [`Database::run_strategy`]: refreshes
+    /// any referenced `nsql_stat_*` views to a consistent snapshot, runs
+    /// the query, then folds the completed call (success *or* failure) into
+    /// the statistics registry and — past the configured threshold — the
+    /// slow-query log. Every observation here is a pure load of storage
+    /// counters or registry side-state: counted I/O never moves.
     fn run_observed(
         &self,
         q: &QueryBlock,
         opts: &QueryOptions,
         tracer: Tracer,
         exec_obs: Option<ExecObs>,
+    ) -> Result<QueryOutcome> {
+        let registry = self.catalog.stats_registry();
+        if !registry.enabled() {
+            let mut refusals = 0;
+            return self.run_strategy(q, opts, &tracer, &exec_obs, &mut refusals);
+        }
+        // One snapshot per statement: every scan of a stat view inside this
+        // statement (nested blocks included) sees the same materialization.
+        let referenced = q.referenced_tables();
+        self.catalog.refresh_stat_views(referenced.iter().map(String::as_str));
+        let t0 = Instant::now();
+        let io0 = self.catalog.storage().io_snapshot();
+        let mut refusals = 0;
+        let result = self.run_strategy(q, opts, &tracer, &exec_obs, &mut refusals);
+        let micros = t0.elapsed().as_micros() as u64;
+        let d = self.catalog.storage().io_snapshot().since(&io0);
+        let strategy = opts.strategy.resolve().name().to_string();
+        let exec_mode =
+            if opts.exec_mode.vectorized() { "vector" } else { "row" }.to_string();
+        let fingerprint = query_fingerprint(q);
+        registry.record_statement(&StatementSample {
+            fingerprint: fingerprint.clone(),
+            micros,
+            reads: d.reads,
+            writes: d.writes,
+            strategy: strategy.clone(),
+            exec_mode,
+            error: result.is_err(),
+            refusals,
+        });
+        if let Some(threshold_us) = opts.slow_query_threshold_us() {
+            if micros >= threshold_us {
+                let explain = match &result {
+                    Ok(out) => out.explain.clone(),
+                    Err(e) => vec![format!("error: {e}")],
+                };
+                let seq = registry.record_slow(SlowQuery {
+                    seq: 0,
+                    sql: nsql_sql::print_query(q),
+                    fingerprint,
+                    micros,
+                    strategy,
+                    reads: d.reads,
+                    writes: d.writes,
+                    explain,
+                });
+                if let Some(obs) = &exec_obs {
+                    obs.registry.event(format!(
+                        "slow query #{seq}: {micros} us (threshold {threshold_us} us)"
+                    ));
+                }
+            }
+        }
+        result
+    }
+
+    fn run_strategy(
+        &self,
+        q: &QueryBlock,
+        opts: &QueryOptions,
+        tracer: &Tracer,
+        exec_obs: &Option<ExecObs>,
+        refusals: &mut u64,
     ) -> Result<QueryOutcome> {
         let span = tracer.begin("analyze");
         let analyzed = validate_query(&self.catalog, q);
@@ -435,9 +511,15 @@ impl Database {
                 unnest.preserve_duplicates |=
                     opts.duplicates == crate::options::DuplicateSemantics::ForceDistinct;
                 let span = tracer.begin("transform");
-                let plan = transform_query_traced(&self.catalog, q, &unnest, &tracer);
+                let plan = transform_query_traced(&self.catalog, q, &unnest, tracer);
                 tracer.end(span);
-                let plan = plan?;
+                // A transformation error is a *refusal*: the strategy
+                // declined the query shape. The fingerprint aggregates
+                // count it separately from ordinary errors.
+                let plan = plan.map_err(|e| {
+                    *refusals += 1;
+                    e
+                })?;
                 explain.push(format!(
                     "strategy: transform ({} temp table{}), join policy: {}",
                     plan.temp_count(),
@@ -495,18 +577,27 @@ impl Database {
             }
         };
         let io = storage.io_stats().since(&before);
-        if let Some(obs) = &exec_obs {
-            if cache_mode.enabled() {
-                let s = self.cache.stats();
-                obs.registry.event(format!(
-                    "cache: {} entries, {} bytes; lifetime hits {}, misses {}, \
-                     declines {}, evictions {}, invalidations {}",
-                    s.entries, s.bytes, s.hits, s.misses, s.declines, s.evictions,
-                    s.invalidations
-                ));
+        if cache_mode.enabled() {
+            // One source of truth for the lifetime cache counters: mirror
+            // them into the statistics registry (which feeds the
+            // `nsql_stat_cache` view), and render the obs event from that
+            // same mirrored value.
+            let s = self.cache.stats();
+            let counters = CacheCounters {
+                hits: s.hits,
+                misses: s.misses,
+                declines: s.declines,
+                evictions: s.evictions,
+                invalidations: s.invalidations,
+                entries: s.entries,
+                bytes: s.bytes,
+            };
+            self.catalog.stats_registry().record_cache(counters);
+            if let Some(obs) = &exec_obs {
+                obs.registry.event(counters.render());
             }
         }
-        let obs = exec_obs.map(|o| ObsReport {
+        let obs = exec_obs.as_ref().map(|o| ObsReport {
             spans: tracer.finish(),
             ops: o.registry.snapshot(),
             events: o.registry.events(),

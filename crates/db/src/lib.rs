@@ -30,6 +30,7 @@ pub mod explain;
 pub mod options;
 pub mod plan_exec;
 pub mod result_cache;
+pub mod stat_views;
 
 pub use catalog::Catalog;
 pub use database::{Database, OpenReport, QueryOutcome};

@@ -328,9 +328,28 @@ pub struct QueryOptions {
     /// result memo. `None` keeps the engine default (1 MiB); the budget is
     /// accounted with the same size estimate as the cross-query cache.
     pub memo_budget: Option<usize>,
+    /// Slow-query threshold in milliseconds: statements whose wall time
+    /// reaches it are appended (with their rendered EXPLAIN) to the
+    /// statistics registry's slow-query log. `Some(0)` logs everything;
+    /// `None` (the default) resolves from `NSQL_SLOW_QUERY_MS`, and when
+    /// that is unset too the log stays off.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl QueryOptions {
+    /// The effective slow-query threshold in **microseconds** (the unit
+    /// statement timings are recorded in), after `NSQL_SLOW_QUERY_MS`
+    /// resolution; `None` disables the slow-query log.
+    pub fn slow_query_threshold_us(&self) -> Option<u64> {
+        let ms = match self.slow_query_ms {
+            Some(ms) => Some(ms),
+            None => std::env::var("NSQL_SLOW_QUERY_MS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok()),
+        };
+        ms.map(|ms| ms.saturating_mul(1000))
+    }
+
     /// The paper's baseline: nested iteration, cold buffer.
     pub fn nested_iteration() -> QueryOptions {
         QueryOptions {

@@ -985,6 +985,7 @@ impl<T: TableProvider> PlanExecutor<T> {
         let storage = self.exec.storage().clone();
         let probe_col = lkeys[ki];
         let rows_in = l.file.tuple_count() as u64;
+        note_index_probes(&self.base, &ix, rows_in);
         let gen_rows = || -> Result<Vec<Tuple>> {
             let mut rows = Vec::new();
             for lt in l.file.scan(&storage) {
@@ -1067,6 +1068,7 @@ impl<T: TableProvider> PlanExecutor<T> {
             if !use_ix {
                 return Ok(None);
             }
+            note_index_probes(&self.base, &ix, 1);
             // The whole predicate is re-applied to the range-scan output,
             // so the index only has to deliver a superset of the matches.
             let cpred = CPred::compile(schema, pred)?;
@@ -1532,6 +1534,14 @@ fn sargable_conjunct(
     };
     let i = schema.try_resolve(c.table.as_deref(), &c.column)?;
     literal_matches_class(schema.columns()[i].ty, v).then(|| (i, op, v.clone()))
+}
+
+/// Report a taken index path to the provider's statistics, resolving the
+/// indexed table from the index's (qualified) schema. Pure side-state.
+fn note_index_probes<T: TableProvider>(base: &T, ix: &BTreeIndex, probes: u64) {
+    if let Some(table) = ix.schema().columns().first().and_then(|c| c.table.as_deref()) {
+        base.note_index_probes(table, probes);
+    }
 }
 
 /// Key-range bounds equivalent to `key op literal`.

@@ -34,6 +34,12 @@ pub trait TableProvider {
     fn cache_epoch(&self) -> u64 {
         0
     }
+
+    /// Tell the provider the executor took an index path on `table`
+    /// (`probes` key lookups or one range scan). Defaulted to a no-op;
+    /// the catalog folds it into its cumulative statistics. Pure
+    /// side-state — implementations must not touch counted I/O.
+    fn note_index_probes(&self, _table: &str, _probes: u64) {}
 }
 
 impl<T: TableProvider + ?Sized> TableProvider for &T {
@@ -51,6 +57,10 @@ impl<T: TableProvider + ?Sized> TableProvider for &T {
 
     fn cache_epoch(&self) -> u64 {
         (**self).cache_epoch()
+    }
+
+    fn note_index_probes(&self, table: &str, probes: u64) {
+        (**self).note_index_probes(table, probes)
     }
 }
 
@@ -107,6 +117,12 @@ impl<T: TableProvider + ?Sized> TableProvider for OverlayProvider<'_, T> {
 
     fn cache_epoch(&self) -> u64 {
         self.base.cache_epoch()
+    }
+
+    fn note_index_probes(&self, table: &str, probes: u64) {
+        // Shadowed temps expose no indexes, so probes can only concern
+        // base tables — forward unconditionally.
+        self.base.note_index_probes(table, probes)
     }
 }
 

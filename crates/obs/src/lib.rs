@@ -27,7 +27,13 @@
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod stats;
 
 pub use json::Json;
 pub use metrics::{MetricsRegistry, OpMetrics, OpSnapshot, ShardedCounter, SHARDS};
 pub use span::{IoDelta, SpanNode, Tracer};
+pub use stats::{
+    thread_shard, CacheCounters, LatencyHistogram, SlowQuery, StatementSample,
+    StatementSnapshot, StatementStats, StatsRegistry, StatsSnapshot, TableCounters,
+    TableSnapshot, SLOW_LOG_CAP,
+};

@@ -437,6 +437,68 @@ impl QueryBlock {
     pub fn from_names(&self) -> Vec<&str> {
         self.from.iter().map(TableRef::effective_name).collect()
     }
+
+    /// Every *base table name* referenced anywhere in the query, including
+    /// inside nested subqueries at any depth, deduplicated in
+    /// first-occurrence order. Unlike [`QueryBlock::from_names`] this
+    /// returns the underlying table names, never aliases — it answers
+    /// "which stored relations does evaluating this statement touch?",
+    /// which the statistics layer uses to refresh referenced system views
+    /// before execution.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        for t in &self.from {
+            if !out.iter().any(|n| n == &t.table) {
+                out.push(t.table.clone());
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            collect_pred_tables(w, out);
+        }
+    }
+}
+
+fn collect_pred_tables(p: &Predicate, out: &mut Vec<String>) {
+    match p {
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            for sub in ps {
+                collect_pred_tables(sub, out);
+            }
+        }
+        Predicate::Not(inner) => collect_pred_tables(inner, out),
+        Predicate::Compare { left, right, .. } => {
+            for o in [left, right] {
+                if let Operand::Subquery(q) = o {
+                    q.collect_tables(out);
+                }
+            }
+        }
+        Predicate::In { operand, rhs, .. } => {
+            if let Operand::Subquery(q) = operand {
+                q.collect_tables(out);
+            }
+            if let InRhs::Subquery(q) = rhs {
+                q.collect_tables(out);
+            }
+        }
+        Predicate::IsNull { operand, .. } => {
+            if let Operand::Subquery(q) = operand {
+                q.collect_tables(out);
+            }
+        }
+        Predicate::Exists { query, .. } => query.collect_tables(out),
+        Predicate::Quantified { left, query, .. } => {
+            if let Operand::Subquery(q) = left {
+                q.collect_tables(out);
+            }
+            query.collect_tables(out);
+        }
+    }
 }
 
 /// A top-level statement.

@@ -32,7 +32,7 @@ pub use ast::{
 };
 pub use error::ParseError;
 pub use parser::{parse_query, parse_statement, parse_statements};
-pub use printer::{print_predicate, print_query};
+pub use printer::{print_predicate, print_query, print_query_masked};
 
 /// Result alias for parsing.
 pub type Result<T> = std::result::Result<T, ParseError>;

@@ -11,14 +11,26 @@ use std::fmt::Write as _;
 /// Render a query block as a single-line SQL string.
 pub fn print_query(q: &QueryBlock) -> String {
     let mut out = String::new();
-    write_query(&mut out, q);
+    write_query(&mut out, q, false);
+    out
+}
+
+/// Render a query block with every literal (comparison constants, IN-list
+/// elements, SELECT-list constants) replaced by `?` — the statement
+/// *fingerprint* used by cumulative statistics to aggregate calls that
+/// differ only in their constants. Structure, table names, columns,
+/// aliases, and nesting all remain, so structurally different statements
+/// never collide.
+pub fn print_query_masked(q: &QueryBlock) -> String {
+    let mut out = String::new();
+    write_query(&mut out, q, true);
     out
 }
 
 /// Render a predicate as SQL.
 pub fn print_predicate(p: &Predicate) -> String {
     let mut out = String::new();
-    write_pred(&mut out, p, false);
+    write_pred(&mut out, p, false, false);
     out
 }
 
@@ -48,7 +60,7 @@ pub fn print_statement(s: &Statement) -> String {
     }
 }
 
-fn write_query(out: &mut String, q: &QueryBlock) {
+fn write_query(out: &mut String, q: &QueryBlock, mask: bool) {
     out.push_str("SELECT ");
     if q.distinct {
         out.push_str("DISTINCT ");
@@ -57,7 +69,7 @@ fn write_query(out: &mut String, q: &QueryBlock) {
         if i > 0 {
             out.push_str(", ");
         }
-        write_scalar(out, &item.expr);
+        write_scalar(out, &item.expr, mask);
         if let Some(a) = &item.alias {
             let _ = write!(out, " AS {a}");
         }
@@ -74,7 +86,7 @@ fn write_query(out: &mut String, q: &QueryBlock) {
     }
     if let Some(w) = &q.where_clause {
         out.push_str(" WHERE ");
-        write_pred(out, w, false);
+        write_pred(out, w, false, mask);
     }
     if !q.group_by.is_empty() {
         out.push_str(" GROUP BY ");
@@ -99,12 +111,18 @@ fn write_query(out: &mut String, q: &QueryBlock) {
     }
 }
 
-fn write_scalar(out: &mut String, e: &ScalarExpr) {
+fn write_scalar(out: &mut String, e: &ScalarExpr, mask: bool) {
     match e {
         ScalarExpr::Column(c) => {
             let _ = write!(out, "{c}");
         }
-        ScalarExpr::Literal(v) => out.push_str(&print_value(v)),
+        ScalarExpr::Literal(v) => {
+            if mask {
+                out.push('?');
+            } else {
+                out.push_str(&print_value(v));
+            }
+        }
         ScalarExpr::Aggregate(f, AggArg::Star) => {
             let _ = write!(out, "{}(*)", f.name());
         }
@@ -114,15 +132,21 @@ fn write_scalar(out: &mut String, e: &ScalarExpr) {
     }
 }
 
-fn write_operand(out: &mut String, o: &Operand) {
+fn write_operand(out: &mut String, o: &Operand, mask: bool) {
     match o {
         Operand::Column(c) => {
             let _ = write!(out, "{c}");
         }
-        Operand::Literal(v) => out.push_str(&print_value(v)),
+        Operand::Literal(v) => {
+            if mask {
+                out.push('?');
+            } else {
+                out.push_str(&print_value(v));
+            }
+        }
         Operand::Subquery(q) => {
             out.push('(');
-            write_query(out, q);
+            write_query(out, q, mask);
             out.push(')');
         }
     }
@@ -130,7 +154,7 @@ fn write_operand(out: &mut String, o: &Operand) {
 
 /// `parenthesize` wraps compound predicates so nesting under NOT/OR prints
 /// unambiguously.
-fn write_pred(out: &mut String, p: &Predicate, parenthesize: bool) {
+fn write_pred(out: &mut String, p: &Predicate, parenthesize: bool, mask: bool) {
     match p {
         Predicate::And(ps) => {
             if parenthesize {
@@ -140,7 +164,7 @@ fn write_pred(out: &mut String, p: &Predicate, parenthesize: bool) {
                 if i > 0 {
                     out.push_str(" AND ");
                 }
-                write_pred(out, sub, matches!(sub, Predicate::Or(_)));
+                write_pred(out, sub, matches!(sub, Predicate::Or(_)), mask);
             }
             if parenthesize {
                 out.push(')');
@@ -154,7 +178,12 @@ fn write_pred(out: &mut String, p: &Predicate, parenthesize: bool) {
                 if i > 0 {
                     out.push_str(" OR ");
                 }
-                write_pred(out, sub, matches!(sub, Predicate::And(_) | Predicate::Or(_)));
+                write_pred(
+                    out,
+                    sub,
+                    matches!(sub, Predicate::And(_) | Predicate::Or(_)),
+                    mask,
+                );
             }
             if parenthesize {
                 out.push(')');
@@ -162,29 +191,33 @@ fn write_pred(out: &mut String, p: &Predicate, parenthesize: bool) {
         }
         Predicate::Not(inner) => {
             out.push_str("NOT (");
-            write_pred(out, inner, false);
+            write_pred(out, inner, false, mask);
             out.push(')');
         }
         Predicate::Compare { left, op, right } => {
-            write_operand(out, left);
+            write_operand(out, left, mask);
             let _ = write!(out, " {} ", op.symbol());
-            write_operand(out, right);
+            write_operand(out, right, mask);
         }
         Predicate::In { operand, negated, rhs } => {
-            write_operand(out, operand);
+            write_operand(out, operand, mask);
             if *negated {
                 out.push_str(" NOT IN (");
             } else {
                 out.push_str(" IN (");
             }
             match rhs {
-                InRhs::Subquery(q) => write_query(out, q),
+                InRhs::Subquery(q) => write_query(out, q, mask),
                 InRhs::List(vs) => {
                     for (i, v) in vs.iter().enumerate() {
                         if i > 0 {
                             out.push_str(", ");
                         }
-                        out.push_str(&print_value(v));
+                        if mask {
+                            out.push('?');
+                        } else {
+                            out.push_str(&print_value(v));
+                        }
                     }
                 }
             }
@@ -195,21 +228,21 @@ fn write_pred(out: &mut String, p: &Predicate, parenthesize: bool) {
                 out.push_str("NOT ");
             }
             out.push_str("EXISTS (");
-            write_query(out, query);
+            write_query(out, query, mask);
             out.push(')');
         }
         Predicate::Quantified { left, op, quantifier, query } => {
-            write_operand(out, left);
+            write_operand(out, left, mask);
             let q = match quantifier {
                 Quantifier::Any => "ANY",
                 Quantifier::All => "ALL",
             };
             let _ = write!(out, " {} {q} (", op.symbol());
-            write_query(out, query);
+            write_query(out, query, mask);
             out.push(')');
         }
         Predicate::IsNull { operand, negated } => {
-            write_operand(out, operand);
+            write_operand(out, operand, mask);
             if *negated {
                 out.push_str(" IS NOT NULL");
             } else {

@@ -14,9 +14,27 @@ use nsql_types::Tuple;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
+/// First page id of the reserved *system* range. Pages at or above this id
+/// hold engine-internal state (materialized `nsql_stat_*` views); they live
+/// in a memory-only side store, are never counted, never buffered, never
+/// traced or recorded, and never reach the durable backend — so turning
+/// statistics on cannot move a published I/O counter or grow the WAL.
+/// Ordinary allocation counts up from 0 and can never collide with the
+/// range (2^62 pages is far beyond any run).
+pub const SYSTEM_PAGE_BASE: u64 = 1 << 62;
+
 /// Identifier of a disk page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u64);
+
+impl PageId {
+    /// Whether this id lies in the reserved system range (uncounted,
+    /// memory-only side store).
+    #[inline]
+    pub fn is_system(self) -> bool {
+        self.0 >= SYSTEM_PAGE_BASE
+    }
+}
 
 /// A disk page: an ordered run of tuples.
 ///
@@ -129,6 +147,11 @@ pub struct Disk {
     backend: Arc<dyn DiskManager>,
     next_id: AtomicU64,
     counter: Arc<IoCounter>,
+    /// Memory-only side store for the reserved system page range (ids ≥
+    /// [`SYSTEM_PAGE_BASE`]). Never counted, never part of the durable
+    /// backend, excluded from [`Disk::live_pages`] leak checks.
+    system: MemBackend,
+    next_system_id: AtomicU64,
 }
 
 impl Disk {
@@ -141,7 +164,14 @@ impl Disk {
     /// upward (a recovered durable store resumes past its persisted
     /// high-water mark).
     pub fn with_backend(backend: Arc<dyn DiskManager>, first_id: u64) -> Disk {
-        Disk { backend, next_id: AtomicU64::new(first_id), counter: IoCounter::shared() }
+        assert!(first_id < SYSTEM_PAGE_BASE, "ordinary ids below the system range");
+        Disk {
+            backend,
+            next_id: AtomicU64::new(first_id),
+            counter: IoCounter::shared(),
+            system: MemBackend::new(),
+            next_system_id: AtomicU64::new(SYSTEM_PAGE_BASE),
+        }
     }
 
     /// Allocate a page id (no I/O).
@@ -187,6 +217,38 @@ impl Disk {
     /// (trace replay: the physical write already happened uncounted).
     pub fn charge_write(&self) {
         self.counter.count_write();
+    }
+
+    /// Allocate a system page id (no I/O; ids count up from
+    /// [`SYSTEM_PAGE_BASE`]).
+    pub fn alloc_system(&self) -> PageId {
+        PageId(self.next_system_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Read a system page. Uncounted by contract: system pages hold the
+    /// statistics views, and observing statistics must not move the
+    /// counters being observed.
+    pub fn read_system(&self, id: PageId) -> Arc<Page> {
+        debug_assert!(id.is_system());
+        self.system.read(id)
+    }
+
+    /// Write a system page. Uncounted; never reaches the durable backend.
+    pub fn write_system(&self, id: PageId, page: Page) {
+        debug_assert!(id.is_system());
+        self.system.write(id, page);
+    }
+
+    /// Drop a system page.
+    pub fn free_system(&self, id: PageId) {
+        debug_assert!(id.is_system());
+        self.system.free(id);
+    }
+
+    /// Number of live system pages (side-store leak checks; these are
+    /// deliberately *excluded* from [`Disk::live_pages`]).
+    pub fn system_pages(&self) -> usize {
+        self.system.live_pages()
     }
 
     /// Counter snapshot.

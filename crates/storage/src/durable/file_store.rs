@@ -144,6 +144,11 @@ struct StoreState {
     fault: Option<FaultPlan>,
     write_ops: u64,
     crashed: bool,
+    /// Durable commits completed since open (statistics only).
+    commits: u64,
+    /// Checkpoints folded since open, explicit or automatic (statistics
+    /// only).
+    checkpoints: u64,
 }
 
 /// The durable, file-backed [`DiskManager`] backend. See the module docs
@@ -405,11 +410,22 @@ impl FileStore {
             st.wal_len += wrote;
         }
         st.committed_meta = Some(meta.to_vec());
+        st.commits += 1;
 
         if st.wal_len > AUTO_CHECKPOINT_WAL_BYTES {
             checkpoint_locked(st, &mut files)?;
         }
         Ok(())
+    }
+
+    /// Durable commits completed since open.
+    pub fn commits(&self) -> u64 {
+        self.state().commits
+    }
+
+    /// Checkpoints folded since open (explicit plus automatic).
+    pub fn checkpoints(&self) -> u64 {
+        self.state().checkpoints
     }
 
     /// Fold committed state into the page file and truncate the WAL. Must
@@ -806,5 +822,6 @@ fn checkpoint_locked(st: &mut StoreState, files: &mut Files) -> Result<(), Stora
     physical_truncate(st, &mut files.wal, 0)?;
     st.wal_len = 0;
     st.free_slots.extend(pending_free);
+    st.checkpoints += 1;
     Ok(())
 }

@@ -27,7 +27,27 @@ impl HeapFile {
         schema: Schema,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> HeapFile {
-        let budget = storage.page_size();
+        Self::pack(schema, tuples, storage.page_size(), |ts| storage.write_new_page(ts))
+    }
+
+    /// Build a heap file on uncounted *system* pages (see
+    /// [`Storage::store_relation_system`]): identical packing to
+    /// [`HeapFile::from_tuples`], zero counted I/O.
+    pub fn from_tuples_system(
+        storage: &Storage,
+        schema: Schema,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> HeapFile {
+        Self::pack(schema, tuples, storage.page_size(), |ts| storage.write_new_system_page(ts))
+    }
+
+    /// Shared byte-budget packing loop behind both constructors.
+    fn pack(
+        schema: Schema,
+        tuples: impl IntoIterator<Item = Tuple>,
+        budget: usize,
+        mut write: impl FnMut(Vec<Tuple>) -> PageId,
+    ) -> HeapFile {
         let mut pages = Vec::new();
         let mut current: Vec<Tuple> = Vec::new();
         let mut used = 0usize;
@@ -36,7 +56,7 @@ impl HeapFile {
             debug_assert_eq!(t.arity(), schema.arity(), "tuple arity must match heap schema");
             let w = t.storage_width();
             if !current.is_empty() && used + w > budget {
-                pages.push(storage.write_new_page(std::mem::take(&mut current)));
+                pages.push(write(std::mem::take(&mut current)));
                 used = 0;
             }
             used += w;
@@ -44,7 +64,7 @@ impl HeapFile {
             current.push(t);
         }
         if !current.is_empty() {
-            pages.push(storage.write_new_page(current));
+            pages.push(write(current));
         }
         HeapFile { schema, pages: Arc::new(pages), tuple_count }
     }

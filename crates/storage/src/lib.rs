@@ -35,7 +35,7 @@ pub mod sort;
 pub mod stats;
 
 pub use buffer::BufferPool;
-pub use disk::{Disk, DiskManager, MemBackend, Page, PageId};
+pub use disk::{Disk, DiskManager, MemBackend, Page, PageId, SYSTEM_PAGE_BASE};
 pub use durable::{FaultPlan, FileStore, RecoveryReport};
 pub use error::StorageError;
 pub use heap::HeapFile;
@@ -312,7 +312,15 @@ impl Storage {
     }
 
     /// Read a page through the buffer pool.
+    ///
+    /// System pages (ids ≥ [`disk::SYSTEM_PAGE_BASE`]) take a side path:
+    /// uncounted, unbuffered, untraced, unrecorded. The check is one
+    /// integer compare on the id, and ordinary pages can never alias the
+    /// range, so the hot path is unchanged for real relations.
     pub fn read_page(&self, id: PageId) -> Arc<Page> {
+        if id.is_system() {
+            return self.inner.disk.read_system(id);
+        }
         match &self.inner.mode {
             IoMode::Counted => {
                 self.record(TraceEvent::Read(id));
@@ -329,6 +337,9 @@ impl Storage {
     /// buffer. Sort passes use this so their I/O pattern matches the
     /// analytical model exactly.
     pub fn read_page_direct(&self, id: PageId) -> Arc<Page> {
+        if id.is_system() {
+            return self.inner.disk.read_system(id);
+        }
         match &self.inner.mode {
             IoMode::Counted => {
                 self.record(TraceEvent::ReadDirect(id));
@@ -346,6 +357,9 @@ impl Storage {
     /// result-cache publication (capturing a freshly materialized temp's
     /// contents); it must never be used on a query-execution path.
     pub fn read_page_tuples_uncounted(&self, id: PageId) -> Vec<Tuple> {
+        if id.is_system() {
+            return self.inner.disk.read_system(id).tuples().to_vec();
+        }
         self.inner.disk.read_uncounted(id).tuples().to_vec()
     }
 
@@ -400,6 +414,11 @@ impl Storage {
     /// but it is recorded/traced: dropping a page from the buffer frees a
     /// frame, so a faithful replay must reproduce it.
     pub fn free_page(&self, id: PageId) {
+        if id.is_system() {
+            // System pages never enter the buffer and are never traced.
+            self.inner.disk.free_system(id);
+            return;
+        }
         match &self.inner.mode {
             IoMode::Counted => self.record(TraceEvent::Free(id)),
             IoMode::Trace(_) => self.trace(TraceEvent::Free(id)),
@@ -424,6 +443,28 @@ impl Storage {
     /// into pages by byte budget. Costs one write per page.
     pub fn store_relation(&self, rel: &Relation) -> HeapFile {
         HeapFile::from_tuples(self, rel.schema().clone(), rel.tuples().iter().cloned())
+    }
+
+    /// Allocate and write a fresh *system* page (uncounted, memory-only;
+    /// see [`disk::SYSTEM_PAGE_BASE`]).
+    pub fn write_new_system_page(&self, tuples: Vec<Tuple>) -> PageId {
+        let id = self.inner.disk.alloc_system();
+        self.inner.disk.write_system(id, Page::new(tuples));
+        id
+    }
+
+    /// Materialize a [`Relation`] as a heap file on *system* pages: same
+    /// byte-budget packing as [`Storage::store_relation`], but every page
+    /// goes to the uncounted side store, so scanning the result moves no
+    /// I/O counter. This is how the `nsql_stat_*` views become ordinary
+    /// scannable heap files without perturbing what they report.
+    pub fn store_relation_system(&self, rel: &Relation) -> HeapFile {
+        HeapFile::from_tuples_system(self, rel.schema().clone(), rel.tuples().iter().cloned())
+    }
+
+    /// Number of live system pages (excluded from [`Storage::live_pages`]).
+    pub fn system_pages(&self) -> usize {
+        self.inner.disk.system_pages()
     }
 
     /// Load a heap file fully into an in-memory [`Relation`] (costs reads
@@ -662,6 +703,58 @@ mod tests {
         st.free_page(tmp2);
         assert_eq!(st.io_stats(), want, "recording must not change counted I/O");
         assert!(st.take_recording().is_empty(), "recording was off for the second run");
+    }
+
+    #[test]
+    fn system_pages_are_invisible_to_counters_and_traces() {
+        let st = Storage::with_defaults();
+        let rel = int_relation(80);
+        st.reset_stats();
+        st.start_recording();
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let tv = st.trace_view(Arc::clone(&sink));
+
+        // Materialize, scan (buffered + direct + via trace view), free.
+        let f = st.store_relation_system(&rel);
+        assert!(f.page_count() > 1);
+        assert!(f.page_ids().iter().all(|id| id.is_system()));
+        let back = st.load_relation(&f);
+        assert!(back.same_bag(&rel));
+        for &id in f.page_ids() {
+            let _ = st.read_page_direct(id);
+            let _ = tv.read_page(id);
+            assert_eq!(st.read_page_tuples_uncounted(id).len(), st.read_page(id).len());
+        }
+        assert_eq!(st.system_pages(), f.page_count());
+        f.drop_pages(&st);
+        assert_eq!(st.system_pages(), 0);
+
+        // Not one counter, recorded event, trace event, buffered frame, or
+        // ordinary live page moved.
+        assert_eq!(st.io_stats().total(), 0);
+        let snap = st.io_snapshot();
+        assert_eq!((snap.hits, snap.misses), (0, 0));
+        assert!(st.take_recording().is_empty());
+        assert!(sink.lock().unwrap().is_empty());
+        assert_eq!(st.resident_pages(), 0);
+        assert_eq!(st.live_pages(), 0);
+    }
+
+    #[test]
+    fn system_pages_never_touch_the_durable_backend() {
+        let dir = std::env::temp_dir().join(format!("nsql-sys-pages-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (st, _) = Storage::file_backed(6, 512, &dir).unwrap();
+        let f = st.store_relation_system(&int_relation(40));
+        assert!(f.page_count() > 0);
+        let store = st.durable().unwrap();
+        let before = store.batch_len();
+        st.commit_durable(b"meta").unwrap();
+        assert_eq!(before, 0, "system writes must not enter the durable batch");
+        assert_eq!(st.io_stats().total(), 0);
+        f.drop_pages(&st);
+        drop(st);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 #   ./scripts/bench.sh vec [label]       # exec-mode sweep -> BENCH_pr7.json
 #   ./scripts/bench.sh cache [label]     # result-cache sweep -> BENCH_pr8.json
 #   ./scripts/bench.sh strategy [label]  # three-way strategy sweep -> BENCH_pr9.json
+#   ./scripts/bench.sh stats [label]     # stats-registry overhead -> BENCH_pr10.json
 #
 # The committed BENCH_pr2.json holds one line per benchmark per run,
 # tagged `"label":"baseline"` (recorded before the zero-copy hot-path
@@ -34,7 +35,13 @@
 # duplicate-heavy and a unique-correlation workload; acceptance reads the
 # strategy-dup-type-J-notin group, where the query sits outside the
 # transformable class (the transform cell times refusal + nested-iteration
-# fallback) and batched must beat both incumbents.
+# fallback) and batched must beat both incumbents. BENCH_pr10.json holds
+# the statistics-registry overhead sweep (stats=off vs stats=on per cell);
+# counted page I/Os are byte-identical between the cells by construction
+# (collection is pure side-state; see DESIGN.md "System statistics"), so
+# the medians isolate the registry's CPU cost. Acceptance reads the
+# stats-ni-type-J group and asks the stats=on median to sit within 2% of
+# stats=off.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,6 +60,9 @@ elif [ "${1:-}" = "cache" ]; then
     shift
 elif [ "${1:-}" = "strategy" ]; then
     mode=strategy
+    shift
+elif [ "${1:-}" = "stats" ]; then
+    mode=stats
     shift
 fi
 label=${1:-current}
@@ -79,6 +89,10 @@ elif [ "$mode" = "strategy" ]; then
     out=BENCH_pr9.json
     echo "==> cargo bench -p nsql-bench --bench strategy_sweep  (host: $(nproc) CPU(s))"
     NSQL_BENCH_JSON="$tmp" cargo bench -p nsql-bench --bench strategy_sweep --offline
+elif [ "$mode" = "stats" ]; then
+    out=BENCH_pr10.json
+    echo "==> cargo bench -p nsql-bench --bench stats_overhead  (host: $(nproc) CPU(s))"
+    NSQL_BENCH_JSON="$tmp" cargo bench -p nsql-bench --bench stats_overhead --offline
 else
     out=BENCH_pr2.json
     for bench in nested_vs_transformed ja2_variants; do
@@ -90,7 +104,7 @@ fi
 # Tag each JSON line with the run label (and, for sweeps, the host CPU
 # count — medians at >1 thread only improve when the host has >1 CPU) and
 # append to the committed file.
-if [ "$mode" = "sweep" ] || [ "$mode" = "vec" ] || [ "$mode" = "cache" ] || [ "$mode" = "strategy" ]; then
+if [ "$mode" = "sweep" ] || [ "$mode" = "vec" ] || [ "$mode" = "cache" ] || [ "$mode" = "strategy" ] || [ "$mode" = "stats" ]; then
     sed "s/^{/{\"label\":\"$label\",\"ncpu\":$(nproc),/" "$tmp" >> "$out"
 else
     sed "s/^{/{\"label\":\"$label\",/" "$tmp" >> "$out"

@@ -92,6 +92,20 @@ for bin in figure1 figure2 section7 ablation extensions sweep; do
         || { echo "FAIL: $bin output differs with the result cache enabled"; exit 1; }
 done
 
+echo "==> figure/table binaries are byte-identical under NSQL_STATS=off"
+# The statistics registry is always-on by default, so every baseline above
+# was recorded with it collecting. Disabling it must not move a single
+# counted I/O or row anywhere in the figures: collection is pure
+# side-state off the counted page path, and this diff pins both directions
+# of that claim at once (on-baseline vs off-rerun).
+for bin in figure1 figure2 section7 ablation bugs extensions sweep; do
+    NSQL_STATS=off NSQL_THREADS=1 \
+        cargo run --release --offline -q -p nsql-bench --bin "$bin" \
+        > "$tmp1/$bin.stats.out"
+    diff -q "$tmp1/$bin.t1.out" "$tmp1/$bin.stats.out" \
+        || { echo "FAIL: $bin output differs under NSQL_STATS=off"; exit 1; }
+done
+
 echo "==> vectorized-equivalence property on both storage backends"
 cargo test -q --offline -p nsql-bench --test vec_prop
 NSQL_DURABILITY=file cargo test -q --offline -p nsql-bench --test vec_prop >/dev/null
@@ -101,6 +115,9 @@ cargo run --release --offline -q -p nsql-bench --bin recovery_smoke
 
 echo "==> explain_smoke (EXPLAIN ANALYZE per transform type, exporter schema)"
 cargo run --release --offline -q -p nsql-bench --bin explain_smoke
+
+echo "==> stats_smoke (system views, JSON export, I/O-free statistics reads)"
+cargo run --release --offline -q -p nsql-bench --bin stats_smoke
 
 echo "==> query-processing library crates are stdout-silent"
 # Diagnostics in the processing crates route through the nsql-obs event
@@ -125,6 +142,9 @@ NSQL_TEST_SEED=0xd1ffc4ec NSQL_TEST_CASES=60 cargo test -q --offline --test diff
 
 echo "==> batched_prop smoke (thread/backend I/O invariance + metamorphic mutations)"
 NSQL_TEST_SEED=0xba7c4ed0 NSQL_TEST_CASES=60 cargo test -q --offline --test batched_prop
+
+echo "==> stats_prop smoke (stats-on/off rows + four-counter I/O invariance)"
+NSQL_TEST_SEED=0x57a75b10 NSQL_TEST_CASES=40 cargo test -q --offline --test stats_prop
 
 echo "==> cargo bench --no-run (bench targets compile offline)"
 cargo bench -p nsql-bench --no-run --offline
@@ -152,5 +172,7 @@ NSQL_BENCH_SAMPLES=1 \
     cargo bench -p nsql-bench --offline --bench cache_warm >/dev/null
 NSQL_BENCH_SAMPLES=1 \
     cargo bench -p nsql-bench --offline --bench strategy_sweep >/dev/null
+NSQL_BENCH_SAMPLES=1 \
+    cargo bench -p nsql-bench --offline --bench stats_overhead >/dev/null
 
 echo "verify: OK"

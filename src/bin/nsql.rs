@@ -19,6 +19,9 @@
 //! .explain SELECT …     show the transformation pipeline without running
 //! .tree SELECT …        show the Figure-2 query tree
 //! .demo                 load Kiessling's PARTS/SUPPLY example data
+//! .stats [json]         cumulative statistics (tables, statements, cache);
+//!                       also queryable as the nsql_stat_* system views
+//! .slow [<ms>|off]      show the slow-query log / set the threshold
 //! .quit
 //! ```
 
@@ -115,6 +118,32 @@ impl Shell {
                     Err(e) => println!("error: {e}"),
                 }
             }
+            Some(".stats") => match line.split_whitespace().nth(1) {
+                Some("json") => println!("{}", self.db.stats().snapshot().to_json()),
+                Some(other) => println!("unknown argument {other}; usage: .stats [json]"),
+                None => self.print_stats(),
+            },
+            Some(".slow") => match line.split_whitespace().nth(1) {
+                Some("off") => {
+                    self.opts.slow_query_ms = None;
+                    println!("ok (slow-query log follows NSQL_SLOW_QUERY_MS)");
+                }
+                Some(ms) => match ms.parse::<u64>() {
+                    Ok(ms) => {
+                        self.opts.slow_query_ms = Some(ms);
+                        println!("ok (logging statements >= {ms} ms)");
+                    }
+                    Err(_) => println!("usage: .slow <ms>|off"),
+                },
+                None => {
+                    for q in self.db.stats().slow_queries() {
+                        println!("#{} {} us [{}] {}", q.seq, q.micros, q.strategy, q.sql);
+                        for l in &q.explain {
+                            println!("    {l}");
+                        }
+                    }
+                }
+            },
             Some(".demo") => {
                 match self.db.execute_script(
                     "CREATE TABLE PARTS (PNUM INT, QOH INT);
@@ -134,6 +163,33 @@ impl Shell {
             _ => self.run_sql(line),
         }
         true
+    }
+
+    fn print_stats(&self) {
+        let snap = self.db.stats().snapshot();
+        println!("tables:");
+        for t in &snap.tables {
+            println!(
+                "  {}  scans {}, index probes {}, tuples read {}, written {}",
+                t.table, t.scans, t.index_probes, t.tuples_read, t.tuples_written
+            );
+        }
+        println!("statements:");
+        for s in &snap.statements {
+            println!(
+                "  {} call(s), p50 {} us, p99 {} us, {} read(s), {} write(s) [{}] {}",
+                s.calls, s.p50_us, s.p99_us, s.reads, s.writes, s.strategy, s.query
+            );
+        }
+        println!("{}", snap.cache.render());
+        println!(
+            "slow queries logged: {} (threshold: {})",
+            snap.slow.len(),
+            match self.opts.slow_query_threshold_us() {
+                Some(us) => format!("{} ms", us / 1000),
+                None => "off".to_string(),
+            }
+        );
     }
 
     fn run_sql(&mut self, sql: &str) {
@@ -180,7 +236,9 @@ fn print_help() {
          EXPLAIN SELECT … (transform decision + predicted Section-7 costs),\n\
          EXPLAIN ANALYZE SELECT … (adds measured per-operator metrics + spans)\n\
          .tables | .demo | .strategy ni|cost|merge|nl|hash|batched | .variant ja2|kim|noproj|late\n\
-         .explain SELECT … | .tree SELECT … | .quit"
+         .explain SELECT … | .tree SELECT … | .quit\n\
+         .stats [json]   cumulative statistics (also queryable: SELECT … FROM nsql_stat_statements)\n\
+         .slow [<ms>|off]  show the slow-query log / set the threshold"
     );
 }
 
